@@ -1,0 +1,45 @@
+#pragma once
+
+// Shared helpers for the experiment drivers that regenerate the paper's
+// tables and figures. Every driver prints the paper-shaped rows to stdout
+// and writes the raw series to a CSV next to the working directory.
+//
+// Environment knobs:
+//   BOSON_BENCH_SCALE  scales iteration counts and Monte-Carlo samples
+//   BOSON_SEED         experiment seed
+//   BOSON_THREADS      caps worker threads (corners/samples run in parallel)
+
+#include <cstdio>
+#include <string>
+
+#include "common/timer.h"
+#include "core/methods.h"
+#include "io/csv.h"
+#include "io/table.h"
+
+namespace boson::bench {
+
+/// "[fwd, bwd]" cell in the style of the paper's isolator tables.
+inline std::string fwd_bwd_cell(const std::map<std::string, double>& metrics) {
+  if (!metrics.count("fwd_transmission")) return "N/A";
+  return "[" + io::console_table::num(metrics.at("fwd_transmission"), 4) + ", " +
+         io::console_table::num(metrics.at("bwd_transmission"), 5) + "]";
+}
+
+/// "pre -> post" arrow cell.
+inline std::string arrow_cell(double pre, double post, bool lower_better) {
+  (void)lower_better;
+  return io::console_table::sci(pre) + " -> " + io::console_table::sci(post);
+}
+
+inline void print_banner(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+inline void print_runtime(const stopwatch& sw) {
+  std::printf("\n[total runtime: %.1f s]\n", sw.seconds());
+}
+
+}  // namespace boson::bench

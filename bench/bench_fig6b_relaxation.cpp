@@ -1,0 +1,74 @@
+// Fig. 6(b) of the paper: effect of the conditional subspace relaxation
+// schedule (the "high-dimensional tunnel") on the optical isolator.
+//
+// The fabrication-aware weight p ramps 0 -> 1 over `relax_epochs`
+// iterations; "w/o" disables the tunnel entirely. As in the paper, the
+// hyperparameter is evaluated on the nominal corner without variation.
+// Expected shape: no relaxation is markedly worse (stuck in the fabricable
+// subspace's local optima); a ramp of roughly half the run is best; ramping
+// until the very end leaves too little time to consolidate.
+
+#include "bench_common.h"
+#include "core/run.h"
+
+int main() {
+  using namespace boson;
+
+  const stopwatch total;
+  core::experiment_config cfg = core::default_config();
+  const std::size_t iters = cfg.scaled_iterations();
+
+  bench::print_banner("Fig. 6(b): subspace relaxation epochs vs contrast");
+
+  std::vector<std::pair<std::size_t, std::string>> settings{{0, "w/o"}};
+  for (const std::size_t e : {10, 20, 30, 40, 50}) {
+    const auto scaled = static_cast<std::size_t>(
+        std::lround(static_cast<double>(e) * cfg.scale));
+    settings.emplace_back(std::min(scaled, iters), std::to_string(e));
+  }
+
+  io::csv_writer csv("fig6b_relaxation.csv",
+                     {"relax_epochs", "nominal_contrast", "fwd", "bwd"});
+  io::console_table table({"relax epochs", "contrast (nominal corner)", "fwd T", "bwd T"});
+
+  for (const auto& [epochs, label] : settings) {
+    const dev::device_spec device = dev::make_isolator();
+    core::design_problem problem = core::make_problem(device, true, cfg);
+
+    core::run_options ro;
+    ro.iterations = iters;
+    ro.learning_rate = cfg.learning_rate;
+    ro.fab_aware = true;
+    ro.dense_objectives = true;
+    ro.relax_epochs = epochs;
+    ro.sampling = robust::sampling_strategy::nominal_only;  // searched without variation
+    ro.seed = cfg.seed;
+
+    const core::run_result res =
+        core::run_inverse_design(problem, core::concentrated_init(problem), ro);
+
+    // Nominal-corner post-fab evaluation (hard etch).
+    robust::variation_corner nominal;
+    nominal.xi.assign(problem.fab().space.eole_terms, 0.0);
+    core::eval_options o;
+    o.fab_aware = true;
+    o.hard_etch = true;
+    o.dense_objectives = false;
+    o.compute_gradient = false;
+    const auto ev =
+        problem.evaluate_pattern(core::binarize(res.design_rho), nominal, o);
+
+    table.add_row({label, io::console_table::sci(ev.metrics.at("contrast")),
+                   io::console_table::num(ev.metrics.at("fwd_transmission"), 4),
+                   io::console_table::num(ev.metrics.at("bwd_transmission"), 5)});
+    csv.write_row(label, {ev.metrics.at("contrast"), ev.metrics.at("fwd_transmission"),
+                          ev.metrics.at("bwd_transmission")});
+    std::printf("  relax=%-4s contrast=%.4g\n", label.c_str(), ev.metrics.at("contrast"));
+  }
+
+  std::printf("\n");
+  table.print("Conditional subspace relaxation sweep");
+  std::printf("raw rows: fig6b_relaxation.csv\n");
+  bench::print_runtime(total);
+  return 0;
+}

@@ -1,0 +1,181 @@
+// Microbenchmarks (google-benchmark) of the computational kernels behind the
+// inverse-design loop: banded LU factorization/solve (the FDFD direct
+// solver), the FFT convolution engine, the Hopkins lithography model's
+// forward/backward passes, slab mode solving and one full pipeline
+// evaluation. These quantify where an optimization iteration's time goes.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/design_problem.h"
+#include "core/methods.h"
+#include "devices/builders.h"
+#include "fab/litho.h"
+#include "fab/temperature.h"
+#include "fdfd/solver.h"
+#include "fft/conv2d.h"
+#include "modes/slab.h"
+#include "sparse/banded.h"
+
+namespace {
+
+using namespace boson;
+
+// ------------------------------------------------------------- banded LU ----
+
+void bm_banded_lu(benchmark::State& state) {
+  const auto n_side = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = n_side * n_side;
+  const std::size_t band = n_side;
+  rng r(7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    sp::banded_lu lu(n, band, band);
+    for (std::size_t i = 0; i < n; ++i) {
+      lu.add(i, i, cplx(4.0 + r.uniform(0, 1), 1.0));
+      if (i + 1 < n) lu.add(i, i + 1, cplx(-1.0, 0.0));
+      if (i >= 1) lu.add(i, i - 1, cplx(-1.0, 0.0));
+      if (i + band < n) lu.add(i, i + band, cplx(-1.0, 0.0));
+      if (i >= band) lu.add(i, i - band, cplx(-1.0, 0.0));
+    }
+    state.ResumeTiming();
+    lu.factor();
+    cvec b(n, cplx{1.0});
+    benchmark::DoNotOptimize(lu.solve(b));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(bm_banded_lu)->Arg(32)->Arg(48)->Arg(64)->Arg(88)->Unit(benchmark::kMillisecond);
+
+// ----------------------------------------------------------- FDFD solve ----
+
+void bm_fdfd_forward_solve(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  grid2d g;
+  g.nx = g.ny = side;
+  g.dx = g.dy = 0.05;
+  pml_spec pml;
+  pml.cells = 10;
+  array2d<double> eps(side, side, 1.0);
+  for (std::size_t ix = 0; ix < side; ++ix)
+    for (std::size_t iy = side / 2 - 4; iy < side / 2 + 4; ++iy)
+      eps(ix, iy) = fab::eps_si(300.0);
+  array2d<cplx> current(side, side, cplx{});
+  current(side / 4, side / 2) = cplx{1.0};
+  for (auto _ : state) {
+    fdfd::fdfd_solver solver(g, pml, 2.0 * pi / 1.55, eps);
+    benchmark::DoNotOptimize(solver.solve(current));
+  }
+}
+BENCHMARK(bm_fdfd_forward_solve)->Arg(64)->Arg(88)->Arg(112)->Unit(benchmark::kMillisecond);
+
+void bm_fdfd_extra_solve_reusing_factorization(benchmark::State& state) {
+  const std::size_t side = 88;
+  grid2d g;
+  g.nx = g.ny = side;
+  g.dx = g.dy = 0.05;
+  pml_spec pml;
+  pml.cells = 10;
+  array2d<double> eps(side, side, 1.0);
+  fdfd::fdfd_solver solver(g, pml, 2.0 * pi / 1.55, eps);
+  array2d<cplx> current(side, side, cplx{});
+  current(30, 44) = cplx{1.0};
+  (void)solver.solve(current);  // factorize once
+  for (auto _ : state) benchmark::DoNotOptimize(solver.solve(current));
+}
+BENCHMARK(bm_fdfd_extra_solve_reusing_factorization)->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------------------------ FFT ----
+
+void bm_fft_conv2d(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  rng r(5);
+  array2d<cplx> kernel(21, 21);
+  for (auto& v : kernel) v = cplx(r.uniform(-1, 1), r.uniform(-1, 1));
+  fft::kernel_conv2d plan(side, side, {kernel});
+  array2d<double> in(side, side);
+  for (auto& v : in) v = r.uniform(0, 1);
+  for (auto _ : state) {
+    const auto in_fft = plan.transform_input(in);
+    benchmark::DoNotOptimize(plan.apply(in_fft, 0));
+  }
+}
+BENCHMARK(bm_fft_conv2d)->Arg(48)->Arg(64)->Arg(96)->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------- litho ----
+
+struct litho_fixture {
+  fab::litho_settings settings;
+  std::unique_ptr<fab::hopkins_litho> model;
+  array2d<double> mask;
+
+  litho_fixture() {
+    settings.kernel_half = 10;
+    model = std::make_unique<fab::hopkins_litho>(settings, fab::litho_corner_params{0.0, 1.0},
+                                                 56, 56);
+    mask = array2d<double>(56, 56, 0.0);
+    for (std::size_t ix = 16; ix < 40; ++ix)
+      for (std::size_t iy = 16; iy < 40; ++iy) mask(ix, iy) = 1.0;
+  }
+};
+
+void bm_litho_forward(benchmark::State& state) {
+  static litho_fixture f;
+  for (auto _ : state) benchmark::DoNotOptimize(f.model->forward(f.mask));
+}
+BENCHMARK(bm_litho_forward)->Unit(benchmark::kMillisecond);
+
+void bm_litho_backward(benchmark::State& state) {
+  static litho_fixture f;
+  const auto fwd = f.model->forward(f.mask);
+  array2d<double> d_aerial(56, 56, 1.0);
+  for (auto _ : state) benchmark::DoNotOptimize(f.model->backward(fwd, d_aerial));
+}
+BENCHMARK(bm_litho_backward)->Unit(benchmark::kMillisecond);
+
+void bm_litho_model_construction(benchmark::State& state) {
+  fab::litho_settings s;
+  s.kernel_half = 8;
+  for (auto _ : state) {
+    fab::hopkins_litho model(s, fab::litho_corner_params{0.08, 1.05}, 48, 48);
+    benchmark::DoNotOptimize(model.kernel_count());
+  }
+}
+BENCHMARK(bm_litho_model_construction)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------- modes ----
+
+void bm_slab_modes(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dvec eps(n, 1.0);
+  for (std::size_t j = n / 2 - n / 8; j < n / 2 + n / 8; ++j) eps[j] = 12.1;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(modes::solve_slab_modes(eps, 0.05, 2.0 * pi / 1.55, 4));
+}
+BENCHMARK(bm_slab_modes)->Arg(40)->Arg(80)->Arg(160)->Unit(benchmark::kMicrosecond);
+
+// ------------------------------------------------------- full pipeline ----
+
+void bm_pipeline_evaluate(benchmark::State& state) {
+  static core::experiment_config cfg = [] {
+    core::experiment_config c;
+    c.resolution = 0.1;
+    c.litho.na = 0.65;
+    c.litho.sigma = 0.35;
+    c.litho.kernel_half = 5;
+    return c;
+  }();
+  static core::design_problem problem = core::make_problem(dev::make_bend(0.1), true, cfg);
+  static const dvec theta = core::concentrated_init(problem);
+  robust::variation_corner nominal;
+  nominal.xi.assign(problem.fab().space.eole_terms, 0.0);
+  core::eval_options o;
+  o.fab_aware = true;
+  o.compute_gradient = true;
+  for (auto _ : state) benchmark::DoNotOptimize(problem.evaluate(theta, nominal, o));
+}
+BENCHMARK(bm_pipeline_evaluate)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Table I of the paper: main result across the three photonic benchmarks.
+//
+// For each device (crossing, bending, isolator) it runs the conventional
+// density-based flow, the strongest two-stage prior art (InvFabCor-M-3) and
+// BOSON-1, and reports pre-fab -> post-fab FoM plus the average improvement
+// of BOSON-1 over the baselines. Expectation versus the paper: absolute
+// numbers differ (different simulation substrate), the ordering and the
+// collapse of the unconstrained baselines reproduce.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace boson;
+  using core::method_id;
+
+  const stopwatch total;
+  const core::experiment_config cfg = core::default_config();
+
+  bench::print_banner(
+      "Table I: post-fabrication performance on the three benchmarks");
+  std::printf("(iterations=%zu, MC samples=%zu, seed=%llu, scale=%.2f)\n",
+              cfg.scaled_iterations(), cfg.scaled_samples(),
+              static_cast<unsigned long long>(cfg.seed), cfg.scale);
+
+  io::csv_writer csv("table1.csv", {"benchmark/model", "prefab_fom", "postfab_fom",
+                                    "postfab_std", "fwd_mean", "bwd_mean"});
+
+  const std::vector<method_id> methods{method_id::density, method_id::invfabcor_m_3,
+                                       method_id::boson};
+
+  double improvement_sum = 0.0;
+  std::size_t improvement_count = 0;
+
+  for (const auto kind :
+       {dev::device_kind::crossing, dev::device_kind::bend, dev::device_kind::isolator}) {
+    const dev::device_spec device = dev::make_device(kind);
+    const bool lower = device.objective.fom_lower_better;
+
+    io::console_table table({"model", "fwd & bwd transmission", "avg FoM (pre -> post)"});
+    std::vector<core::method_result> results;
+    for (const auto id : methods) results.push_back(core::run_method(device, id, cfg));
+
+    for (const auto& r : results) {
+      const bool is_boson = r.method == "BOSON-1";
+      std::string fom_cell =
+          is_boson ? io::console_table::sci(r.postfab.fom_mean)
+                   : bench::arrow_cell(r.prefab_fom, r.postfab.fom_mean, lower);
+      std::string fwd_bwd = "N/A";
+      if (r.postfab.metric_means.count("fwd_transmission"))
+        fwd_bwd = bench::fwd_bwd_cell(r.postfab.metric_means);
+      table.add_row({r.method, fwd_bwd, fom_cell});
+      csv.write_row(std::string(dev::to_string(kind)) + "/" + r.method,
+                    {r.prefab_fom, r.postfab.fom_mean, r.postfab.fom_std,
+                     r.postfab.metric_means.count("fwd_transmission")
+                         ? r.postfab.metric_means.at("fwd_transmission")
+                         : r.postfab.fom_mean,
+                     r.postfab.metric_means.count("bwd_transmission")
+                         ? r.postfab.metric_means.at("bwd_transmission")
+                         : 0.0});
+    }
+
+    const double boson_fom = results.back().postfab.fom_mean;
+    double device_improvement = 0.0;
+    for (std::size_t b = 0; b + 1 < results.size(); ++b)
+      device_improvement +=
+          core::relative_improvement(results[b].postfab.fom_mean, boson_fom, lower);
+    device_improvement /= static_cast<double>(results.size() - 1);
+    improvement_sum += device_improvement;
+    ++improvement_count;
+
+    std::printf("\n");
+    table.print(std::string("Benchmark: ") + dev::to_string(kind));
+    std::printf("avg improvement: %.0f%%\n", 100.0 * device_improvement);
+  }
+
+  std::printf("\ntotal avg improvement: %.1f%%   (paper reports 74.3%%)\n",
+              100.0 * improvement_sum / static_cast<double>(improvement_count));
+  std::printf("raw rows: table1.csv\n");
+  bench::print_runtime(total);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Table III of the paper: every design methodology on the optical isolator.
+//
+// Density / LS with and without MFS control, the two-stage InvFabCor flow
+// with 1 or 3 matched lithography corners, its '-eff' variant (transmission
+// objective), and BOSON-1. Rows show the pre-fab [fwd, bwd] transmissions
+// and FoM followed by the post-fab values. BOSON-1 reports its real
+// (post-fab) performance only, as in the paper.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace boson;
+  using core::method_id;
+
+  const stopwatch total;
+  const core::experiment_config cfg = core::default_config();
+  const dev::device_spec device = dev::make_isolator();
+
+  bench::print_banner("Table III: methods comparison on the optical isolator");
+  std::printf("(iterations=%zu, MC samples=%zu, seed=%llu)\n", cfg.scaled_iterations(),
+              cfg.scaled_samples(), static_cast<unsigned long long>(cfg.seed));
+
+  // The paper's ten rows plus LS-ED, the erosion/dilation geometry-corner
+  // prior art the paper discusses in Section II-B (extra row, not in the
+  // paper's table).
+  const std::vector<method_id> methods{
+      method_id::density,       method_id::density_m,    method_id::ls,
+      method_id::ls_m,          method_id::invfabcor_1,  method_id::invfabcor_3,
+      method_id::invfabcor_m_1, method_id::invfabcor_m_3, method_id::invfabcor_m_3_eff,
+      method_id::ls_ed,         method_id::boson,
+  };
+
+  io::csv_writer csv("table3_methods.csv",
+                     {"model", "prefab_fwd", "prefab_bwd", "prefab_contrast",
+                      "postfab_fwd", "postfab_bwd", "postfab_contrast"});
+  io::console_table table({"model", "fwd & bwd transmission", "avg FoM (pre -> post)"});
+
+  double best_baseline = 1e300;
+  double boson_fom = 0.0;
+  for (const auto id : methods) {
+    const core::method_result r = core::run_method(device, id, cfg);
+    const bool is_boson = id == method_id::boson;
+    if (is_boson) {
+      boson_fom = r.postfab.fom_mean;
+      table.add_row({r.method, bench::fwd_bwd_cell(r.postfab.metric_means),
+                     io::console_table::sci(r.postfab.fom_mean)});
+    } else {
+      best_baseline = std::min(best_baseline, r.postfab.fom_mean);
+      table.add_row({r.method,
+                     bench::fwd_bwd_cell(r.prefab) + " -> " +
+                         bench::fwd_bwd_cell(r.postfab.metric_means),
+                     bench::arrow_cell(r.prefab_fom, r.postfab.fom_mean, true)});
+    }
+    csv.write_row(r.method,
+                  {r.prefab.at("fwd_transmission"), r.prefab.at("bwd_transmission"),
+                   r.prefab_fom, r.postfab.metric_means.at("fwd_transmission"),
+                   r.postfab.metric_means.at("bwd_transmission"), r.postfab.fom_mean});
+  }
+
+  std::printf("\n");
+  table.print("Optical isolator: isolation contrast (lower is better)");
+  std::printf("\nBOSON-1 post-fab contrast vs best baseline: %.3g vs %.3g (%.1fx better)\n",
+              boson_fom, best_baseline, best_baseline / std::max(boson_fom, 1e-12));
+  std::printf("raw rows: table3_methods.csv\n");
+  bench::print_runtime(total);
+  return 0;
+}

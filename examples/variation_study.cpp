@@ -1,0 +1,101 @@
+// Variation sensitivity study: how a finished design behaves across the
+// fabrication / operation variation space.
+//
+// This is the downstream-user workflow: take a mask (here: a quickly
+// optimized bend), then sweep each variation axis in isolation —
+// lithography corner, temperature, global etch threshold — and sample the
+// spatially correlated etch field, reporting the figure of merit at every
+// point. It exercises the library's variation models directly, without the
+// optimizer in the loop.
+
+#include <cstdio>
+
+#include "core/evaluate.h"
+#include "core/methods.h"
+#include "io/table.h"
+
+int main() {
+  using namespace boson;
+
+  core::experiment_config cfg = core::default_config();
+  cfg.iterations = 20;  // a quick design is enough for the study
+
+  dev::device_spec device = dev::make_bend();
+  const core::method_result designed =
+      core::run_method(device, core::method_id::boson, cfg);
+  core::design_problem problem = core::make_problem(dev::make_bend(), true, cfg);
+
+  auto fom_at = [&](const robust::variation_corner& corner) {
+    core::eval_options o;
+    o.fab_aware = true;
+    o.hard_etch = true;
+    o.compute_gradient = false;
+    o.dense_objectives = false;
+    const auto ev = problem.evaluate_pattern(designed.mask, corner, o);
+    return problem.fom_of(ev.metrics);
+  };
+
+  auto nominal = [&] {
+    robust::variation_corner c;
+    c.xi.assign(problem.fab().space.eole_terms, 0.0);
+    return c;
+  };
+
+  io::console_table table({"variation", "setting", "transmission"});
+  table.add_row({"nominal", "-", io::console_table::num(fom_at(nominal()), 4)});
+
+  for (int litho = 1; litho <= 2; ++litho) {
+    auto c = nominal();
+    c.litho = litho;
+    table.add_row({"lithography", litho == 1 ? "l_min (defocus, -5% dose)"
+                                             : "l_max (defocus, +5% dose)",
+                   io::console_table::num(fom_at(c), 4)});
+  }
+  for (const double t : {260.0, 280.0, 320.0, 340.0}) {
+    auto c = nominal();
+    c.temperature = t;
+    table.add_row(
+        {"temperature", io::console_table::num(t, 0) + " K",
+         io::console_table::num(fom_at(c), 4)});
+  }
+  for (const double shift : {-0.05, 0.05}) {
+    auto c = nominal();
+    c.eta_shift = shift;
+    table.add_row({"etch threshold", (shift > 0 ? "+" : "") + io::console_table::num(shift, 2),
+                   io::console_table::num(fom_at(c), 4)});
+  }
+  rng r(42);
+  for (int s = 0; s < 3; ++s) {
+    auto c = nominal();
+    c.xi = r.normal_vector(problem.fab().space.eole_terms);
+    table.add_row({"etch field (EOLE)", "random draw " + std::to_string(s + 1),
+                   io::console_table::num(fom_at(c), 4)});
+  }
+
+  std::printf("\n");
+  table.print("Post-fabrication sensitivity of the optimized bend");
+
+  // Spectral response: how the design behaves off the central wavelength.
+  const dvec lambdas{1.50, 1.525, 1.55, 1.575, 1.60};
+  const auto spectrum = core::wavelength_sweep(problem, designed.mask, lambdas);
+  io::console_table spectral({"wavelength [um]", "transmission"});
+  for (const auto& pt : spectrum)
+    spectral.add_row({io::console_table::num(pt.lambda_um, 3),
+                      io::console_table::num(pt.fom, 4)});
+  std::printf("\n");
+  spectral.print("Spectral response (nominal fabrication corner)");
+
+  // Lithography process window: transmission across the (defocus, dose)
+  // plane — the classical fab-engineering view of the same robustness the
+  // BOSON-1 corners optimize.
+  const auto window = core::litho_process_window(problem, designed.mask,
+                                                 dvec{0.0, 0.08, 0.16},
+                                                 dvec{0.95, 1.0, 1.05});
+  io::console_table pw({"defocus [um]", "dose", "transmission"});
+  for (const auto& pt : window)
+    pw.add_row({io::console_table::num(pt.defocus_um, 2),
+                io::console_table::num(pt.dose, 2), io::console_table::num(pt.fom, 4)});
+  std::printf("\n");
+  pw.print("Lithography process window");
+  return 0;
+}

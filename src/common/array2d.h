@@ -1,0 +1,93 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/error.h"
+
+namespace boson {
+
+/// Dense 2-D array with (ix, iy) indexing, stored x-major (contiguous in iy).
+///
+/// This is the workhorse container for permittivity maps, design patterns,
+/// aerial images and field grids. The (ix, iy) convention matches the
+/// simulation grid: ix walks along the propagation (x) axis, iy along the
+/// transverse (y) axis.
+template <class T>
+class array2d {
+ public:
+  array2d() = default;
+
+  array2d(std::size_t nx, std::size_t ny, T fill_value = T{})
+      : nx_(nx), ny_(ny), data_(nx * ny, fill_value) {}
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Flat index of cell (ix, iy); the FDFD unknown ordering uses the same map.
+  std::size_t index(std::size_t ix, std::size_t iy) const { return ix * ny_ + iy; }
+
+  T& operator()(std::size_t ix, std::size_t iy) { return data_[index(ix, iy)]; }
+  const T& operator()(std::size_t ix, std::size_t iy) const { return data_[index(ix, iy)]; }
+
+  /// Bounds-checked access, for non-hot paths.
+  T& at(std::size_t ix, std::size_t iy) {
+    require(ix < nx_ && iy < ny_, "array2d::at: index out of range");
+    return data_[index(ix, iy)];
+  }
+  const T& at(std::size_t ix, std::size_t iy) const {
+    require(ix < nx_ && iy < ny_, "array2d::at: index out of range");
+    return data_[index(ix, iy)];
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  std::vector<T>& raw() { return data_; }
+  const std::vector<T>& raw() const { return data_; }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+  void fill(const T& value) { std::fill(data_.begin(), data_.end(), value); }
+
+  template <class U>
+  bool same_shape(const array2d<U>& other) const {
+    return nx_ == other.nx() && ny_ == other.ny();
+  }
+
+ private:
+  std::size_t nx_ = 0;
+  std::size_t ny_ = 0;
+  std::vector<T> data_;
+};
+
+/// Elementwise a += s * b (shapes must match).
+template <class T, class S>
+void add_scaled(array2d<T>& a, S s, const array2d<T>& b) {
+  require(a.same_shape(b), "add_scaled: shape mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] += s * b.data()[i];
+}
+
+/// Sum of all entries.
+template <class T>
+T total(const array2d<T>& a) {
+  T acc{};
+  for (const auto& v : a) acc += v;
+  return acc;
+}
+
+/// Minimum and maximum entry (array must be non-empty).
+template <class T>
+std::pair<T, T> min_max(const array2d<T>& a) {
+  require(!a.empty(), "min_max: empty array");
+  auto [lo, hi] = std::minmax_element(a.begin(), a.end());
+  return {*lo, *hi};
+}
+
+}  // namespace boson

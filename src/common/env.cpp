@@ -1,0 +1,48 @@
+#include "common/env.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace boson {
+
+namespace {
+
+const char* raw(const char* name) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && v[0] != '\0') ? v : nullptr;
+}
+
+}  // namespace
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = raw(name);
+  return v != nullptr ? std::string(v) : fallback;
+}
+
+long env_int(const char* name, long fallback) {
+  const char* v = raw(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  return (end != v) ? parsed : fallback;
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = raw(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end != v) ? parsed : fallback;
+}
+
+bool env_flag(const char* name, bool fallback) {
+  const char* v = raw(name);
+  if (v == nullptr) return fallback;
+  std::string s(v);
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s == "1" || s == "true" || s == "yes" || s == "on";
+}
+
+}  // namespace boson

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace boson {
+
+/// Base class for every error raised by the BOSON-1 library.
+class error : public std::runtime_error {
+ public:
+  explicit error(const std::string& what_arg) : std::runtime_error(what_arg) {}
+};
+
+/// A caller violated a documented precondition.
+class bad_argument : public error {
+ public:
+  using error::error;
+};
+
+/// A numerical routine could not complete (singular pivot, no convergence, ...).
+class numeric_error : public error {
+ public:
+  using error::error;
+};
+
+/// A file or stream operation failed.
+class io_error : public error {
+ public:
+  using error::error;
+};
+
+/// Throw `bad_argument` with `msg` unless `cond` holds. Used to state
+/// preconditions at public interfaces (C++ Core Guidelines I.5).
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw bad_argument(msg);
+}
+
+/// Throw `numeric_error` with `msg` unless `cond` holds.
+inline void check_numeric(bool cond, const std::string& msg) {
+  if (!cond) throw numeric_error(msg);
+}
+
+}  // namespace boson

@@ -1,0 +1,55 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "common/env.h"
+
+namespace boson {
+
+namespace {
+
+log_level level_from_env() {
+  const std::string s = env_string("BOSON_LOG", "warn");
+  if (s == "debug") return log_level::debug;
+  if (s == "info") return log_level::info;
+  if (s == "warn") return log_level::warn;
+  if (s == "error") return log_level::err;
+  if (s == "off") return log_level::off;
+  return log_level::warn;
+}
+
+std::atomic<log_level>& level_storage() {
+  static std::atomic<log_level> level{level_from_env()};
+  return level;
+}
+
+const char* level_tag(log_level level) {
+  switch (level) {
+    case log_level::debug: return "DEBUG";
+    case log_level::info: return "INFO ";
+    case log_level::warn: return "WARN ";
+    case log_level::err: return "ERROR";
+    default: return "     ";
+  }
+}
+
+}  // namespace
+
+void set_log_level(log_level level) { level_storage().store(level); }
+
+log_level current_log_level() { return level_storage().load(); }
+
+void log_line(log_level level, const std::string& message) {
+  if (level < current_log_level()) return;
+  static std::mutex io_mutex;
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  const double t = std::chrono::duration<double>(clock::now() - start).count();
+  const std::lock_guard<std::mutex> lock(io_mutex);
+  std::fprintf(stderr, "[%9.3f] %s %s\n", t, level_tag(level), message.c_str());
+}
+
+}  // namespace boson

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace boson {
+
+/// Severity levels; messages below the active level are suppressed.
+enum class log_level { debug = 0, info = 1, warn = 2, err = 3, off = 4 };
+
+/// Set the process-wide log level. Defaults to the BOSON_LOG environment
+/// variable ("debug", "info", "warn", "error", "off"), falling back to warn
+/// so library consumers see problems but not progress chatter.
+void set_log_level(log_level level);
+log_level current_log_level();
+
+/// Emit a single timestamped line to stderr if `level` is enabled.
+void log_line(log_level level, const std::string& message);
+
+namespace detail {
+template <class... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <class... Args>
+void log_debug(Args&&... args) {
+  if (current_log_level() <= log_level::debug)
+    log_line(log_level::debug, detail::concat(std::forward<Args>(args)...));
+}
+
+template <class... Args>
+void log_info(Args&&... args) {
+  if (current_log_level() <= log_level::info)
+    log_line(log_level::info, detail::concat(std::forward<Args>(args)...));
+}
+
+template <class... Args>
+void log_warn(Args&&... args) {
+  if (current_log_level() <= log_level::warn)
+    log_line(log_level::warn, detail::concat(std::forward<Args>(args)...));
+}
+
+template <class... Args>
+void log_error(Args&&... args) {
+  if (current_log_level() <= log_level::err)
+    log_line(log_level::err, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace boson

@@ -1,0 +1,57 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/env.h"
+
+namespace boson {
+
+std::size_t worker_count() {
+  static const std::size_t count = [] {
+    const std::size_t hw = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    const long requested = env_int("BOSON_THREADS", static_cast<long>(hw));
+    return static_cast<std::size_t>(std::clamp<long>(requested, 1, static_cast<long>(hw)));
+  }();
+  return count;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t workers = std::min(worker_count(), n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto run = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(run);
+  run();
+  for (auto& t : pool) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace boson

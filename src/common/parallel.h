@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace boson {
+
+/// Number of worker threads used by `parallel_for`: min(hardware threads,
+/// BOSON_THREADS when set). Always at least 1.
+std::size_t worker_count();
+
+/// Run `body(i)` for i in [0, n). Iterations must be independent; the call
+/// blocks until all complete. Exceptions thrown by `body` are captured and
+/// the first one is rethrown on the calling thread.
+///
+/// Work is distributed statically; this targets a small number of
+/// coarse-grained tasks (variation-corner simulations), not fine-grained
+/// loops.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+}  // namespace boson

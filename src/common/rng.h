@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace boson {
+
+/// Deterministic random number generator.
+///
+/// Every stochastic component (Monte-Carlo variation sampling, random
+/// initialization, EOLE field draws) takes an `rng` so experiments are
+/// reproducible from a single seed. `fork` derives an independent stream,
+/// which keeps results stable when work is distributed across threads.
+class rng {
+ public:
+  explicit rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) : engine_(seed), seed_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    require(lo <= hi, "rng::uniform: lo > hi");
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Standard normal (mean 0, sd 1) scaled to (mean, sd).
+  double normal(double mean = 0.0, double sd = 1.0) {
+    return std::normal_distribution<double>(mean, sd)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  long uniform_int(long lo, long hi) {
+    require(lo <= hi, "rng::uniform_int: lo > hi");
+    return std::uniform_int_distribution<long>(lo, hi)(engine_);
+  }
+
+  /// Vector of iid standard normals.
+  dvec normal_vector(std::size_t n, double sd = 1.0) {
+    dvec v(n);
+    for (auto& x : v) x = normal(0.0, sd);
+    return v;
+  }
+
+  /// Derive an independent generator; `stream` distinguishes siblings.
+  rng fork(std::uint64_t stream) const {
+    // SplitMix64-style mix of (seed, stream) gives well-separated states.
+    std::uint64_t z = seed_ + 0x9E3779B97F4A7C15ull * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return rng(z ^ (z >> 31));
+  }
+
+  std::uint64_t seed() const { return seed_; }
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace boson

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <chrono>
+
+namespace boson {
+
+/// Wall-clock stopwatch for coarse profiling of solves and optimization loops.
+class stopwatch {
+ public:
+  stopwatch() : start_(clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset.
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace boson

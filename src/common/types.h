@@ -1,0 +1,24 @@
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace boson {
+
+/// Double-precision complex scalar used throughout the electromagnetic stack.
+using cplx = std::complex<double>;
+
+/// Dense complex vector (fields, adjoint states, right-hand sides).
+using cvec = std::vector<cplx>;
+
+/// Dense real vector (design variables, gradients, mode profiles).
+using dvec = std::vector<double>;
+
+/// Imaginary unit.
+inline constexpr cplx imag_unit{0.0, 1.0};
+
+/// Pi to double precision.
+inline constexpr double pi = 3.14159265358979323846;
+
+}  // namespace boson

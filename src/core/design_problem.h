@@ -1,0 +1,134 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/array2d.h"
+#include "common/types.h"
+#include "devices/spec.h"
+#include "fab/eole.h"
+#include "fab/etch.h"
+#include "fab/litho.h"
+#include "param/filters.h"
+#include "param/parameterization.h"
+#include "robust/corners.h"
+
+namespace boson::core {
+
+/// Shared, immutable fabrication models for one device: per-corner Hopkins
+/// lithography on the design region extended by a halo of fixed geometry,
+/// the EOLE etch-threshold field, and the variation space. Safe to share
+/// across threads once built.
+struct fab_context {
+  fab::litho_settings litho_cfg;
+  std::vector<std::shared_ptr<const fab::hopkins_litho>> litho;  ///< per corner
+  double etch_beta = 30.0;
+  std::shared_ptr<const fab::eole_field> eole;
+  robust::variation_space space;
+  std::size_t halo = 0;  ///< halo width in cells (= litho kernel half-width)
+};
+
+/// Build the fabrication context for a device (lithography corners at the
+/// device's pixel pitch, EOLE field over the extended design window).
+fab_context make_fab_context(const dev::device_spec& spec,
+                             const fab::litho_settings& litho_cfg,
+                             const fab::eole_settings& eole_cfg,
+                             const robust::variation_space& space);
+
+/// Controls for one pipeline evaluation.
+struct eval_options {
+  bool fab_aware = true;        ///< run litho + etch inside the pipeline
+  bool dense_objectives = true; ///< add the auxiliary penalty terms
+  bool hard_etch = false;       ///< evaluation mode: hard threshold, no gradient
+  bool soft_etch = false;       ///< smooth sigmoid etch (finite-difference-consistent)
+  bool binarize_ideal = false;  ///< threshold the no-fab pattern at 0.5 (pre-fab eval)
+  bool use_mfs_blur = false;    ///< classical MFS blur ('-M' baselines)
+  bool compute_gradient = true;
+  bool want_var_grads = false;  ///< also compute dLoss/dxi and dLoss/dT
+  std::string objective_override;  ///< if set: maximize this metric instead
+
+  /// Prior-art uniform geometry variation (refs [1],[7],[20]): apply a soft
+  /// morphological erosion (-1) / dilation (+1) to the pattern instead of the
+  /// lithography+etch chain. Only meaningful with fab_aware == false.
+  int morphology_shift = 0;
+  double morphology_radius_cells = 1.2;
+};
+
+/// Result of one evaluation: scalar loss, named metrics (including the
+/// derived "contrast" for ratio objectives), gradients, and the realized
+/// design-region pattern.
+struct eval_result {
+  double loss = 0.0;
+  std::map<std::string, double> metrics;
+  dvec grad;               ///< dLoss/dtheta (empty unless computed)
+  dvec d_xi;               ///< dLoss/dxi (want_var_grads)
+  double d_temperature = 0.0;
+  array2d<double> pattern; ///< realized pattern on the design grid
+};
+
+/// The end-to-end differentiable inverse-design pipeline of Eq. (1):
+///   theta -> P (parameterization) -> L (lithography) -> E (etching)
+///         -> T (temperature)      -> eps -> FDFD -> monitors -> loss,
+/// with the full chain-rule backward pass driven by FDFD adjoint solves.
+///
+/// `evaluate` is const and thread-safe: corners are simulated concurrently
+/// during robust optimization.
+class design_problem {
+ public:
+  design_problem(dev::device_spec spec, std::shared_ptr<param::parameterization> param,
+                 fab_context fab, double mfs_blur_radius_cells = 1.6);
+
+  const dev::device_spec& spec() const { return spec_; }
+  const fab_context& fab() const { return fab_; }
+  param::parameterization& parameterization() { return *param_; }
+  const param::parameterization& parameterization() const { return *param_; }
+  std::shared_ptr<param::parameterization> shared_parameterization() const { return param_; }
+
+  /// Launched power per excitation, measured on the reference structure.
+  double input_power(std::size_t excitation_index) const;
+
+  /// Full pipeline from latent variables.
+  eval_result evaluate(const dvec& theta, const robust::variation_corner& corner,
+                       const eval_options& opts) const;
+
+  /// Pipeline from an explicit design-region pattern/mask (no theta): used
+  /// to evaluate corrected masks and for Monte-Carlo post-fab evaluation.
+  eval_result evaluate_pattern(const array2d<double>& rho_design,
+                               const robust::variation_corner& corner,
+                               const eval_options& opts) const;
+
+  /// Figure of merit extracted from a metric map per the device's objective.
+  double fom_of(const std::map<std::string, double>& metrics) const;
+
+  /// Clone this problem at a different operating wavelength. Shares the
+  /// parameterization and fabrication context (lithography is independent of
+  /// the operating wavelength); the reference normalization is recomputed.
+  /// Enables spectral-response studies of finished designs.
+  design_problem at_wavelength(double lambda_um) const;
+
+  /// Binary occupancy of the fixed geometry around the design window, on the
+  /// extended (halo) grid; interior cells are zero. Exposed for mask
+  /// correction, which must image masks in the same context.
+  const array2d<double>& halo_occupancy() const { return halo_occ_; }
+
+  /// Embed a design-grid array into the extended halo grid (halo cells take
+  /// the fixed-geometry occupancy).
+  array2d<double> embed_in_halo(const array2d<double>& rho_design) const;
+
+ private:
+  eval_result evaluate_impl(const dvec* theta, const array2d<double>* rho_in,
+                            const robust::variation_corner& corner,
+                            const eval_options& opts) const;
+  void compute_input_powers();
+
+  dev::device_spec spec_;
+  std::shared_ptr<param::parameterization> param_;
+  fab_context fab_;
+  param::gaussian_blur mfs_blur_;
+  array2d<double> halo_occ_;
+  dvec input_power_;
+};
+
+}  // namespace boson::core

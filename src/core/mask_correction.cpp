@@ -1,0 +1,104 @@
+#include "core/mask_correction.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "fab/etch.h"
+#include "optim/optimizer.h"
+#include "param/filters.h"
+
+namespace boson::core {
+
+namespace {
+
+double logit(double p) {
+  const double q = std::clamp(p, 0.02, 0.98);
+  return std::log(q / (1.0 - q));
+}
+
+}  // namespace
+
+mask_correction_result correct_mask(const design_problem& problem,
+                                    const array2d<double>& target,
+                                    const mask_correction_options& options) {
+  const auto& design = problem.spec().design;
+  require(target.nx() == design.nx && target.ny() == design.ny,
+          "correct_mask: target shape mismatch");
+  const std::size_t corners =
+      std::min(options.litho_corners, problem.fab().litho.size());
+  require(corners >= 1, "correct_mask: need at least one lithography corner");
+
+  const std::size_t h = problem.fab().halo;
+  const std::size_t n = target.size();
+
+  // Latent mask variables; the mask starts as (a softened copy of) the target.
+  dvec theta(n);
+  for (std::size_t i = 0; i < n; ++i) theta[i] = logit(target.data()[i]);
+
+  const fab::etch_model etch(options.etch_beta, fab::etch_mode::soft);
+  const array2d<double> eta_nominal =
+      problem.fab().eole->field(dvec(problem.fab().eole->num_terms(), 0.0), 0.0);
+
+  opt::adam optimizer(options.learning_rate);
+  mask_correction_result result;
+
+  auto mismatch_and_grad = [&](const dvec& th, dvec* grad) -> double {
+    array2d<double> mask(design.nx, design.ny);
+    for (std::size_t i = 0; i < n; ++i) mask.data()[i] = param::sigmoid(th[i]);
+    const array2d<double> mask_ext = problem.embed_in_halo(mask);
+
+    double loss = 0.0;
+    array2d<double> d_mask_total(design.nx, design.ny, 0.0);
+    for (std::size_t c = 0; c < corners; ++c) {
+      const auto& litho = *problem.fab().litho[c];
+      const fab::litho_forward fwd = litho.forward(mask_ext);
+      const array2d<double> pattern = etch.forward(fwd.aerial, eta_nominal);
+
+      // L2 mismatch over the design interior only.
+      array2d<double> d_pattern(pattern.nx(), pattern.ny(), 0.0);
+      for (std::size_t i = 0; i < design.nx; ++i) {
+        for (std::size_t j = 0; j < design.ny; ++j) {
+          const double r = pattern(h + i, h + j) - target(i, j);
+          loss += r * r / static_cast<double>(n * corners);
+          d_pattern(h + i, h + j) = 2.0 * r / static_cast<double>(n * corners);
+        }
+      }
+      if (grad == nullptr) continue;
+
+      array2d<double> d_aerial;
+      array2d<double> d_eta;
+      etch.backward(fwd.aerial, eta_nominal, d_pattern, d_aerial, d_eta);
+      const array2d<double> d_mask_ext = litho.backward(fwd, d_aerial);
+      for (std::size_t i = 0; i < design.nx; ++i)
+        for (std::size_t j = 0; j < design.ny; ++j)
+          d_mask_total(i, j) += d_mask_ext(h + i, h + j);
+    }
+
+    if (grad != nullptr) {
+      grad->assign(n, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double s = mask.data()[i];
+        (*grad)[i] = d_mask_total.data()[i] * param::sigmoid_derivative_from_value(s);
+      }
+    }
+    return loss;
+  };
+
+  result.initial_mismatch = mismatch_and_grad(theta, nullptr);
+
+  dvec grad;
+  for (std::size_t it = 0; it < options.iterations; ++it) {
+    const double loss = mismatch_and_grad(theta, &grad);
+    optimizer.step(theta, grad);
+    if (it + 1 == options.iterations) result.final_mismatch = loss;
+    log_debug("correct_mask iter ", it, ": mismatch=", loss);
+  }
+
+  result.mask = array2d<double>(design.nx, design.ny);
+  for (std::size_t i = 0; i < n; ++i) result.mask.data()[i] = param::sigmoid(theta[i]);
+  return result;
+}
+
+}  // namespace boson::core

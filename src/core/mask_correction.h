@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+#include "core/design_problem.h"
+
+namespace boson::core {
+
+/// Options for the InvFabCor baseline's second stage: inverse lithography
+/// mask optimization that matches the post-fabrication pattern to a freely
+/// optimized target design.
+struct mask_correction_options {
+  std::size_t iterations = 80;
+  double learning_rate = 0.2;
+  std::size_t litho_corners = 1;  ///< '-1' matches nominal only, '-3' all corners
+  double etch_beta = 30.0;        ///< soft-etch sharpness for the matching loss
+};
+
+/// Result of the mask optimization.
+struct mask_correction_result {
+  array2d<double> mask;      ///< corrected mask on the design grid, in [0, 1]
+  double initial_mismatch = 0.0;  ///< mean squared pattern error before
+  double final_mismatch = 0.0;    ///< ... and after optimization
+};
+
+/// Optimize a mask m so that etch(litho_c(m)) ~= target for the selected
+/// lithography corners (L2 pattern loss, nominal etch threshold). This is the
+/// classical two-stage flow the paper compares against: the free design is
+/// produced first and the mask is corrected afterwards, so any residual
+/// mismatch becomes a post-fabrication performance gap.
+mask_correction_result correct_mask(const design_problem& problem,
+                                    const array2d<double>& target,
+                                    const mask_correction_options& options);
+
+}  // namespace boson::core

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/design_problem.h"
+#include "core/evaluate.h"
+#include "core/run.h"
+#include "devices/builders.h"
+#include "fab/eole.h"
+#include "fab/litho.h"
+#include "robust/corners.h"
+
+namespace boson::core {
+
+/// Every design methodology compared in the paper's tables. Naming follows
+/// the paper: '-M' adds minimum-feature-size blur, '-#' is the number of
+/// lithography corners matched during mask correction, '-eff' switches the
+/// isolator objective to plain transmission efficiency. The boson_* variants
+/// are the Table II ablations.
+enum class method_id {
+  density,
+  density_m,
+  ls,
+  ls_m,
+  invfabcor_1,
+  invfabcor_3,
+  invfabcor_m_1,
+  invfabcor_m_3,
+  invfabcor_m_3_eff,
+  ls_ed,               ///< prior-art geometry-corner baseline (erosion/dilation)
+  boson,
+  boson_no_reshape,    ///< - loss landscape reshaping (sparse objective)
+  boson_no_relax,      ///< - conditional subspace relaxation
+  boson_exhaustive,    ///< exhaustive corner sweeping instead of adaptive
+  boson_random_init,   ///< random instead of light-concentrated init
+};
+
+std::string method_name(method_id id);
+
+/// Shared experiment configuration. `scale` (usually BOSON_BENCH_SCALE)
+/// multiplies iteration counts and Monte-Carlo samples for quick runs.
+struct experiment_config {
+  double resolution = 0.05;
+  std::size_t iterations = 50;
+  std::size_t relax_epochs = 20;
+  std::size_t mc_samples = 20;
+  double learning_rate = 0.05;
+  std::uint64_t seed = 7;
+  double scale = 1.0;
+  fab::litho_settings litho;
+  fab::eole_settings eole;
+  robust::variation_space space;
+
+  std::size_t scaled_iterations() const;
+  std::size_t scaled_samples() const;
+  std::size_t scaled_relax() const;
+};
+
+/// Load the default experiment configuration, applying BOSON_BENCH_SCALE and
+/// BOSON_SEED from the environment.
+experiment_config default_config();
+
+/// Outcome of running one method end to end on one device.
+struct method_result {
+  std::string method;
+  std::map<std::string, double> prefab;  ///< pre-fabrication metrics
+  double prefab_fom = 0.0;
+  mc_stats postfab;                      ///< post-fabrication Monte Carlo
+  run_result run;
+  array2d<double> mask;                  ///< binarized mask handed to fab
+};
+
+/// Build the design problem for a device/parameterization pair.
+/// `use_levelset` selects the paper's default level-set parameterization;
+/// density otherwise. `density_blur_cells` configures built-in MFS blur for
+/// the density baseline.
+design_problem make_problem(const dev::device_spec& spec, bool use_levelset,
+                            const experiment_config& cfg, double density_blur_cells = 0.0);
+
+/// Initial latent variables: light-concentrated (device heuristic), the
+/// conventional uniform-gray start of density-based topology optimization,
+/// or random.
+dvec concentrated_init(const design_problem& problem);
+dvec gray_init(const design_problem& problem);
+dvec random_init(const design_problem& problem, std::uint64_t seed);
+
+/// Run one named method end to end: optimize, derive the mask, evaluate
+/// pre-fab metrics and the post-fab Monte Carlo.
+method_result run_method(const dev::device_spec& spec, method_id id,
+                         const experiment_config& cfg);
+
+/// Binarize a continuous pattern at 0.5 (the mask handed to fabrication).
+array2d<double> binarize(const array2d<double>& rho, double threshold = 0.5);
+
+/// Relative improvement of `ours` over `baseline` oriented by the FoM
+/// direction (Table I's "avg improvement" definition).
+double relative_improvement(double baseline_fom, double our_fom, bool lower_better);
+
+}  // namespace boson::core

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/design_problem.h"
+#include "robust/sampler.h"
+
+namespace boson::core {
+
+/// Configuration of one inverse-design optimization run. The BOSON-1 recipe
+/// sets fab_aware + dense_objectives + relaxation + axial_plus_worst; the
+/// baselines switch individual ingredients off.
+struct run_options {
+  std::size_t iterations = 50;
+  double learning_rate = 0.05;
+
+  bool fab_aware = true;         ///< subspace optimization (litho+etch in loop)
+  bool dense_objectives = true;  ///< landscape reshaping via auxiliary penalties
+  bool use_mfs_blur = false;     ///< classical MFS control ('-M')
+
+  /// Conditional subspace relaxation: the fabrication-aware weight p ramps
+  /// 0 -> 1 over this many iterations (0 disables the high-dimensional
+  /// tunnel and optimizes purely in the fabricable subspace).
+  std::size_t relax_epochs = 0;
+
+  robust::sampling_strategy sampling = robust::sampling_strategy::nominal_only;
+
+  /// Prior-art robust baseline (refs [1],[7],[20]): optimize the nominal
+  /// pattern together with uniformly eroded/dilated variants instead of the
+  /// fabrication model. Requires fab_aware == false.
+  bool erosion_dilation = false;
+  double ed_radius_cells = 1.2;
+
+  /// Optional total-variation (perimeter) regularization weight — the
+  /// classical curvature-penalty heuristic for feature-size control.
+  double tv_weight = 0.0;
+
+  /// Projection sharpness schedule for the parameterization.
+  double beta_start = 8.0;
+  double beta_end = 40.0;
+
+  std::uint64_t seed = 17;
+  std::string objective_override;  ///< e.g. "fwd_transmission" for '-eff'
+  bool record_trajectory = true;
+};
+
+/// Nominal-corner metrics per iteration (the series plotted in Fig. 5).
+struct iteration_record {
+  std::size_t iteration = 0;
+  double loss = 0.0;
+  std::map<std::string, double> metrics;
+};
+
+struct run_result {
+  dvec theta;
+  array2d<double> design_rho;  ///< continuous pattern at the final theta
+  std::vector<iteration_record> trajectory;
+  double final_loss = 0.0;
+};
+
+/// Gradient-based inverse design: per iteration, sample variation corners,
+/// evaluate loss+gradient on each concurrently, average, optionally blend in
+/// the relaxed (ideal, non-fabricated) gradient, and take an Adam step.
+run_result run_inverse_design(design_problem& problem, const dvec& theta0,
+                              const run_options& options);
+
+}  // namespace boson::core

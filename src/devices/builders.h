@@ -1,0 +1,30 @@
+#pragma once
+
+#include "devices/spec.h"
+
+namespace boson::dev {
+
+/// The three photonic benchmarks evaluated in the paper (Section IV-A).
+/// `resolution` is the grid pitch in um (default 50 nm); coarser values are
+/// used by fast tests. All builders target lambda = 1.55 um, silicon core /
+/// air cladding.
+enum class device_kind { bend, crossing, isolator };
+
+const char* to_string(device_kind kind);
+
+/// 90-degree waveguide bend: light enters from the left and must exit
+/// through the top port. FoM: TM1 transmission efficiency (higher better).
+device_spec make_bend(double resolution = 0.05);
+
+/// Waveguide crossing: light must traverse the intersection with minimal
+/// crosstalk into the vertical arms. FoM: transmission (higher better).
+device_spec make_crossing(double resolution = 0.05);
+
+/// Optical isolator benchmark: forward TM1 -> TM3 mode conversion with high
+/// efficiency; backward TM1 must not return to TM1. FoM: isolation contrast
+/// E_bwd / E_fwd (lower better).
+device_spec make_isolator(double resolution = 0.05);
+
+device_spec make_device(device_kind kind, double resolution = 0.05);
+
+}  // namespace boson::dev

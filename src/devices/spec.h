@@ -1,0 +1,111 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/array2d.h"
+#include "common/types.h"
+#include "fdfd/source.h"
+#include "grid/grid2d.h"
+#include "grid/pml.h"
+#include "optim/penalty.h"
+
+namespace boson::dev {
+
+/// A port cross-section: a line of cells transverse to propagation, used for
+/// mode sources and modal monitors. For a vertical port, `line` is the ix of
+/// the (first) source/monitor column and the span walks iy.
+struct port {
+  fdfd::port_axis axis = fdfd::port_axis::vertical;
+  std::size_t line = 0;
+  std::size_t span_start = 0;
+  std::size_t span_count = 0;
+  int direction = +1;  ///< launch direction for sources (+1 = +x/+y)
+};
+
+/// Modal power monitor definition. The monitor value is normalized by the
+/// excitation's input power before metrics consume it.
+struct mode_monitor_def {
+  std::string name;
+  port p;
+  int mode_order = 1;  ///< 1-based (TM1 = fundamental)
+};
+
+/// Net Poynting-flux monitor through the interface between `index` and
+/// `index + 1`. `sign` flips the positive direction (e.g. -1 measures power
+/// flowing toward -x).
+struct flux_monitor_def {
+  std::string name;
+  fdfd::port_axis axis = fdfd::port_axis::vertical;
+  std::size_t index = 0;
+  std::size_t span_start = 0;
+  std::size_t span_count = 0;
+  double sign = 1.0;
+};
+
+/// One simulation pass: a mode source plus the monitors evaluated on the
+/// resulting field. The reference monitor measures the launched power on the
+/// device's straight-waveguide reference structure (normalization run).
+struct excitation {
+  std::string name;
+  port source;
+  int source_mode_order = 1;
+  std::vector<mode_monitor_def> mode_monitors;
+  std::vector<flux_monitor_def> flux_monitors;
+  mode_monitor_def reference_monitor;
+};
+
+/// Metrics are affine combinations of normalized monitor values:
+/// metric = constant + sum coeff * value("excitation.monitor").
+struct metric_term {
+  std::string monitor;  ///< fully qualified "excitation.monitor"
+  double coeff = 1.0;
+};
+
+struct metric_def {
+  std::string name;
+  double constant = 0.0;
+  std::vector<metric_term> terms;
+};
+
+/// Shape of the primary objective.
+enum class objective_kind {
+  maximize_metric,  ///< loss = 1 - metric(primary)
+  minimize_ratio,   ///< loss = metric(primary) / metric(secondary)  (isolation contrast)
+};
+
+struct objective_spec {
+  objective_kind kind = objective_kind::maximize_metric;
+  std::string primary;
+  std::string secondary;  ///< denominator for minimize_ratio
+  std::vector<metric_def> metrics;
+  opt::penalty_set dense_penalties;  ///< the paper's auxiliary dense objectives
+  std::string fom_metric;            ///< reported figure of merit
+  bool fom_lower_better = false;
+};
+
+/// Complete description of one benchmark device.
+struct device_spec {
+  std::string name;
+  grid2d grid;
+  pml_spec pml;
+  double k0 = 0.0;
+
+  /// Binary occupancy (0 = void, 1 = silicon) of the fixed geometry; the
+  /// design window is left empty and is overwritten by the optimized pattern.
+  array2d<double> background_occupancy;
+
+  /// Straight-through reference structure used to normalize input power.
+  array2d<double> reference_occupancy;
+
+  cell_window design;
+  std::vector<excitation> excitations;
+  objective_spec objective;
+
+  /// Light-concentrated initialization: a signed field on the design grid
+  /// (positive = solid) whose zero level set traces a simple connected
+  /// optical path between the ports.
+  array2d<double> init_signed_field;
+};
+
+}  // namespace boson::dev

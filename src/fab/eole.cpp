@@ -1,0 +1,95 @@
+#include "fab/eole.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "linalg/eig_sym.h"
+
+namespace boson::fab {
+
+eole_field::eole_field(std::size_t nx, std::size_t ny, double dx, double dy,
+                       const eole_settings& settings)
+    : nx_(nx), ny_(ny), settings_(settings) {
+  require(nx > 0 && ny > 0, "eole_field: empty grid");
+  require(settings.anchors_x >= 2 && settings.anchors_y >= 2, "eole_field: need >= 2x2 anchors");
+  require(settings.corr_length > 0 && settings.sigma >= 0, "eole_field: invalid settings");
+
+  const std::size_t n_anchor = settings.anchors_x * settings.anchors_y;
+  const double width = static_cast<double>(nx) * dx;
+  const double height = static_cast<double>(ny) * dy;
+
+  // Anchor points spread uniformly over the design region.
+  std::vector<double> ax(n_anchor), ay(n_anchor);
+  for (std::size_t i = 0; i < settings.anchors_x; ++i) {
+    for (std::size_t j = 0; j < settings.anchors_y; ++j) {
+      const std::size_t k = i * settings.anchors_y + j;
+      ax[k] = width * (static_cast<double>(i) + 0.5) / static_cast<double>(settings.anchors_x);
+      ay[k] = height * (static_cast<double>(j) + 0.5) / static_cast<double>(settings.anchors_y);
+    }
+  }
+
+  const double s2 = settings.sigma * settings.sigma;
+  const double l2 = 2.0 * settings.corr_length * settings.corr_length;
+  auto cov = [&](double x1, double y1, double x2, double y2) {
+    const double d2 = (x1 - x2) * (x1 - x2) + (y1 - y2) * (y1 - y2);
+    return s2 * std::exp(-d2 / l2);
+  };
+
+  la::dmat c(n_anchor, n_anchor);
+  for (std::size_t a = 0; a < n_anchor; ++a)
+    for (std::size_t b = 0; b < n_anchor; ++b) c(a, b) = cov(ax[a], ay[a], ax[b], ay[b]);
+
+  la::eig_result<double> eig = la::sym_eig(std::move(c));
+
+  // Keep the strongest positive modes (eigenvalues ascending).
+  const std::size_t keep = std::min(settings.num_terms, n_anchor);
+  basis_.reserve(keep);
+  for (std::size_t t = 0; t < keep; ++t) {
+    const std::size_t j = n_anchor - 1 - t;
+    const double lambda = eig.values[j];
+    if (lambda <= 1e-14) break;
+    array2d<double> b(nx, ny, 0.0);
+    const double inv_sqrt_lambda = 1.0 / std::sqrt(lambda);
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      const double x = (static_cast<double>(ix) + 0.5) * dx;
+      for (std::size_t iy = 0; iy < ny; ++iy) {
+        const double y = (static_cast<double>(iy) + 0.5) * dy;
+        double acc = 0.0;
+        for (std::size_t a = 0; a < n_anchor; ++a)
+          acc += eig.vectors(a, j) * cov(x, y, ax[a], ay[a]);
+        b(ix, iy) = acc * inv_sqrt_lambda;
+      }
+    }
+    basis_.push_back(std::move(b));
+  }
+  check_numeric(!basis_.empty(), "eole_field: covariance has no positive spectrum");
+}
+
+array2d<double> eole_field::field(const dvec& xi, double global_shift) const {
+  require(xi.size() == basis_.size(), "eole_field::field: xi size mismatch");
+  array2d<double> eta(nx_, ny_, settings_.eta0 + global_shift);
+  for (std::size_t m = 0; m < basis_.size(); ++m) {
+    if (xi[m] == 0.0) continue;
+    add_scaled(eta, xi[m], basis_[m]);
+  }
+  return eta;
+}
+
+const array2d<double>& eole_field::basis(std::size_t m) const {
+  require(m < basis_.size(), "eole_field::basis: index out of range");
+  return basis_[m];
+}
+
+dvec eole_field::project_gradient(const array2d<double>& d_eta) const {
+  require(d_eta.nx() == nx_ && d_eta.ny() == ny_, "eole_field: gradient shape mismatch");
+  dvec g(basis_.size(), 0.0);
+  for (std::size_t m = 0; m < basis_.size(); ++m) {
+    double acc = 0.0;
+    const auto& b = basis_[m];
+    for (std::size_t i = 0; i < b.size(); ++i) acc += d_eta.data()[i] * b.data()[i];
+    g[m] = acc;
+  }
+  return g;
+}
+
+}  // namespace boson::fab

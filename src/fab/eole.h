@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/array2d.h"
+#include "common/types.h"
+
+namespace boson::fab {
+
+/// Settings for the EOLE (expansion optimal linear estimation) random-field
+/// model of the spatially varying etch threshold (Schevenels et al. 2011,
+/// the paper's ref [15]).
+struct eole_settings {
+  double corr_length = 0.4;    ///< Gaussian covariance correlation length [um]
+  double sigma = 0.03;         ///< pointwise standard deviation of eta
+  std::size_t anchors_x = 6;   ///< anchor-point grid across the design region
+  std::size_t anchors_y = 6;
+  std::size_t num_terms = 8;   ///< retained expansion terms
+  double eta0 = 0.5;           ///< nominal etch threshold
+};
+
+/// Spatially correlated random field eta(x) = eta0 + global_shift
+/// + sum_m xi_m B_m(x), where the basis fields B_m come from the
+/// eigendecomposition of the anchor-point covariance:
+/// B_m(x) = phi_m^T c(x) / sqrt(lambda_m), c_i(x) = Cov(x, anchor_i).
+/// xi ~ N(0, I) reproduces the target covariance in the EOLE sense.
+class eole_field {
+ public:
+  eole_field(std::size_t nx, std::size_t ny, double dx, double dy,
+             const eole_settings& settings);
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  std::size_t num_terms() const { return basis_.size(); }
+  double eta0() const { return settings_.eta0; }
+  const eole_settings& settings() const { return settings_; }
+
+  /// Threshold map for expansion coefficients xi (size num_terms) and an
+  /// optional uniform shift (the "global eta" axial corner).
+  array2d<double> field(const dvec& xi, double global_shift = 0.0) const;
+
+  const array2d<double>& basis(std::size_t m) const;
+
+  /// Project a per-cell gradient d L / d eta onto the coefficients:
+  /// (dL/dxi)_m = sum_cells dL/deta(c) B_m(c). Drives worst-case ascent.
+  dvec project_gradient(const array2d<double>& d_eta) const;
+
+ private:
+  std::size_t nx_;
+  std::size_t ny_;
+  eole_settings settings_;
+  std::vector<array2d<double>> basis_;
+};
+
+}  // namespace boson::fab

@@ -1,0 +1,45 @@
+#include "fab/etch.h"
+
+#include "common/error.h"
+#include "param/filters.h"
+
+namespace boson::fab {
+
+array2d<double> etch_model::forward(const array2d<double>& post_litho,
+                                    const array2d<double>& eta) const {
+  require(post_litho.same_shape(eta), "etch_model: shape mismatch");
+  array2d<double> pattern(post_litho.nx(), post_litho.ny());
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    const double margin = post_litho.data()[i] - eta.data()[i];
+    if (mode_ == etch_mode::soft) {
+      pattern.data()[i] = param::sigmoid(beta_ * margin);
+    } else {
+      pattern.data()[i] = margin > 0.0 ? 1.0 : 0.0;
+    }
+  }
+  return pattern;
+}
+
+void etch_model::backward(const array2d<double>& post_litho, const array2d<double>& eta,
+                          const array2d<double>& d_pattern, array2d<double>& d_post_litho,
+                          array2d<double>& d_eta) const {
+  require(post_litho.same_shape(eta) && post_litho.same_shape(d_pattern),
+          "etch_model: shape mismatch");
+  if (!d_post_litho.same_shape(post_litho))
+    d_post_litho = array2d<double>(post_litho.nx(), post_litho.ny(), 0.0);
+  if (!d_eta.same_shape(post_litho))
+    d_eta = array2d<double>(post_litho.nx(), post_litho.ny(), 0.0);
+
+  // `hard` is evaluation-only; its gradient is defined as zero.
+  if (mode_ == etch_mode::hard) return;
+
+  for (std::size_t i = 0; i < post_litho.size(); ++i) {
+    const double margin = post_litho.data()[i] - eta.data()[i];
+    const double s = param::sigmoid(beta_ * margin);
+    const double chain = d_pattern.data()[i] * beta_ * param::sigmoid_derivative_from_value(s);
+    d_post_litho.data()[i] += chain;
+    d_eta.data()[i] -= chain;
+  }
+}
+
+}  // namespace boson::fab

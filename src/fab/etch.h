@@ -1,0 +1,42 @@
+#pragma once
+
+#include "common/array2d.h"
+#include "common/types.h"
+
+namespace boson::fab {
+
+/// How the etch binarization is evaluated / differentiated.
+enum class etch_mode {
+  soft,  ///< smooth sigmoid projection (fully differentiable relaxation)
+  ste,   ///< hard threshold forward, sigmoid gradient backward (the paper's
+         ///< "gradient-estimated etching"; straight-through estimator)
+  hard,  ///< hard threshold, no gradient — evaluation / Monte-Carlo mode
+};
+
+/// Etching model: binarization of the continuous post-lithography pattern
+/// around a (possibly spatially varying) threshold field eta.
+class etch_model {
+ public:
+  explicit etch_model(double beta = 30.0, etch_mode mode = etch_mode::ste)
+      : beta_(beta), mode_(mode) {}
+
+  double beta() const { return beta_; }
+  etch_mode mode() const { return mode_; }
+  void set_mode(etch_mode m) { mode_ = m; }
+
+  /// pattern = step/sigmoid(post_litho - eta).
+  array2d<double> forward(const array2d<double>& post_litho,
+                          const array2d<double>& eta) const;
+
+  /// Chain rule through the (soft or straight-through) projection:
+  /// d_post_litho += d_pattern . beta s'(...);  d_eta -= the same.
+  void backward(const array2d<double>& post_litho, const array2d<double>& eta,
+                const array2d<double>& d_pattern, array2d<double>& d_post_litho,
+                array2d<double>& d_eta) const;
+
+ private:
+  double beta_;
+  etch_mode mode_;
+};
+
+}  // namespace boson::fab

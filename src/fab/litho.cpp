@@ -1,0 +1,193 @@
+#include "fab/litho.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "linalg/eig_sym.h"
+
+namespace boson::fab {
+
+std::vector<litho_corner_params> standard_litho_corners(double defocus) {
+  // Index 0 is the nominal corner; 1 and 2 are the under/over-exposure
+  // corners at worst-case focus (the paper's l_min / l_max).
+  return {{0.0, 1.0}, {defocus, 0.95}, {defocus, 1.05}};
+}
+
+namespace {
+
+struct freq_point {
+  double fx;
+  double fy;
+};
+
+/// Pupil transmission with quadratic (Fresnel) defocus phase.
+cplx pupil(const litho_settings& s, double defocus, double fx, double fy) {
+  const double f2 = fx * fx + fy * fy;
+  const double fmax = s.na / s.wavelength;
+  if (f2 > fmax * fmax) return cplx{};
+  const double phase = -pi * s.wavelength * defocus * f2;
+  return std::polar(1.0, phase);
+}
+
+}  // namespace
+
+hopkins_litho::hopkins_litho(const litho_settings& settings,
+                             const litho_corner_params& corner, std::size_t nx,
+                             std::size_t ny)
+    : settings_(settings), corner_(corner), nx_(nx), ny_(ny) {
+  require(nx > 0 && ny > 0, "hopkins_litho: empty mask shape");
+  require(settings.wavelength > 0 && settings.na > 0 && settings.pixel > 0,
+          "hopkins_litho: invalid optics");
+  require(settings.kernel_half >= 2, "hopkins_litho: kernel too small");
+
+  const double fmax = settings.na / settings.wavelength;
+  const double fcap = (1.0 + settings.sigma) * fmax;
+  const double span =
+      static_cast<double>(2 * settings.kernel_half + 1) * settings.pixel;
+  const double df = 1.0 / span;
+  check_numeric(fcap < 0.5 / settings.pixel,
+                "hopkins_litho: pupil exceeds the mask Nyquist frequency");
+
+  // Mask-frequency samples inside the TCC support disk.
+  const auto reach = static_cast<long>(std::floor(fcap / df));
+  std::vector<freq_point> freqs;
+  for (long mx = -reach; mx <= reach; ++mx) {
+    for (long my = -reach; my <= reach; ++my) {
+      const double fx = static_cast<double>(mx) * df;
+      const double fy = static_cast<double>(my) * df;
+      if (fx * fx + fy * fy <= fcap * fcap + 1e-12) freqs.push_back({fx, fy});
+    }
+  }
+  const std::size_t n_freq = freqs.size();
+  check_numeric(n_freq >= 5, "hopkins_litho: too few frequency samples");
+
+  // Source samples (conventional disk illumination of radius sigma * fmax).
+  std::vector<freq_point> source;
+  const double fsrc = settings.sigma * fmax;
+  const auto src_reach = static_cast<long>(std::floor(fsrc / df));
+  for (long mx = -src_reach; mx <= src_reach; ++mx) {
+    for (long my = -src_reach; my <= src_reach; ++my) {
+      const double fx = static_cast<double>(mx) * df;
+      const double fy = static_cast<double>(my) * df;
+      if (fx * fx + fy * fy <= fsrc * fsrc + 1e-12) source.push_back({fx, fy});
+    }
+  }
+  if (source.empty()) source.push_back({0.0, 0.0});
+
+  // Hopkins TCC on the frequency samples.
+  la::cmat tcc(n_freq, n_freq);
+  const double source_weight = 1.0 / static_cast<double>(source.size());
+  for (const auto& s_pt : source) {
+    std::vector<cplx> p(n_freq);
+    for (std::size_t a = 0; a < n_freq; ++a)
+      p[a] = pupil(settings, corner.defocus, s_pt.fx + freqs[a].fx, s_pt.fy + freqs[a].fy);
+    for (std::size_t a = 0; a < n_freq; ++a) {
+      if (p[a] == cplx{}) continue;
+      for (std::size_t b = 0; b < n_freq; ++b)
+        tcc(a, b) += source_weight * p[a] * std::conj(p[b]);
+    }
+  }
+
+  la::eig_result<cplx> eig = la::hermitian_eig(tcc);
+
+  // Retain the strongest kernels (eigenvalues ascending -> walk backwards).
+  double total_energy = 0.0;
+  for (const double v : eig.values)
+    if (v > 0.0) total_energy += v;
+  check_numeric(total_energy > 0.0, "hopkins_litho: TCC has no positive spectrum");
+
+  std::vector<std::size_t> kept;
+  double captured = 0.0;
+  for (std::size_t jj = eig.values.size(); jj-- > 0;) {
+    const double lambda = eig.values[jj];
+    if (lambda <= 0.0) break;
+    kept.push_back(jj);
+    captured += lambda;
+    if (kept.size() >= settings.max_kernels || captured >= settings.energy_capture * total_energy)
+      break;
+  }
+  log_debug("hopkins_litho: ", kept.size(), " kernels capture ",
+            captured / total_energy * 100.0, "% of TCC energy (", n_freq,
+            " freq samples, ", source.size(), " source points)");
+
+  // Spatial kernels h_k(u) = sum_a phi_k(a) exp(i 2 pi f_a . u) on the pixel
+  // lattice, and the open-frame intensity used for normalization.
+  const std::size_t ks = 2 * settings.kernel_half + 1;
+  std::vector<array2d<cplx>> kernels;
+  kernels.reserve(kept.size());
+  dvec raw_weights;
+  raw_weights.reserve(kept.size());
+  double open_intensity = 0.0;
+
+  for (const std::size_t j : kept) {
+    array2d<cplx> h(ks, ks, cplx{});
+    cplx open_sum{};
+    for (std::size_t ux = 0; ux < ks; ++ux) {
+      const double x = (static_cast<double>(ux) - static_cast<double>(settings.kernel_half)) *
+                       settings.pixel;
+      for (std::size_t uy = 0; uy < ks; ++uy) {
+        const double y = (static_cast<double>(uy) - static_cast<double>(settings.kernel_half)) *
+                         settings.pixel;
+        cplx acc{};
+        for (std::size_t a = 0; a < n_freq; ++a) {
+          const double phase = 2.0 * pi * (freqs[a].fx * x + freqs[a].fy * y);
+          acc += eig.vectors(a, j) * std::polar(1.0, phase);
+        }
+        h(ux, uy) = acc;
+        open_sum += acc;
+      }
+    }
+    open_intensity += eig.values[j] * std::norm(open_sum);
+    raw_weights.push_back(eig.values[j]);
+    kernels.push_back(std::move(h));
+  }
+  check_numeric(open_intensity > 0.0, "hopkins_litho: degenerate open-frame intensity");
+
+  weights_.resize(raw_weights.size());
+  for (std::size_t k = 0; k < raw_weights.size(); ++k)
+    weights_[k] = corner.dose * raw_weights[k] / open_intensity;
+
+  conv_ = std::make_unique<fft::kernel_conv2d>(nx, ny, std::move(kernels));
+}
+
+litho_forward hopkins_litho::forward(const array2d<double>& mask) const {
+  require(mask.nx() == nx_ && mask.ny() == ny_, "hopkins_litho: mask shape mismatch");
+  litho_forward out;
+  out.aerial = array2d<double>(nx_, ny_, 0.0);
+  out.fields.reserve(weights_.size());
+
+  const array2d<cplx> mask_fft = conv_->transform_input(mask);
+  for (std::size_t k = 0; k < weights_.size(); ++k) {
+    array2d<cplx> field = conv_->apply(mask_fft, k);
+    for (std::size_t i = 0; i < field.size(); ++i)
+      out.aerial.data()[i] += weights_[k] * std::norm(field.data()[i]);
+    out.fields.push_back(std::move(field));
+  }
+  return out;
+}
+
+array2d<double> hopkins_litho::backward(const litho_forward& fwd,
+                                        const array2d<double>& d_aerial) const {
+  require(d_aerial.nx() == nx_ && d_aerial.ny() == ny_,
+          "hopkins_litho: gradient shape mismatch");
+  require(fwd.fields.size() == weights_.size(), "hopkins_litho: stale forward cache");
+
+  std::vector<array2d<cplx>> g;
+  g.reserve(weights_.size());
+  for (std::size_t k = 0; k < weights_.size(); ++k) {
+    array2d<cplx> gk(nx_, ny_);
+    const auto& field = fwd.fields[k];
+    for (std::size_t i = 0; i < gk.size(); ++i)
+      gk.data()[i] = weights_[k] * d_aerial.data()[i] * field.data()[i];
+    g.push_back(std::move(gk));
+  }
+
+  const array2d<cplx> adj = conv_->adjoint_sum(g);
+  array2d<double> d_mask(nx_, ny_);
+  for (std::size_t i = 0; i < d_mask.size(); ++i)
+    d_mask.data()[i] = 2.0 * adj.data()[i].real();
+  return d_mask;
+}
+
+}  // namespace boson::fab

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/array2d.h"
+#include "common/types.h"
+#include "fft/conv2d.h"
+
+namespace boson::fab {
+
+/// Optical settings of the Hopkins partially-coherent imaging model.
+///
+/// The projection system is a circular pupil of numerical aperture `na` at
+/// wavelength `wavelength`, illuminated by a conventional (disk) source of
+/// coherence factor `sigma`. The transmission cross-coefficient (TCC) matrix
+/// is assembled on a Cartesian frequency grid, eigendecomposed, and truncated
+/// to the strongest coherent kernels (SOCS decomposition).
+struct litho_settings {
+  double wavelength = 0.193;       ///< exposure wavelength [um] (DUV)
+  double na = 1.2;                 ///< numerical aperture (immersion)
+  double sigma = 0.4;              ///< partial-coherence fill factor
+  double pixel = 0.05;             ///< mask pixel pitch [um]
+  std::size_t kernel_half = 10;    ///< spatial kernel half-width [pixels]
+  std::size_t max_kernels = 8;     ///< cap on retained SOCS kernels
+  double energy_capture = 0.98;    ///< keep kernels until this energy fraction
+  double corner_defocus = 0.08;    ///< focus error [um] at the min/max corners
+};
+
+/// One lithography process corner: focus error and exposure dose.
+/// The paper's three corners (l_min, l_nominal, l_max) map to
+/// (defocus, 0.95), (0, 1.0), (defocus, 1.05).
+struct litho_corner_params {
+  double defocus = 0.0;  ///< [um]
+  double dose = 1.0;     ///< multiplies the aerial intensity
+};
+
+/// Standard three-corner set used across the framework.
+std::vector<litho_corner_params> standard_litho_corners(double defocus = 0.08);
+
+/// Cached forward evaluation: the aerial image plus the per-kernel coherent
+/// fields needed by the backward pass.
+struct litho_forward {
+  array2d<double> aerial;
+  std::vector<array2d<cplx>> fields;
+};
+
+/// Differentiable Hopkins lithography model for one process corner on a
+/// fixed mask shape (nx x ny pixels).
+///
+/// Forward: aerial(x) = dose/I_open * sum_k sigma_k |(h_k * mask)(x)|^2,
+/// normalized so a fully open mask images to ~dose. The model is the
+/// mechanism that restricts designs to the low-dimensional fabricable
+/// subspace: kernels are band-limited by the pupil, so features below the
+/// diffraction limit cannot survive.
+class hopkins_litho {
+ public:
+  hopkins_litho(const litho_settings& settings, const litho_corner_params& corner,
+                std::size_t nx, std::size_t ny);
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  std::size_t kernel_count() const { return weights_.size(); }
+  const litho_settings& settings() const { return settings_; }
+  const litho_corner_params& corner() const { return corner_; }
+
+  /// Aerial image of a mask in [0, 1]^(nx x ny).
+  litho_forward forward(const array2d<double>& mask) const;
+
+  /// Chain rule: d_mask = (d aerial / d mask)^T d_aerial, using the cached
+  /// forward fields.
+  array2d<double> backward(const litho_forward& fwd, const array2d<double>& d_aerial) const;
+
+  /// Retained SOCS eigenvalues (diagnostics/tests).
+  const dvec& kernel_weights() const { return weights_; }
+
+ private:
+  litho_settings settings_;
+  litho_corner_params corner_;
+  std::size_t nx_;
+  std::size_t ny_;
+  dvec weights_;                                ///< sigma_k, scaled by dose/I_open
+  std::unique_ptr<fft::kernel_conv2d> conv_;
+};
+
+}  // namespace boson::fab

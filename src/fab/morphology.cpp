@@ -1,0 +1,125 @@
+#include "fab/morphology.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace boson::fab {
+
+namespace {
+
+std::vector<std::pair<int, int>> disk_offsets(double radius_cells) {
+  require(radius_cells > 0.0, "morphology: radius must be positive");
+  const int r = static_cast<int>(std::ceil(radius_cells));
+  std::vector<std::pair<int, int>> offsets;
+  for (int dx = -r; dx <= r; ++dx)
+    for (int dy = -r; dy <= r; ++dy)
+      if (dx * dx + dy * dy <= radius_cells * radius_cells + 1e-12)
+        offsets.emplace_back(dx, dy);
+  return offsets;
+}
+
+/// Hard morphological extremum with clamped (replicate) boundary handling.
+template <class Compare>
+array2d<double> hard_extremum(const array2d<double>& in, double radius_cells,
+                              Compare better) {
+  const auto offsets = disk_offsets(radius_cells);
+  array2d<double> out(in.nx(), in.ny());
+  const auto nx = static_cast<int>(in.nx());
+  const auto ny = static_cast<int>(in.ny());
+  for (int x = 0; x < nx; ++x) {
+    for (int y = 0; y < ny; ++y) {
+      double best = in(static_cast<std::size_t>(x), static_cast<std::size_t>(y));
+      for (const auto& [dx, dy] : offsets) {
+        const int sx = std::clamp(x + dx, 0, nx - 1);
+        const int sy = std::clamp(y + dy, 0, ny - 1);
+        const double v = in(static_cast<std::size_t>(sx), static_cast<std::size_t>(sy));
+        if (better(v, best)) best = v;
+      }
+      out(static_cast<std::size_t>(x), static_cast<std::size_t>(y)) = best;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+array2d<double> dilate_hard(const array2d<double>& in, double radius_cells) {
+  return hard_extremum(in, radius_cells, [](double a, double b) { return a > b; });
+}
+
+array2d<double> erode_hard(const array2d<double>& in, double radius_cells) {
+  return hard_extremum(in, radius_cells, [](double a, double b) { return a < b; });
+}
+
+soft_morphology::soft_morphology(double radius_cells, double power)
+    : radius_(radius_cells), power_(power), offsets_(disk_offsets(radius_cells)) {
+  require(power >= 2.0, "soft_morphology: power must be >= 2");
+}
+
+array2d<double> soft_morphology::forward(const array2d<double>& in, bool dilate) const {
+  array2d<double> out(in.nx(), in.ny());
+  const auto nx = static_cast<int>(in.nx());
+  const auto ny = static_cast<int>(in.ny());
+  const double inv_count = 1.0 / static_cast<double>(offsets_.size());
+  constexpr double floor_value = 1e-9;  // keeps the p-th root differentiable at 0
+
+  for (int x = 0; x < nx; ++x) {
+    for (int y = 0; y < ny; ++y) {
+      double acc = 0.0;
+      for (const auto& [dx, dy] : offsets_) {
+        const int sx = std::clamp(x + dx, 0, nx - 1);
+        const int sy = std::clamp(y + dy, 0, ny - 1);
+        double v = in(static_cast<std::size_t>(sx), static_cast<std::size_t>(sy));
+        if (!dilate) v = 1.0 - v;
+        acc += std::pow(std::max(v, floor_value), power_);
+      }
+      const double mean_p = std::pow(acc * inv_count, 1.0 / power_);
+      out(static_cast<std::size_t>(x), static_cast<std::size_t>(y)) =
+          dilate ? mean_p : 1.0 - mean_p;
+    }
+  }
+  return out;
+}
+
+void soft_morphology::backward(const array2d<double>& in, const array2d<double>& d_out,
+                               bool dilate, array2d<double>& d_in) const {
+  require(in.same_shape(d_out), "soft_morphology: shape mismatch");
+  if (!d_in.same_shape(in)) d_in = array2d<double>(in.nx(), in.ny(), 0.0);
+  const auto nx = static_cast<int>(in.nx());
+  const auto ny = static_cast<int>(in.ny());
+  const double inv_count = 1.0 / static_cast<double>(offsets_.size());
+  constexpr double floor_value = 1e-9;
+
+  for (int x = 0; x < nx; ++x) {
+    for (int y = 0; y < ny; ++y) {
+      const double g = d_out(static_cast<std::size_t>(x), static_cast<std::size_t>(y));
+      if (g == 0.0) continue;
+      // Recompute the local p-mean, then distribute the gradient:
+      // d out / d v_j = (1/N) v_j^{p-1} * (mean_p)^{1-p}.
+      double acc = 0.0;
+      for (const auto& [dx, dy] : offsets_) {
+        const int sx = std::clamp(x + dx, 0, nx - 1);
+        const int sy = std::clamp(y + dy, 0, ny - 1);
+        double v = in(static_cast<std::size_t>(sx), static_cast<std::size_t>(sy));
+        if (!dilate) v = 1.0 - v;
+        acc += std::pow(std::max(v, floor_value), power_);
+      }
+      const double mean_p = std::pow(acc * inv_count, 1.0 / power_);
+      const double common = std::pow(mean_p, 1.0 - power_) * inv_count;
+      for (const auto& [dx, dy] : offsets_) {
+        const int sx = std::clamp(x + dx, 0, nx - 1);
+        const int sy = std::clamp(y + dy, 0, ny - 1);
+        double v = in(static_cast<std::size_t>(sx), static_cast<std::size_t>(sy));
+        if (!dilate) v = 1.0 - v;
+        // For erosion the two sign flips (v = 1-x, out = 1-mean) cancel, so
+        // the accumulated derivative is positive in both branches.
+        const double dv = common * std::pow(std::max(v, floor_value), power_ - 1.0);
+        d_in(static_cast<std::size_t>(sx), static_cast<std::size_t>(sy)) += g * dv;
+      }
+    }
+  }
+}
+
+}  // namespace boson::fab

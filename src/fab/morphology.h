@@ -1,0 +1,42 @@
+#pragma once
+
+#include "common/array2d.h"
+#include "common/types.h"
+
+namespace boson::fab {
+
+/// Grayscale morphological operators with a disk structuring element.
+///
+/// Uniform dilation/erosion of the device geometry is the variation model of
+/// the *prior-art* robust inverse design flows the paper compares against
+/// (refs [1], [7], [20]): over-etch shrinks the pattern (erosion), under-etch
+/// grows it (dilation), identically everywhere. BOSON-1's EOLE threshold
+/// field generalizes this to spatially-varying errors; the operators here
+/// power the "LS-ED" baseline and its tests.
+array2d<double> dilate_hard(const array2d<double>& in, double radius_cells);
+array2d<double> erode_hard(const array2d<double>& in, double radius_cells);
+
+/// Differentiable (p-norm) approximation of dilation/erosion:
+///   dilate_p(x)(c) = ( mean_{u in disk} x(c+u)^p )^(1/p)   -> max as p -> inf
+///   erode_p(x)     = 1 - dilate_p(1 - x)
+/// Inputs must lie in [0, 1]. The backward pass is the exact gradient of the
+/// smooth forward.
+class soft_morphology {
+ public:
+  explicit soft_morphology(double radius_cells, double power = 12.0);
+
+  double radius() const { return radius_; }
+
+  array2d<double> forward(const array2d<double>& in, bool dilate) const;
+
+  /// d_in += (d forward / d in)^T d_out at the given input.
+  void backward(const array2d<double>& in, const array2d<double>& d_out, bool dilate,
+                array2d<double>& d_in) const;
+
+ private:
+  double radius_;
+  double power_;
+  std::vector<std::pair<int, int>> offsets_;  ///< disk footprint
+};
+
+}  // namespace boson::fab

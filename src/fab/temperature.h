@@ -1,0 +1,24 @@
+#pragma once
+
+namespace boson::fab {
+
+/// Temperature-dependent silicon permittivity at 1550 nm (Komma et al. 2012,
+/// as used by the paper): eps(t) = (3.48 + 1.8e-4 (t - 300 K))^2.
+inline double eps_si(double temperature_kelvin) {
+  const double n = 3.48 + 1.8e-4 * (temperature_kelvin - 300.0);
+  return n * n;
+}
+
+/// d eps_si / dT — drives the worst-case temperature ascent.
+inline double eps_si_dt(double temperature_kelvin) {
+  const double n = 3.48 + 1.8e-4 * (temperature_kelvin - 300.0);
+  return 2.0 * n * 1.8e-4;
+}
+
+/// Cladding/void permittivity (air).
+inline constexpr double eps_void = 1.0;
+
+/// Nominal operating temperature [K].
+inline constexpr double nominal_temperature = 300.0;
+
+}  // namespace boson::fab

@@ -1,0 +1,112 @@
+#include "fdfd/monitor.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace boson::fdfd {
+
+mode_power_monitor::mode_power_monitor(port_axis axis, std::size_t line_index,
+                                       std::size_t span_start, modes::slab_mode mode,
+                                       double transverse_spacing, double k0,
+                                       double normal_spacing)
+    : axis_(axis),
+      line_index_(line_index),
+      span_start_(span_start),
+      mode_(std::move(mode)),
+      spacing_(transverse_spacing),
+      power_factor_(modes::mode_power_factor(mode_, k0, normal_spacing)) {
+  require(spacing_ > 0.0, "mode_power_monitor: invalid spacing");
+}
+
+cplx mode_power_monitor::amplitude(const array2d<cplx>& field) const {
+  const std::size_t span = mode_.profile.size();
+  cplx a{};
+  if (axis_ == port_axis::vertical) {
+    require(line_index_ < field.nx() && span_start_ + span <= field.ny(),
+            "mode_power_monitor: out of range");
+    for (std::size_t t = 0; t < span; ++t)
+      a += mode_.profile[t] * field(line_index_, span_start_ + t);
+  } else {
+    require(line_index_ < field.ny() && span_start_ + span <= field.nx(),
+            "mode_power_monitor: out of range");
+    for (std::size_t t = 0; t < span; ++t)
+      a += mode_.profile[t] * field(span_start_ + t, line_index_);
+  }
+  return a * spacing_;
+}
+
+monitor_result mode_power_monitor::evaluate(const array2d<cplx>& field) const {
+  const cplx a = amplitude(field);
+  monitor_result result;
+  result.value = power_factor_ * std::norm(a);
+
+  // value = pf * a conj(a) with a = spacing * sum phi_t E_t:
+  // dvalue/dE_t = pf * conj(a) * spacing * phi_t.
+  const std::size_t span = mode_.profile.size();
+  result.grad.reserve(span);
+  const cplx common = power_factor_ * std::conj(a) * spacing_;
+  for (std::size_t t = 0; t < span; ++t) {
+    const std::size_t idx =
+        axis_ == port_axis::vertical
+            ? line_index_ * field.ny() + (span_start_ + t)
+            : (span_start_ + t) * field.ny() + line_index_;
+    result.grad.emplace_back(idx, common * mode_.profile[t]);
+  }
+  return result;
+}
+
+flux_monitor::flux_monitor(port_axis axis, std::size_t index, std::size_t span_start,
+                           std::size_t span_count, double normal_spacing,
+                           double transverse_spacing, double k0)
+    : axis_(axis),
+      index_(index),
+      span_start_(span_start),
+      span_count_(span_count),
+      dn_(normal_spacing),
+      dt_(transverse_spacing),
+      k0_(k0) {
+  require(span_count_ > 0, "flux_monitor: empty span");
+  require(dn_ > 0.0 && dt_ > 0.0 && k0_ > 0.0, "flux_monitor: invalid geometry");
+}
+
+monitor_result flux_monitor::evaluate(const array2d<cplx>& field) const {
+  monitor_result result;
+  result.grad.reserve(2 * span_count_);
+  const double prefactor = dt_ / (4.0 * k0_);  // (dt/(2 k0)) * (1/2 from Re)
+
+  for (std::size_t t = 0; t < span_count_; ++t) {
+    std::size_t idx_p, idx_q;  // cells on the low/high side of the interface
+    if (axis_ == port_axis::vertical) {
+      require(index_ + 1 < field.nx() && span_start_ + t < field.ny(),
+              "flux_monitor: out of range");
+      idx_p = index_ * field.ny() + (span_start_ + t);
+      idx_q = (index_ + 1) * field.ny() + (span_start_ + t);
+    } else {
+      require(index_ + 1 < field.ny() && span_start_ + t < field.nx(),
+              "flux_monitor: out of range");
+      idx_p = (span_start_ + t) * field.ny() + index_;
+      idx_q = (span_start_ + t) * field.ny() + index_ + 1;
+    }
+    const cplx ep = field.raw()[idx_p];
+    const cplx eq = field.raw()[idx_q];
+    const cplx u = 0.5 * (ep + eq);
+    const cplx v = (eq - ep) / dn_;
+
+    // Contribution (dt/(2 k0)) Re(i u conj(v)) = prefactor * (z + conj(z)),
+    // z = i u conj(v).
+    const cplx z = imag_unit * u * std::conj(v);
+    result.value += prefactor * 2.0 * z.real();
+
+    // Wirtinger derivatives of prefactor * (z + conj(z)):
+    //  d/de_p = prefactor * (i conj(v)/2 + i conj(u)/dn)
+    //  d/de_q = prefactor * (i conj(v)/2 - i conj(u)/dn)
+    const cplx icv = imag_unit * std::conj(v);
+    const cplx icu = imag_unit * std::conj(u);
+    result.grad.emplace_back(idx_p, prefactor * (0.5 * icv + icu / dn_));
+    result.grad.emplace_back(idx_q, prefactor * (0.5 * icv - icu / dn_));
+  }
+  return result;
+}
+
+}  // namespace boson::fdfd

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+
+#include "common/array2d.h"
+#include "common/types.h"
+#include "fdfd/solver.h"
+#include "fdfd/source.h"
+#include "modes/slab.h"
+
+namespace boson::fdfd {
+
+/// Value of a monitor together with its Wirtinger gradient dF/dE (sparse over
+/// the monitor's cells). All monitor values are real powers in the library's
+/// natural units; objectives combine them after normalizing by a reference
+/// input power.
+struct monitor_result {
+  double value = 0.0;
+  field_gradient grad;
+};
+
+/// Modal power monitor: projects the field on a waveguide eigenmode across a
+/// port cross-section and returns |amplitude|^2 * beta/(2 k0), the power
+/// carried by that mode.
+class mode_power_monitor {
+ public:
+  /// The monitor line lies at `line_index` (ix for vertical ports); the mode
+  /// profile starts at transverse cell `span_start`. `normal_spacing` is the
+  /// grid pitch along propagation, used for the discrete dispersion
+  /// correction of the modal power factor.
+  mode_power_monitor(port_axis axis, std::size_t line_index, std::size_t span_start,
+                     modes::slab_mode mode, double transverse_spacing, double k0,
+                     double normal_spacing = 0.0);
+
+  /// Evaluate on a solved field, with gradient.
+  monitor_result evaluate(const array2d<cplx>& field) const;
+
+  /// Complex modal amplitude (useful for diagnostics/tests).
+  cplx amplitude(const array2d<cplx>& field) const;
+
+ private:
+  port_axis axis_;
+  std::size_t line_index_;
+  std::size_t span_start_;
+  modes::slab_mode mode_;
+  double spacing_;
+  double power_factor_;
+};
+
+/// Net Poynting flux through the interface between line `index` and
+/// `index + 1` (vertical: power toward +x; horizontal: toward +y), summed
+/// over transverse cells [span_start, span_start + span_count).
+///
+/// P = sum (dt / (2 k0)) Re(i E_mid dE*/dn), discretized midway between the
+/// two field columns.
+class flux_monitor {
+ public:
+  flux_monitor(port_axis axis, std::size_t index, std::size_t span_start,
+               std::size_t span_count, double normal_spacing, double transverse_spacing,
+               double k0);
+
+  monitor_result evaluate(const array2d<cplx>& field) const;
+
+ private:
+  port_axis axis_;
+  std::size_t index_;
+  std::size_t span_start_;
+  std::size_t span_count_;
+  double dn_;
+  double dt_;
+  double k0_;
+};
+
+}  // namespace boson::fdfd

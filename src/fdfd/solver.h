@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/array2d.h"
+#include "common/types.h"
+#include "grid/grid2d.h"
+#include "grid/pml.h"
+#include "sparse/banded.h"
+#include "sparse/csr.h"
+
+namespace boson::fdfd {
+
+/// Sparse Wirtinger gradient of a real scalar with respect to the field:
+/// pairs (flat cell index, dF/dE at that cell). The total differential is
+/// dF = 2 Re(sum_i g_i dE_i).
+using field_gradient = std::vector<std::pair<std::size_t, cplx>>;
+
+/// 2-D frequency-domain Helmholtz solver (Ez polarization) with
+/// stretched-coordinate PML.
+///
+/// The discrete operator is scaled by s_x(i) s_y(j) per row, which makes it
+/// *complex symmetric*; a single banded LU factorization therefore serves
+/// both the forward solve A e = b and every adjoint solve A lambda = g.
+/// Unknowns are ordered ix * ny + iy, so the bandwidth equals ny: build
+/// domains with the transverse (y) extent as the shorter axis when possible.
+///
+/// Units: lengths in um, c = eps0 = mu0 = 1, k0 = omega = 2 pi / lambda.
+class fdfd_solver {
+ public:
+  /// `eps` holds the relative permittivity per cell (shape nx x ny).
+  fdfd_solver(const grid2d& grid, const pml_spec& pml, double k0,
+              const array2d<double>& eps);
+
+  const grid2d& grid() const { return grid_; }
+  double k0() const { return k0_; }
+  const array2d<double>& eps() const { return eps_; }
+
+  /// Solve A e = b for current density J (b = -i k0 J s_x s_y). Factorizes
+  /// on first use; subsequent solves (other sources, adjoints) reuse the LU.
+  array2d<cplx> solve(const array2d<cplx>& current_density) const;
+
+  /// Solve the adjoint system A lambda = g for a sparse field gradient g.
+  array2d<cplx> solve_adjoint(const field_gradient& g) const;
+
+  /// Accumulate dF/deps(i,j) += -2 Re(lambda_ij k0^2 s_xc(i) s_yc(j) e_ij)
+  /// given the forward field and one adjoint field.
+  void accumulate_eps_gradient(const array2d<cplx>& field,
+                               const array2d<cplx>& adjoint_field,
+                               array2d<double>& grad) const;
+
+  /// Assemble the same (scaled) operator in CSR form — used by tests to
+  /// verify residuals/symmetry and by the iterative solve path.
+  sp::csr_c assemble_csr() const;
+
+  /// Per-axis complex stretch profiles (exposed for monitors and tests).
+  const stretch_profile& stretch_x() const { return sx_; }
+  const stretch_profile& stretch_y() const { return sy_; }
+
+ private:
+  void assemble_and_factor() const;
+  std::size_t flat(std::size_t ix, std::size_t iy) const { return ix * grid_.ny + iy; }
+
+  grid2d grid_;
+  pml_spec pml_;
+  double k0_;
+  array2d<double> eps_;
+  stretch_profile sx_;
+  stretch_profile sy_;
+  mutable std::unique_ptr<sp::banded_lu> lu_;  // lazily factored
+};
+
+}  // namespace boson::fdfd

@@ -1,0 +1,40 @@
+#include "fdfd/source.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace boson::fdfd {
+
+void add_mode_source(array2d<cplx>& current, const mode_source_spec& spec,
+                     const modes::slab_mode& mode, double spacing_along_axis) {
+  require(spec.direction == 1 || spec.direction == -1, "add_mode_source: direction must be +-1");
+  const std::size_t span = mode.profile.size();
+  const std::size_t companion =
+      spec.direction > 0 ? spec.line_index + 1 : spec.line_index - 1;
+  // Phase that cancels the wave radiated opposite to `direction`. The wave
+  // propagates with the *discrete* wavenumber q = (2/d) asin(beta d / 2), so
+  // using q (not beta) keeps the source unidirectional on coarse grids.
+  const double half_bd = 0.5 * mode.beta * spacing_along_axis;
+  require(half_bd < 1.0, "add_mode_source: mode not resolvable at this spacing");
+  const double discrete_phase = 2.0 * std::asin(half_bd);
+  const cplx companion_amp = -std::polar(1.0, -discrete_phase);
+
+  if (spec.axis == port_axis::vertical) {
+    require(spec.line_index > 0 && companion < current.nx(), "add_mode_source: line out of range");
+    require(spec.span_start + span <= current.ny(), "add_mode_source: span out of range");
+    for (std::size_t t = 0; t < span; ++t) {
+      current(spec.line_index, spec.span_start + t) += mode.profile[t];
+      current(companion, spec.span_start + t) += companion_amp * mode.profile[t];
+    }
+  } else {
+    require(spec.line_index > 0 && companion < current.ny(), "add_mode_source: line out of range");
+    require(spec.span_start + span <= current.nx(), "add_mode_source: span out of range");
+    for (std::size_t t = 0; t < span; ++t) {
+      current(spec.span_start + t, spec.line_index) += mode.profile[t];
+      current(spec.span_start + t, companion) += companion_amp * mode.profile[t];
+    }
+  }
+}
+
+}  // namespace boson::fdfd

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstddef>
+
+#include "common/array2d.h"
+#include "common/types.h"
+#include "modes/slab.h"
+
+namespace boson::fdfd {
+
+/// Orientation of a port cross-section: a vertical port spans y at fixed x
+/// (waves travel along +-x through it); a horizontal port spans x at fixed y.
+enum class port_axis { vertical, horizontal };
+
+/// Description of a mode-launching port.
+struct mode_source_spec {
+  port_axis axis = port_axis::vertical;
+  std::size_t line_index = 0;   ///< ix (vertical) or iy (horizontal) of the first source line
+  std::size_t span_start = 0;   ///< first transverse cell covered by the profile
+  int direction = +1;           ///< +1 launches toward +x/+y, -1 the other way
+};
+
+/// Stamp a *unidirectional* mode source into the current-density array.
+///
+/// Two parallel current lines with relative phase -exp(-i beta d) cancel the
+/// backward-radiated wave, so essentially all power is launched along
+/// `direction`. The companion line sits one cell toward `direction`.
+void add_mode_source(array2d<cplx>& current, const mode_source_spec& spec,
+                     const modes::slab_mode& mode, double spacing_along_axis);
+
+}  // namespace boson::fdfd

@@ -1,0 +1,105 @@
+#include "fft/conv2d.h"
+
+#include "common/error.h"
+#include "fft/fft.h"
+
+namespace boson::fft {
+
+kernel_conv2d::kernel_conv2d(std::size_t nx, std::size_t ny,
+                             std::vector<array2d<cplx>> kernels)
+    : nx_(nx), ny_(ny) {
+  require(nx > 0 && ny > 0, "kernel_conv2d: empty input shape");
+  require(!kernels.empty(), "kernel_conv2d: no kernels");
+  const std::size_t ks = kernels.front().nx();
+  require(ks % 2 == 1, "kernel_conv2d: kernel size must be odd");
+  for (const auto& k : kernels)
+    require(k.nx() == ks && k.ny() == ks, "kernel_conv2d: kernels must share one square shape");
+
+  px_ = next_power_of_two(nx + ks - 1);
+  py_ = next_power_of_two(ny + ks - 1);
+  const std::size_t center = ks / 2;
+
+  kernel_ffts_.reserve(kernels.size());
+  for (const auto& kernel : kernels) {
+    // Place the kernel with its center wrapped to (0, 0) so that the
+    // frequency-domain product implements a centered "same" convolution.
+    array2d<cplx> padded(px_, py_, cplx{});
+    for (std::size_t ux = 0; ux < ks; ++ux) {
+      for (std::size_t uy = 0; uy < ks; ++uy) {
+        const std::size_t wx = (ux + px_ - center) % px_;
+        const std::size_t wy = (uy + py_ - center) % py_;
+        padded(wx, wy) = kernel(ux, uy);
+      }
+    }
+    fft2d_inplace(padded, false);
+    kernel_ffts_.push_back(std::move(padded));
+  }
+}
+
+array2d<cplx> kernel_conv2d::pad_complex(const array2d<cplx>& in) const {
+  require(in.nx() == nx_ && in.ny() == ny_, "kernel_conv2d: input shape mismatch");
+  array2d<cplx> padded(px_, py_, cplx{});
+  for (std::size_t ix = 0; ix < nx_; ++ix)
+    for (std::size_t iy = 0; iy < ny_; ++iy) padded(ix, iy) = in(ix, iy);
+  return padded;
+}
+
+array2d<cplx> kernel_conv2d::crop(const array2d<cplx>& padded) const {
+  array2d<cplx> out(nx_, ny_);
+  for (std::size_t ix = 0; ix < nx_; ++ix)
+    for (std::size_t iy = 0; iy < ny_; ++iy) out(ix, iy) = padded(ix, iy);
+  return out;
+}
+
+array2d<cplx> kernel_conv2d::transform_input(const array2d<double>& in) const {
+  require(in.nx() == nx_ && in.ny() == ny_, "kernel_conv2d: input shape mismatch");
+  array2d<cplx> padded(px_, py_, cplx{});
+  for (std::size_t ix = 0; ix < nx_; ++ix)
+    for (std::size_t iy = 0; iy < ny_; ++iy) padded(ix, iy) = in(ix, iy);
+  fft2d_inplace(padded, false);
+  return padded;
+}
+
+array2d<cplx> kernel_conv2d::apply(const array2d<cplx>& in_fft, std::size_t k) const {
+  require(k < kernel_ffts_.size(), "kernel_conv2d::apply: kernel index out of range");
+  require(in_fft.nx() == px_ && in_fft.ny() == py_, "kernel_conv2d::apply: bad transform");
+  array2d<cplx> work(px_, py_);
+  const auto& h = kernel_ffts_[k];
+  for (std::size_t i = 0; i < work.size(); ++i)
+    work.data()[i] = in_fft.data()[i] * h.data()[i];
+  fft2d_inplace(work, true);
+  return crop(work);
+}
+
+array2d<cplx> kernel_conv2d::adjoint(const array2d<cplx>& g, std::size_t k) const {
+  return adjoint_sum_impl({&g}, {k});
+}
+
+array2d<cplx> kernel_conv2d::adjoint_sum(const std::vector<array2d<cplx>>& g) const {
+  require(g.size() == kernel_ffts_.size(), "kernel_conv2d::adjoint_sum: count mismatch");
+  std::vector<const array2d<cplx>*> ptrs;
+  std::vector<std::size_t> idx;
+  ptrs.reserve(g.size());
+  idx.reserve(g.size());
+  for (std::size_t k = 0; k < g.size(); ++k) {
+    ptrs.push_back(&g[k]);
+    idx.push_back(k);
+  }
+  return adjoint_sum_impl(ptrs, idx);
+}
+
+array2d<cplx> kernel_conv2d::adjoint_sum_impl(const std::vector<const array2d<cplx>*>& g,
+                                              const std::vector<std::size_t>& kernel_idx) const {
+  array2d<cplx> accum(px_, py_, cplx{});
+  for (std::size_t t = 0; t < g.size(); ++t) {
+    array2d<cplx> padded = pad_complex(*g[t]);
+    fft2d_inplace(padded, false);
+    const auto& h = kernel_ffts_[kernel_idx[t]];
+    for (std::size_t i = 0; i < accum.size(); ++i)
+      accum.data()[i] += padded.data()[i] * std::conj(h.data()[i]);
+  }
+  fft2d_inplace(accum, true);
+  return crop(accum);
+}
+
+}  // namespace boson::fft

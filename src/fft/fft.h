@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstddef>
+
+#include "common/array2d.h"
+#include "common/types.h"
+
+namespace boson::fft {
+
+/// True when n is a power of two (n >= 1).
+bool is_power_of_two(std::size_t n);
+
+/// Smallest power of two >= n.
+std::size_t next_power_of_two(std::size_t n);
+
+/// In-place complex FFT of arbitrary length (radix-2 when possible, Bluestein
+/// otherwise). `inverse` applies the conjugate transform *and* the 1/n scale,
+/// so fft(fft(x), inverse) == x.
+void fft_inplace(cvec& data, bool inverse);
+
+/// Reference O(n^2) DFT used by tests.
+cvec dft_reference(const cvec& data, bool inverse);
+
+/// 2-D FFT over an array2d, transforming both axes.
+void fft2d_inplace(array2d<cplx>& data, bool inverse);
+
+}  // namespace boson::fft

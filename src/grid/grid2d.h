@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace boson {
+
+/// Uniform 2-D simulation grid. Cell (ix, iy) is centered at
+/// (x0 + (ix + 0.5) dx, y0 + (iy + 0.5) dy); all lengths in micrometers.
+struct grid2d {
+  std::size_t nx = 0;
+  std::size_t ny = 0;
+  double dx = 0.0;
+  double dy = 0.0;
+  double x0 = 0.0;
+  double y0 = 0.0;
+
+  std::size_t cell_count() const { return nx * ny; }
+  double width() const { return static_cast<double>(nx) * dx; }
+  double height() const { return static_cast<double>(ny) * dy; }
+
+  double x_center(std::size_t ix) const { return x0 + (static_cast<double>(ix) + 0.5) * dx; }
+  double y_center(std::size_t iy) const { return y0 + (static_cast<double>(iy) + 0.5) * dy; }
+
+  /// Cell index containing physical coordinate x (clamped to range).
+  std::size_t ix_of(double x) const {
+    const double t = (x - x0) / dx;
+    if (t <= 0.0) return 0;
+    const auto i = static_cast<std::size_t>(t);
+    return i >= nx ? nx - 1 : i;
+  }
+  std::size_t iy_of(double y) const {
+    const double t = (y - y0) / dy;
+    if (t <= 0.0) return 0;
+    const auto i = static_cast<std::size_t>(t);
+    return i >= ny ? ny - 1 : i;
+  }
+};
+
+/// Axis-aligned rectangular window of grid cells; identifies the design
+/// region (where the optimizer controls the pattern) inside a simulation.
+struct cell_window {
+  std::size_t ix0 = 0;
+  std::size_t iy0 = 0;
+  std::size_t nx = 0;
+  std::size_t ny = 0;
+
+  bool contains(std::size_t ix, std::size_t iy) const {
+    return ix >= ix0 && ix < ix0 + nx && iy >= iy0 && iy < iy0 + ny;
+  }
+
+  void validate_within(const grid2d& g) const {
+    require(ix0 + nx <= g.nx && iy0 + ny <= g.ny, "cell_window: exceeds grid");
+  }
+};
+
+}  // namespace boson

@@ -1,0 +1,44 @@
+#include "grid/pml.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace boson {
+
+stretch_profile build_stretch(std::size_t n, double d, double k0, const pml_spec& spec) {
+  require(n > 2 * spec.cells, "build_stretch: grid too small for PML");
+  require(k0 > 0.0 && d > 0.0, "build_stretch: invalid k0 or spacing");
+
+  const double depth = static_cast<double>(spec.cells) * d;
+  // Natural units (eta0 = 1): reflection R = exp(-2 sigma_max d / (order+1)).
+  const double sigma_max = -(spec.order + 1.0) * std::log(spec.r0) / (2.0 * depth);
+
+  auto stretch = [&](double position) -> cplx {
+    // `position` measured in cells from the low boundary.
+    const double cells = static_cast<double>(spec.cells);
+    const double n_cells = static_cast<double>(n);
+    double t = 0.0;
+    if (position < cells) {
+      t = (cells - position) / cells;
+    } else if (position > n_cells - cells) {
+      t = (position - (n_cells - cells)) / cells;
+    } else {
+      return cplx{1.0, 0.0};
+    }
+    t = std::min(t, 1.0);
+    return cplx{1.0, sigma_max * std::pow(t, spec.order) / k0};
+  };
+
+  stretch_profile out;
+  out.center.resize(n);
+  out.iface.resize(n + 1);
+  for (std::size_t i = 0; i < n; ++i)
+    out.center[i] = stretch(static_cast<double>(i) + 0.5);
+  for (std::size_t i = 0; i <= n; ++i)
+    out.iface[i] = stretch(static_cast<double>(i));
+  return out;
+}
+
+}  // namespace boson

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace boson {
+
+/// Stretched-coordinate PML specification. A polynomial conductivity profile
+/// sigma(u) = sigma_max * (u / d)^order ramps over `cells` grid cells at each
+/// boundary; sigma_max is derived from the target normal-incidence
+/// reflection `r0`.
+struct pml_spec {
+  std::size_t cells = 12;
+  double order = 3.0;
+  double r0 = 1e-8;
+};
+
+/// Complex coordinate-stretch factors s(u) = 1 + i sigma(u) / k0 along one
+/// axis of n cells:
+///  - `center[i]` samples s at the center of cell i (n entries);
+///  - `iface[i]`  samples s at the boundary between cells i-1 and i
+///    (n + 1 entries; iface[0] and iface[n] sit on the domain edge).
+struct stretch_profile {
+  cvec center;
+  cvec iface;
+};
+
+/// Build the stretch factors along one axis of length n with spacing d for
+/// wavenumber k0. PML occupies `spec.cells` cells at both ends.
+stretch_profile build_stretch(std::size_t n, double d, double k0, const pml_spec& spec);
+
+}  // namespace boson

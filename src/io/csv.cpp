@@ -1,0 +1,62 @@
+#include "io/csv.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace boson::io {
+
+namespace {
+
+std::string escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (const char c : cell) {
+    if (c == '"') quoted += "\"\"";
+    else quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+csv_writer::csv_writer(const std::string& path, const std::vector<std::string>& header)
+    : path_(path), out_(path), columns_(header.size()) {
+  if (!out_) throw io_error("csv_writer: cannot open " + path);
+  write_row(header);
+}
+
+csv_writer::~csv_writer() = default;
+
+void csv_writer::write_row(const std::vector<std::string>& cells) {
+  require(cells.size() == columns_ || columns_ == 0, "csv_writer: column count mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  out_.flush();
+}
+
+void csv_writer::write_row(const std::string& label, const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (const double v : values) cells.push_back(format(v));
+  write_row(cells);
+}
+
+std::string csv_writer::format(double value) {
+  std::ostringstream os;
+  if (std::isfinite(value)) {
+    os.precision(10);
+    os << value;
+  } else {
+    os << "nan";
+  }
+  return os.str();
+}
+
+}  // namespace boson::io

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace boson::io {
+
+/// Minimal CSV writer used by the bench harnesses to emit the series behind
+/// every reproduced table/figure. Values are written with full double
+/// precision; strings are quoted only when they contain separators.
+class csv_writer {
+ public:
+  csv_writer(const std::string& path, const std::vector<std::string>& header);
+  ~csv_writer();
+
+  csv_writer(const csv_writer&) = delete;
+  csv_writer& operator=(const csv_writer&) = delete;
+
+  /// Write one row of already-formatted cells.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience: label followed by numeric columns.
+  void write_row(const std::string& label, const std::vector<double>& values);
+
+  const std::string& path() const { return path_; }
+
+  static std::string format(double value);
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace boson::io

@@ -1,0 +1,125 @@
+#include "io/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace boson::io {
+
+json_value& json_value::operator[](const std::string& key) {
+  if (kind_ == kind::null) kind_ = kind::object;
+  require(kind_ == kind::object, "json_value: operator[] on a non-object");
+  for (auto& [k, v] : members_)
+    if (k == key) return v;
+  members_.emplace_back(key, json_value());
+  return members_.back().second;
+}
+
+json_value& json_value::push_back(json_value v) {
+  if (kind_ == kind::null) kind_ = kind::array;
+  require(kind_ == kind::array, "json_value: push_back on a non-array");
+  elements_.push_back(std::move(v));
+  return elements_.back();
+}
+
+json_value json_value::from_map(const std::map<std::string, double>& m) {
+  json_value obj = object();
+  for (const auto& [k, v] : m) obj[k] = v;
+  return obj;
+}
+
+namespace {
+
+void escape_into(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+void number_into(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";  // JSON has no NaN/inf
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  out += buf;
+}
+
+}  // namespace
+
+void json_value::dump_impl(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const std::string pad = pretty ? std::string(static_cast<std::size_t>(indent * (depth + 1)), ' ') : "";
+  const std::string pad_close = pretty ? std::string(static_cast<std::size_t>(indent * depth), ' ') : "";
+  const char* nl = pretty ? "\n" : "";
+
+  switch (kind_) {
+    case kind::null: out += "null"; break;
+    case kind::boolean: out += bool_ ? "true" : "false"; break;
+    case kind::number: number_into(out, number_); break;
+    case kind::string: escape_into(out, string_); break;
+    case kind::object: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      out += nl;
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        out += pad;
+        escape_into(out, members_[i].first);
+        out += pretty ? ": " : ":";
+        members_[i].second.dump_impl(out, indent, depth + 1);
+        if (i + 1 < members_.size()) out += ',';
+        out += nl;
+      }
+      out += pad_close;
+      out += '}';
+      break;
+    }
+    case kind::array: {
+      if (elements_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      out += nl;
+      for (std::size_t i = 0; i < elements_.size(); ++i) {
+        out += pad;
+        elements_[i].dump_impl(out, indent, depth + 1);
+        if (i + 1 < elements_.size()) out += ',';
+        out += nl;
+      }
+      out += pad_close;
+      out += ']';
+      break;
+    }
+  }
+}
+
+std::string json_value::dump(int indent) const {
+  std::string out;
+  dump_impl(out, indent, 0);
+  return out;
+}
+
+void json_value::write_file(const std::string& path, int indent) const {
+  std::ofstream f(path);
+  if (!f) throw io_error("json_value: cannot open " + path);
+  f << dump(indent) << '\n';
+  if (!f) throw io_error("json_value: write failed for " + path);
+}
+
+}  // namespace boson::io

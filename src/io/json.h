@@ -1,0 +1,63 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace boson::io {
+
+/// Minimal JSON value/writer — enough to serialize experiment summaries
+/// (nested objects, arrays, numbers, strings, booleans). Not a parser.
+class json_value {
+ public:
+  json_value() : kind_(kind::null) {}
+  json_value(bool b) : kind_(kind::boolean), bool_(b) {}               // NOLINT(google-explicit-constructor)
+  json_value(double d) : kind_(kind::number), number_(d) {}            // NOLINT(google-explicit-constructor)
+  json_value(int i) : kind_(kind::number), number_(i) {}               // NOLINT(google-explicit-constructor)
+  json_value(std::size_t u)                                            // NOLINT(google-explicit-constructor)
+      : kind_(kind::number), number_(static_cast<double>(u)) {}
+  json_value(const char* s) : kind_(kind::string), string_(s) {}       // NOLINT(google-explicit-constructor)
+  json_value(std::string s) : kind_(kind::string), string_(std::move(s)) {}  // NOLINT(google-explicit-constructor)
+
+  static json_value object() {
+    json_value v;
+    v.kind_ = kind::object;
+    return v;
+  }
+  static json_value array() {
+    json_value v;
+    v.kind_ = kind::array;
+    return v;
+  }
+
+  /// Object member access (creates the member; value must be an object).
+  json_value& operator[](const std::string& key);
+
+  /// Append to an array.
+  json_value& push_back(json_value v);
+
+  /// Convenience: object from a metric map.
+  static json_value from_map(const std::map<std::string, double>& m);
+
+  bool is_object() const { return kind_ == kind::object; }
+  bool is_array() const { return kind_ == kind::array; }
+
+  /// Serialize; `indent` < 0 emits compact JSON.
+  std::string dump(int indent = 2) const;
+
+  /// Write to a file (throws io_error on failure).
+  void write_file(const std::string& path, int indent = 2) const;
+
+ private:
+  enum class kind { null, boolean, number, string, object, array };
+  void dump_impl(std::string& out, int indent, int depth) const;
+
+  kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<std::pair<std::string, json_value>> members_;
+  std::vector<json_value> elements_;
+};
+
+}  // namespace boson::io

@@ -1,0 +1,28 @@
+#include "io/pgm.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace boson::io {
+
+void write_pgm(const std::string& path, const array2d<double>& data, double lo, double hi) {
+  require(hi > lo, "write_pgm: hi must exceed lo");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw io_error("write_pgm: cannot open " + path);
+
+  // Image rows run top-to-bottom; emit the highest iy first so +y is up.
+  out << "P5\n" << data.nx() << ' ' << data.ny() << "\n255\n";
+  for (std::size_t row = 0; row < data.ny(); ++row) {
+    const std::size_t iy = data.ny() - 1 - row;
+    for (std::size_t ix = 0; ix < data.nx(); ++ix) {
+      const double t = std::clamp((data(ix, iy) - lo) / (hi - lo), 0.0, 1.0);
+      const unsigned char byte = static_cast<unsigned char>(t * 255.0 + 0.5);
+      out.put(static_cast<char>(byte));
+    }
+  }
+  if (!out) throw io_error("write_pgm: write failed for " + path);
+}
+
+}  // namespace boson::io

@@ -1,0 +1,15 @@
+#pragma once
+
+#include <string>
+
+#include "common/array2d.h"
+
+namespace boson::io {
+
+/// Write a real-valued array as an 8-bit PGM image, linearly mapping
+/// [lo, hi] -> [0, 255] (values clamped). Device patterns and aerial images
+/// are dumped this way for visual inspection of the optimized structures.
+void write_pgm(const std::string& path, const array2d<double>& data, double lo = 0.0,
+               double hi = 1.0);
+
+}  // namespace boson::io

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace boson::io {
+
+/// Console table formatter used by bench binaries to print rows in the shape
+/// of the paper's tables. Columns are padded to the widest cell.
+class console_table {
+ public:
+  explicit console_table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment, header separator and optional title.
+  std::string render(const std::string& title = "") const;
+
+  /// Render and write to stdout.
+  void print(const std::string& title = "") const;
+
+  /// Format helper: fixed precision.
+  static std::string num(double value, int precision = 4);
+  /// Format helper: scientific notation (matches the paper's FoM rows).
+  static std::string sci(double value, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace boson::io

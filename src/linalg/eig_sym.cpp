@@ -1,0 +1,322 @@
+#include "linalg/eig_sym.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace boson::la {
+
+namespace {
+
+/// Sort eigenpairs ascending by eigenvalue (columns of `vectors` follow).
+template <class T>
+void sort_eigenpairs(eig_result<T>& r) {
+  const std::size_t n = r.values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return r.values[a] < r.values[b]; });
+  dvec sorted_values(n);
+  dense_matrix<T> sorted_vectors(r.vectors.rows(), n);
+  for (std::size_t j = 0; j < n; ++j) {
+    sorted_values[j] = r.values[order[j]];
+    for (std::size_t i = 0; i < r.vectors.rows(); ++i)
+      sorted_vectors(i, j) = r.vectors(i, order[j]);
+  }
+  r.values = std::move(sorted_values);
+  r.vectors = std::move(sorted_vectors);
+}
+
+double sign_with(double magnitude, double sign_of) {
+  return sign_of >= 0.0 ? std::abs(magnitude) : -std::abs(magnitude);
+}
+
+/// Householder reduction of a real symmetric matrix to tridiagonal form
+/// (classic EISPACK "tred2"). On return `a` holds the accumulated orthogonal
+/// transform Q, `d` the diagonal and `e` the subdiagonal (e[0] = 0).
+void tred2(dmat& a, dvec& d, dvec& e) {
+  const std::size_t n = a.rows();
+  d.assign(n, 0.0);
+  e.assign(n, 0.0);
+  if (n == 1) {
+    d[0] = a(0, 0);
+    a(0, 0) = 1.0;
+    return;
+  }
+
+  for (std::size_t i = n - 1; i >= 1; --i) {
+    const std::size_t l = i - 1;
+    double h = 0.0;
+    double scale = 0.0;
+    if (l > 0) {
+      for (std::size_t k = 0; k <= l; ++k) scale += std::abs(a(i, k));
+      if (scale == 0.0) {
+        e[i] = a(i, l);
+      } else {
+        for (std::size_t k = 0; k <= l; ++k) {
+          a(i, k) /= scale;
+          h += a(i, k) * a(i, k);
+        }
+        double f = a(i, l);
+        double g = (f >= 0.0) ? -std::sqrt(h) : std::sqrt(h);
+        e[i] = scale * g;
+        h -= f * g;
+        a(i, l) = f - g;
+        f = 0.0;
+        for (std::size_t j = 0; j <= l; ++j) {
+          a(j, i) = a(i, j) / h;
+          g = 0.0;
+          for (std::size_t k = 0; k <= j; ++k) g += a(j, k) * a(i, k);
+          for (std::size_t k = j + 1; k <= l; ++k) g += a(k, j) * a(i, k);
+          e[j] = g / h;
+          f += e[j] * a(i, j);
+        }
+        const double hh = f / (h + h);
+        for (std::size_t j = 0; j <= l; ++j) {
+          f = a(i, j);
+          e[j] = g = e[j] - hh * f;
+          for (std::size_t k = 0; k <= j; ++k) a(j, k) -= f * e[k] + g * a(i, k);
+        }
+      }
+    } else {
+      e[i] = a(i, l);
+    }
+    d[i] = h;
+  }
+
+  d[0] = 0.0;
+  e[0] = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (d[i] != 0.0) {
+      for (std::size_t j = 0; j < i; ++j) {
+        double g = 0.0;
+        for (std::size_t k = 0; k < i; ++k) g += a(i, k) * a(k, j);
+        for (std::size_t k = 0; k < i; ++k) a(k, j) -= g * a(k, i);
+      }
+    }
+    d[i] = a(i, i);
+    a(i, i) = 1.0;
+    for (std::size_t j = 0; j < i; ++j) {
+      a(j, i) = 0.0;
+      a(i, j) = 0.0;
+    }
+  }
+}
+
+/// Implicit-shift QL iteration on a symmetric tridiagonal matrix with
+/// eigenvector accumulation (classic EISPACK "tql2"). `z` must contain the
+/// transform that produced the tridiagonal form (identity for a matrix that
+/// is already tridiagonal).
+void tql2(dvec& d, dvec& e, dmat& z) {
+  const std::size_t n = d.size();
+  if (n <= 1) return;
+  for (std::size_t i = 1; i < n; ++i) e[i - 1] = e[i];
+  e[n - 1] = 0.0;
+
+  for (std::size_t l = 0; l < n; ++l) {
+    std::size_t iterations = 0;
+    std::size_t m;
+    do {
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::abs(d[m]) + std::abs(d[m + 1]);
+        if (std::abs(e[m]) <= 1e-300 + std::numeric_limits<double>::epsilon() * dd) break;
+      }
+      if (m != l) {
+        check_numeric(iterations++ < 64, "tql2: QL iteration failed to converge");
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = std::hypot(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + sign_with(r, g));
+        double s = 1.0;
+        double c = 1.0;
+        double p = 0.0;
+        for (std::size_t ii = m; ii-- > l;) {
+          const std::size_t i = ii;
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = std::hypot(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+          for (std::size_t k = 0; k < n; ++k) {
+            f = z(k, i + 1);
+            z(k, i + 1) = s * z(k, i) + c * f;
+            z(k, i) = c * z(k, i) - s * f;
+          }
+        }
+        if (r == 0.0 && m - l > 1) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+}
+
+}  // namespace
+
+eig_result<double> jacobi_eig(dmat a, double tol, std::size_t max_sweeps) {
+  require(a.rows() == a.cols(), "jacobi_eig: matrix must be square");
+  const std::size_t n = a.rows();
+  eig_result<double> result;
+  result.vectors = dmat::identity(n);
+  result.values.assign(n, 0.0);
+  if (n == 0) return result;
+
+  double initial_off = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) initial_off += a(i, j) * a(i, j);
+  initial_off = std::sqrt(initial_off);
+  const double threshold = std::max(tol * (initial_off + 1e-300), 1e-300);
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) off += a(i, j) * a(i, j);
+    if (std::sqrt(off) <= threshold) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) <= 1e-300) continue;
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        const double t = sign_with(1.0, theta) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = result.vectors(k, p);
+          const double vkq = result.vectors(k, q);
+          result.vectors(k, p) = c * vkp - s * vkq;
+          result.vectors(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) result.values[i] = a(i, i);
+  sort_eigenpairs(result);
+  return result;
+}
+
+eig_result<double> tridiag_eig(dvec diag, dvec sub) {
+  require(diag.size() == sub.size(), "tridiag_eig: diag/sub size mismatch");
+  const std::size_t n = diag.size();
+  eig_result<double> result;
+  result.vectors = dmat::identity(n);
+  result.values = std::move(diag);
+  tql2(result.values, sub, result.vectors);
+  sort_eigenpairs(result);
+  return result;
+}
+
+eig_result<double> sym_eig(dmat a) {
+  require(a.rows() == a.cols(), "sym_eig: matrix must be square");
+  eig_result<double> result;
+  if (a.rows() == 0) return result;
+  dvec d;
+  dvec e;
+  tred2(a, d, e);
+  tql2(d, e, a);
+  result.values = std::move(d);
+  result.vectors = std::move(a);
+  sort_eigenpairs(result);
+  return result;
+}
+
+eig_result<cplx> hermitian_eig(const cmat& a) {
+  require(a.rows() == a.cols(), "hermitian_eig: matrix must be square");
+  const std::size_t n = a.rows();
+  eig_result<cplx> result;
+  if (n == 0) return result;
+
+  dmat embedded(2 * n, 2 * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double re = a(i, j).real();
+      const double im = a(i, j).imag();
+      embedded(i, j) = re;
+      embedded(n + i, n + j) = re;
+      embedded(i, n + j) = -im;
+      embedded(n + i, j) = im;
+    }
+  }
+
+  eig_result<double> real_eig = sym_eig(std::move(embedded));
+
+  // Every eigenvalue of A shows up twice in the embedding. Walk the sorted
+  // spectrum in groups of (numerically) equal eigenvalues and Gram-Schmidt
+  // the reconstructed complex candidates down to half the group size.
+  double scale = 0.0;
+  for (const double v : real_eig.values) scale = std::max(scale, std::abs(v));
+  const double group_tol = std::max(1e-12, 1e-9 * scale);
+
+  result.values.reserve(n);
+  result.vectors = cmat(n, n);
+  std::size_t out = 0;
+
+  std::size_t begin = 0;
+  while (begin < 2 * n && out < n) {
+    std::size_t end = begin + 1;
+    while (end < 2 * n &&
+           std::abs(real_eig.values[end] - real_eig.values[begin]) <= group_tol)
+      ++end;
+    const std::size_t expected = (end - begin) / 2;
+
+    std::vector<cvec> accepted;
+    for (std::size_t j = begin; j < end && accepted.size() < expected; ++j) {
+      cvec candidate(n);
+      for (std::size_t i = 0; i < n; ++i)
+        candidate[i] = cplx(real_eig.vectors(i, j), real_eig.vectors(n + i, j));
+      for (const auto& q : accepted) {
+        cplx proj{};
+        for (std::size_t i = 0; i < n; ++i) proj += std::conj(q[i]) * candidate[i];
+        for (std::size_t i = 0; i < n; ++i) candidate[i] -= proj * q[i];
+      }
+      double norm = 0.0;
+      for (const auto& v : candidate) norm += std::norm(v);
+      norm = std::sqrt(norm);
+      if (norm > 1e-6) {
+        for (auto& v : candidate) v /= norm;
+        accepted.push_back(std::move(candidate));
+      }
+    }
+    check_numeric(accepted.size() == expected,
+                  "hermitian_eig: failed to reconstruct complex eigenvectors");
+
+    for (const auto& q : accepted) {
+      if (out >= n) break;
+      result.values.push_back(real_eig.values[begin]);
+      for (std::size_t i = 0; i < n; ++i) result.vectors(i, out) = q[i];
+      ++out;
+    }
+    begin = end;
+  }
+  check_numeric(out == n, "hermitian_eig: eigenvalue pairing failed");
+  return result;
+}
+
+}  // namespace boson::la

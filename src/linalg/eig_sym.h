@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+#include "linalg/dense.h"
+
+namespace boson::la {
+
+/// Result of a symmetric/Hermitian eigendecomposition: eigenvalues ascending,
+/// eigenvectors stored as matrix columns (column j pairs with values[j]).
+template <class T>
+struct eig_result {
+  dvec values;
+  dense_matrix<T> vectors;
+};
+
+/// Eigendecomposition of a real symmetric matrix by cyclic Jacobi rotations.
+/// Robust and simple; O(n^3) per sweep, intended for n up to a few hundred
+/// and as an independent cross-check of `sym_eig`.
+eig_result<double> jacobi_eig(dmat a, double tol = 1e-12, std::size_t max_sweeps = 64);
+
+/// Eigendecomposition of a symmetric tridiagonal matrix (diag, sub) using the
+/// implicit-shift QL algorithm (TQL2). `sub[0]` is ignored; `sub[i]` couples
+/// rows i-1 and i. Used directly by the slab-waveguide mode solver.
+eig_result<double> tridiag_eig(dvec diag, dvec sub);
+
+/// Eigendecomposition of a real symmetric matrix via Householder
+/// tridiagonalization followed by TQL2. O(n^3) with a small constant; this is
+/// the production path for the lithography TCC operator.
+eig_result<double> sym_eig(dmat a);
+
+/// Eigendecomposition of a complex Hermitian matrix via the real 2n x 2n
+/// embedding [[Re A, -Im A], [Im A, Re A]]. Each eigenvalue of A appears
+/// twice in the embedding; one complex eigenvector is reconstructed per pair.
+eig_result<cplx> hermitian_eig(const cmat& a);
+
+}  // namespace boson::la

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace boson::la {
+
+/// Conjugated inner product conj(a)·b.
+inline cplx dot(const cvec& a, const cvec& b) {
+  require(a.size() == b.size(), "dot: size mismatch");
+  cplx acc{};
+  for (std::size_t i = 0; i < a.size(); ++i) acc += std::conj(a[i]) * b[i];
+  return acc;
+}
+
+/// Unconjugated product aᵀ·b (used with complex-symmetric operators).
+inline cplx dotu(const cvec& a, const cvec& b) {
+  require(a.size() == b.size(), "dotu: size mismatch");
+  cplx acc{};
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+inline double dot(const dvec& a, const dvec& b) {
+  require(a.size() == b.size(), "dot: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+inline double nrm2(const cvec& a) {
+  double acc = 0.0;
+  for (const auto& v : a) acc += std::norm(v);
+  return std::sqrt(acc);
+}
+
+inline double nrm2(const dvec& a) {
+  double acc = 0.0;
+  for (const auto& v : a) acc += v * v;
+  return std::sqrt(acc);
+}
+
+inline double max_abs(const dvec& a) {
+  double m = 0.0;
+  for (const auto& v : a) m = std::max(m, std::abs(v));
+  return m;
+}
+
+inline double max_abs(const cvec& a) {
+  double m = 0.0;
+  for (const auto& v : a) m = std::max(m, std::abs(v));
+  return m;
+}
+
+/// y += alpha * x
+inline void axpy(double alpha, const dvec& x, dvec& y) {
+  require(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+inline void axpy(cplx alpha, const cvec& x, cvec& y) {
+  require(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+inline void scale(dvec& x, double alpha) {
+  for (auto& v : x) v *= alpha;
+}
+
+inline void scale(cvec& x, cplx alpha) {
+  for (auto& v : x) v *= alpha;
+}
+
+}  // namespace boson::la

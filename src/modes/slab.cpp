@@ -1,0 +1,70 @@
+#include "modes/slab.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "linalg/eig_sym.h"
+
+namespace boson::modes {
+
+std::vector<slab_mode> solve_slab_modes(const dvec& eps, double d, double k0,
+                                        std::size_t max_modes) {
+  require(eps.size() >= 8, "solve_slab_modes: cross-section too short");
+  require(d > 0.0 && k0 > 0.0, "solve_slab_modes: invalid spacing or k0");
+  const std::size_t n = eps.size();
+
+  dvec diag(n);
+  dvec sub(n, 0.0);
+  const double inv_d2 = 1.0 / (d * d);
+  for (std::size_t j = 0; j < n; ++j) diag[j] = -2.0 * inv_d2 + k0 * k0 * eps[j];
+  for (std::size_t j = 1; j < n; ++j) sub[j] = inv_d2;
+
+  la::eig_result<double> eig = la::tridiag_eig(std::move(diag), std::move(sub));
+
+  // Cladding permittivity: the ends of the line. Guided modes decay there.
+  const double eps_clad = std::max(eps.front(), eps.back());
+  const double cutoff = k0 * k0 * eps_clad;
+
+  std::vector<slab_mode> modes;
+  // Eigenvalues ascending; guided modes are the largest beta^2 above cutoff.
+  for (std::size_t jj = eig.values.size(); jj-- > 0 && modes.size() < max_modes;) {
+    const double beta2 = eig.values[jj];
+    if (beta2 <= cutoff) break;
+    slab_mode m;
+    m.beta = std::sqrt(beta2);
+    m.neff = m.beta / k0;
+    m.profile.resize(n);
+    for (std::size_t i = 0; i < n; ++i) m.profile[i] = eig.vectors(i, jj);
+    // Normalize: sum(profile^2) * d == 1, dominant lobe positive.
+    double norm2 = 0.0;
+    for (const double v : m.profile) norm2 += v * v;
+    double scale = 1.0 / std::sqrt(norm2 * d);
+    double peak = 0.0;
+    std::size_t peak_idx = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (std::abs(m.profile[i]) > peak) {
+        peak = std::abs(m.profile[i]);
+        peak_idx = i;
+      }
+    }
+    if (m.profile[peak_idx] < 0.0) scale = -scale;
+    for (auto& v : m.profile) v *= scale;
+    m.order = static_cast<int>(modes.size()) + 1;
+    modes.push_back(std::move(m));
+  }
+  return modes;
+}
+
+double mode_power_factor(const slab_mode& mode, double k0, double normal_spacing) {
+  require(k0 > 0.0, "mode_power_factor: invalid k0");
+  double dispersion = 1.0;
+  if (normal_spacing > 0.0) {
+    const double bd = mode.beta * normal_spacing;
+    require(bd < 2.0, "mode_power_factor: mode not resolvable at this spacing");
+    dispersion = std::sqrt(1.0 - 0.25 * bd * bd);
+  }
+  return dispersion * mode.beta / (2.0 * k0);
+}
+
+}  // namespace boson::modes

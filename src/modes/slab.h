@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace boson::modes {
+
+/// A guided eigenmode of a 1-D permittivity cross-section (slab waveguide).
+///
+/// The scalar 2-D model solves phi'' + k0^2 eps(y) phi = beta^2 phi; guided
+/// solutions satisfy k0^2 eps_clad < beta^2 <= k0^2 eps_max. Following the
+/// paper we label modes TM1, TM2, ... in order of decreasing beta (TM1 is the
+/// fundamental).
+struct slab_mode {
+  double beta = 0.0;   ///< propagation constant [rad/um]
+  double neff = 0.0;   ///< effective index beta / k0
+  dvec profile;        ///< field samples; sum(profile^2) * d == 1
+  int order = 0;       ///< 1-based label (TM1 == 1)
+};
+
+/// Solve for the guided modes of the cross-section `eps` sampled with spacing
+/// `d` at free-space wavenumber `k0` (Dirichlet ends, which is accurate when
+/// the line terminates in cladding well away from the core).
+/// Returns at most `max_modes` modes, strongest confinement first.
+std::vector<slab_mode> solve_slab_modes(const dvec& eps, double d, double k0,
+                                        std::size_t max_modes = 8);
+
+/// Power carried per unit squared amplitude of a mode. In the continuum this
+/// is beta / (2 k0); on the FDFD grid the discrete dispersion reduces the
+/// flux of a propagating wave by sqrt(1 - (beta d)^2 / 4), where d is the
+/// grid spacing along propagation. Using the discrete factor keeps modal
+/// powers consistent with Poynting-flux monitors to second order.
+double mode_power_factor(const slab_mode& mode, double k0, double normal_spacing = 0.0);
+
+}  // namespace boson::modes

@@ -1,0 +1,57 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace boson::opt {
+
+adam::adam(double learning_rate, double beta1, double beta2, double epsilon)
+    : lr_(learning_rate), beta1_(beta1), beta2_(beta2), eps_(epsilon) {
+  require(learning_rate > 0.0, "adam: learning rate must be positive");
+  require(beta1 >= 0.0 && beta1 < 1.0 && beta2 >= 0.0 && beta2 < 1.0, "adam: bad betas");
+}
+
+void adam::step(dvec& params, const dvec& grad) {
+  require(params.size() == grad.size(), "adam::step: size mismatch");
+  if (m_.size() != params.size()) {
+    m_.assign(params.size(), 0.0);
+    v_.assign(params.size(), 0.0);
+    t_ = 0;
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    m_[i] = beta1_ * m_[i] + (1.0 - beta1_) * grad[i];
+    v_[i] = beta2_ * v_[i] + (1.0 - beta2_) * grad[i] * grad[i];
+    const double m_hat = m_[i] / bc1;
+    const double v_hat = v_[i] / bc2;
+    params[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+  }
+}
+
+void adam::reset() {
+  m_.clear();
+  v_.clear();
+  t_ = 0;
+}
+
+sgd_momentum::sgd_momentum(double learning_rate, double momentum)
+    : lr_(learning_rate), momentum_(momentum) {
+  require(learning_rate > 0.0, "sgd_momentum: learning rate must be positive");
+  require(momentum >= 0.0 && momentum < 1.0, "sgd_momentum: momentum in [0,1)");
+}
+
+void sgd_momentum::step(dvec& params, const dvec& grad) {
+  require(params.size() == grad.size(), "sgd_momentum::step: size mismatch");
+  if (velocity_.size() != params.size()) velocity_.assign(params.size(), 0.0);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    velocity_[i] = momentum_ * velocity_[i] - lr_ * grad[i];
+    params[i] += velocity_[i];
+  }
+}
+
+void sgd_momentum::reset() { velocity_.clear(); }
+
+}  // namespace boson::opt

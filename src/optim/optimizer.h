@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "common/types.h"
+
+namespace boson::opt {
+
+/// First-order optimizer interface. The convention throughout the library is
+/// *minimization*: objectives are losses and `step` moves against the
+/// gradient.
+class optimizer {
+ public:
+  virtual ~optimizer() = default;
+
+  /// One update of `params` given dLoss/dparams.
+  virtual void step(dvec& params, const dvec& grad) = 0;
+
+  /// Clear optimizer state (moments, iteration counter).
+  virtual void reset() = 0;
+};
+
+/// Adam (Kingma & Ba) — the default optimizer for inverse design here, as
+/// its per-parameter scaling tolerates the widely varying gradient magnitudes
+/// that adjoint fields produce across the design region.
+class adam : public optimizer {
+ public:
+  explicit adam(double learning_rate = 0.02, double beta1 = 0.9, double beta2 = 0.999,
+                double epsilon = 1e-8);
+
+  void step(dvec& params, const dvec& grad) override;
+  void reset() override;
+
+  double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr) { lr_ = lr; }
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  dvec m_;
+  dvec v_;
+  std::size_t t_ = 0;
+};
+
+/// Plain SGD with momentum, kept as a baseline optimizer.
+class sgd_momentum : public optimizer {
+ public:
+  explicit sgd_momentum(double learning_rate = 0.1, double momentum = 0.9);
+
+  void step(dvec& params, const dvec& grad) override;
+  void reset() override;
+
+ private:
+  double lr_;
+  double momentum_;
+  dvec velocity_;
+};
+
+}  // namespace boson::opt

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace boson::opt {
+
+/// One auxiliary constraint F_i <= C_i (or F_i >= C_i), relaxed into the
+/// objective as w_i * [F_i - C_i]_+ — the paper's dense-objective landscape
+/// reshaping (Eq. 2). Metrics are referenced by name; the design problem maps
+/// names to monitor-derived values.
+struct penalty_spec {
+  std::string metric;   ///< e.g. "fwd_transmission", "reflection"
+  double weight = 1.0;
+  double bound = 0.0;
+  bool upper = true;    ///< true: penalize metric > bound; false: metric < bound
+
+  /// Loss contribution at `value`.
+  double value_at(double value) const {
+    const double violation = upper ? value - bound : bound - value;
+    return violation > 0.0 ? weight * violation : 0.0;
+  }
+
+  /// d(loss)/d(metric) at `value`.
+  double slope_at(double value) const {
+    const double violation = upper ? value - bound : bound - value;
+    if (violation <= 0.0) return 0.0;
+    return upper ? weight : -weight;
+  }
+};
+
+using penalty_set = std::vector<penalty_spec>;
+
+}  // namespace boson::opt

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+
+#include "common/error.h"
+
+namespace boson::opt {
+
+/// Piecewise-linear scalar schedule: holds `start_value` until
+/// `ramp_begin`, ramps linearly to `end_value` at `ramp_end`, then holds.
+/// Drives the projection sharpness beta and the subspace-relaxation weight p.
+class linear_schedule {
+ public:
+  linear_schedule(double start_value, double end_value, std::size_t ramp_begin,
+                  std::size_t ramp_end)
+      : start_(start_value), end_(end_value), begin_(ramp_begin), finish_(ramp_end) {
+    require(ramp_end >= ramp_begin, "linear_schedule: ramp_end < ramp_begin");
+  }
+
+  /// Constant schedule.
+  explicit linear_schedule(double value) : linear_schedule(value, value, 0, 0) {}
+
+  double at(std::size_t iteration) const {
+    if (iteration <= begin_ || finish_ == begin_) return start_;
+    if (iteration >= finish_) return end_;
+    const double t = static_cast<double>(iteration - begin_) /
+                     static_cast<double>(finish_ - begin_);
+    return start_ + t * (end_ - start_);
+  }
+
+ private:
+  double start_;
+  double end_;
+  std::size_t begin_;
+  std::size_t finish_;
+};
+
+}  // namespace boson::opt

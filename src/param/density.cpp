@@ -1,0 +1,54 @@
+#include "param/density.h"
+
+#include "common/error.h"
+
+namespace boson::param {
+
+density_param::density_param(std::size_t design_nx, std::size_t design_ny,
+                             double blur_radius_cells, double beta, double eta)
+    : design_nx_(design_nx),
+      design_ny_(design_ny),
+      blur_(design_nx, design_ny, blur_radius_cells),
+      project_{beta, eta} {
+  require(design_nx > 0 && design_ny > 0, "density_param: empty design grid");
+}
+
+void density_param::forward(const dvec& theta, array2d<double>& rho) const {
+  require(theta.size() == num_params(), "density_param: theta size mismatch");
+  array2d<double> x(design_nx_, design_ny_);
+  for (std::size_t i = 0; i < theta.size(); ++i) x.data()[i] = sigmoid(theta[i]);
+
+  array2d<double> x_bar(design_nx_, design_ny_);
+  blur_.forward(x, x_bar);
+
+  if (rho.nx() != design_nx_ || rho.ny() != design_ny_)
+    rho = array2d<double>(design_nx_, design_ny_);
+  for (std::size_t i = 0; i < rho.size(); ++i)
+    rho.data()[i] = project_.forward(x_bar.data()[i]);
+}
+
+void density_param::backward(const dvec& theta, const array2d<double>& d_rho,
+                             dvec& d_theta) const {
+  require(theta.size() == num_params(), "density_param: theta size mismatch");
+  require(d_rho.nx() == design_nx_ && d_rho.ny() == design_ny_,
+          "density_param: d_rho shape mismatch");
+  if (d_theta.size() != num_params()) d_theta.assign(num_params(), 0.0);
+
+  // Recompute the intermediates (cheap relative to a field solve).
+  array2d<double> x(design_nx_, design_ny_);
+  for (std::size_t i = 0; i < theta.size(); ++i) x.data()[i] = sigmoid(theta[i]);
+  array2d<double> x_bar(design_nx_, design_ny_);
+  blur_.forward(x, x_bar);
+
+  array2d<double> d_xbar(design_nx_, design_ny_);
+  for (std::size_t i = 0; i < d_xbar.size(); ++i)
+    d_xbar.data()[i] = d_rho.data()[i] * project_.derivative(x_bar.data()[i]);
+
+  array2d<double> d_x(design_nx_, design_ny_);
+  blur_.adjoint(d_xbar, d_x);
+
+  for (std::size_t i = 0; i < d_theta.size(); ++i)
+    d_theta[i] += d_x.data()[i] * sigmoid_derivative_from_value(x.data()[i]);
+}
+
+}  // namespace boson::param

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+
+#include "param/filters.h"
+#include "param/parameterization.h"
+
+namespace boson::param {
+
+/// Pixel-wise density parameterization (the paper's 'Density' baseline).
+///
+/// Each design cell carries one latent variable; the chain is
+///     x = sigmoid(theta)            (box constraint without clipping)
+///     x_bar = blur(x)               (optional MFS control, '-M' variants)
+///     rho = tanh_project(x_bar)     (pushes toward binary with sharpness beta)
+class density_param : public parameterization {
+ public:
+  /// `blur_radius_cells` <= 0 disables MFS control.
+  density_param(std::size_t design_nx, std::size_t design_ny, double blur_radius_cells,
+                double beta = 8.0, double eta = 0.5);
+
+  std::size_t num_params() const override { return design_nx_ * design_ny_; }
+  std::size_t nx() const override { return design_nx_; }
+  std::size_t ny() const override { return design_ny_; }
+
+  void forward(const dvec& theta, array2d<double>& rho) const override;
+  void backward(const dvec& theta, const array2d<double>& d_rho,
+                dvec& d_theta) const override;
+
+  void set_sharpness(double beta) override { project_.beta = beta; }
+  double sharpness() const override { return project_.beta; }
+
+  bool has_mfs_blur() const { return !blur_.is_identity(); }
+
+ private:
+  std::size_t design_nx_;
+  std::size_t design_ny_;
+  gaussian_blur blur_;
+  tanh_projection project_;
+};
+
+}  // namespace boson::param

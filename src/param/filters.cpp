@@ -1,0 +1,86 @@
+#include "param/filters.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace boson::param {
+
+gaussian_blur::gaussian_blur(std::size_t nx, std::size_t ny, double radius_cells)
+    : nx_(nx), ny_(ny) {
+  require(nx > 0 && ny > 0, "gaussian_blur: empty shape");
+  if (radius_cells <= 0.0) {
+    half_ = 0;
+    kernel_ = {1.0};
+    weights_ = array2d<double>(nx, ny, 1.0);
+    return;
+  }
+  half_ = static_cast<std::size_t>(std::ceil(3.0 * radius_cells));
+  kernel_.resize(2 * half_ + 1);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < kernel_.size(); ++i) {
+    const double u = static_cast<double>(i) - static_cast<double>(half_);
+    kernel_[i] = std::exp(-0.5 * (u * u) / (radius_cells * radius_cells));
+    sum += kernel_[i];
+  }
+  for (auto& k : kernel_) k /= sum;
+
+  array2d<double> ones(nx, ny, 1.0);
+  weights_ = array2d<double>(nx, ny);
+  convolve(ones, weights_);
+}
+
+void gaussian_blur::convolve(const array2d<double>& in, array2d<double>& out) const {
+  require(in.nx() == nx_ && in.ny() == ny_, "gaussian_blur: shape mismatch");
+  const auto h = static_cast<std::ptrdiff_t>(half_);
+  array2d<double> tmp(nx_, ny_, 0.0);
+  // x pass (zero extension outside the domain)
+  for (std::ptrdiff_t ix = 0; ix < static_cast<std::ptrdiff_t>(nx_); ++ix) {
+    for (std::size_t iy = 0; iy < ny_; ++iy) {
+      double acc = 0.0;
+      for (std::ptrdiff_t u = -h; u <= h; ++u) {
+        const std::ptrdiff_t sx = ix + u;
+        if (sx < 0 || sx >= static_cast<std::ptrdiff_t>(nx_)) continue;
+        acc += kernel_[static_cast<std::size_t>(u + h)] *
+               in(static_cast<std::size_t>(sx), iy);
+      }
+      tmp(static_cast<std::size_t>(ix), iy) = acc;
+    }
+  }
+  // y pass
+  if (out.nx() != nx_ || out.ny() != ny_) out = array2d<double>(nx_, ny_);
+  for (std::size_t ix = 0; ix < nx_; ++ix) {
+    for (std::ptrdiff_t iy = 0; iy < static_cast<std::ptrdiff_t>(ny_); ++iy) {
+      double acc = 0.0;
+      for (std::ptrdiff_t u = -h; u <= h; ++u) {
+        const std::ptrdiff_t sy = iy + u;
+        if (sy < 0 || sy >= static_cast<std::ptrdiff_t>(ny_)) continue;
+        acc += kernel_[static_cast<std::size_t>(u + h)] *
+               tmp(ix, static_cast<std::size_t>(sy));
+      }
+      out(ix, static_cast<std::size_t>(iy)) = acc;
+    }
+  }
+}
+
+void gaussian_blur::forward(const array2d<double>& in, array2d<double>& out) const {
+  if (is_identity()) {
+    out = in;
+    return;
+  }
+  convolve(in, out);
+  for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] /= weights_.data()[i];
+}
+
+void gaussian_blur::adjoint(const array2d<double>& g, array2d<double>& out) const {
+  if (is_identity()) {
+    out = g;
+    return;
+  }
+  array2d<double> scaled(nx_, ny_);
+  for (std::size_t i = 0; i < scaled.size(); ++i)
+    scaled.data()[i] = g.data()[i] / weights_.data()[i];
+  convolve(scaled, out);
+}
+
+}  // namespace boson::param

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/array2d.h"
+#include "common/types.h"
+
+namespace boson::param {
+
+/// Logistic sigmoid.
+inline double sigmoid(double x) {
+  if (x >= 0.0) {
+    const double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+/// d sigmoid / dx expressed through the output value s = sigmoid(x).
+inline double sigmoid_derivative_from_value(double s) { return s * (1.0 - s); }
+
+/// Normalized separable Gaussian blur with zero-flux edge handling:
+/// out = (k * in) / (k * 1). Symmetric kernel, so the exact adjoint is
+/// adj(g) = k * (g / w) with the same weights w = k * 1.
+///
+/// This is the classical minimum-feature-size control ("-M" in the paper's
+/// baselines): it removes features smaller than roughly the blur radius.
+class gaussian_blur {
+ public:
+  /// `radius_cells` is the Gaussian sigma measured in design cells; a value
+  /// <= 0 makes the filter an exact identity.
+  gaussian_blur(std::size_t nx, std::size_t ny, double radius_cells);
+
+  bool is_identity() const { return half_ == 0; }
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+
+  void forward(const array2d<double>& in, array2d<double>& out) const;
+  void adjoint(const array2d<double>& g, array2d<double>& out) const;
+
+ private:
+  void convolve(const array2d<double>& in, array2d<double>& out) const;
+
+  std::size_t nx_;
+  std::size_t ny_;
+  std::size_t half_ = 0;
+  dvec kernel_;              // 1-D taps, size 2*half_+1, sums to 1
+  array2d<double> weights_;  // k * 1 (normalization map)
+};
+
+/// Smoothed Heaviside projection (Wang et al. style) pushing x in [0,1]
+/// toward {0,1} with sharpness beta around threshold eta.
+struct tanh_projection {
+  double beta = 8.0;
+  double eta = 0.5;
+
+  double forward(double x) const {
+    const double a = std::tanh(beta * eta);
+    const double b = std::tanh(beta * (x - eta));
+    const double c = std::tanh(beta * (1.0 - eta));
+    return (a + b) / (a + c);
+  }
+
+  double derivative(double x) const {
+    const double a = std::tanh(beta * eta);
+    const double c = std::tanh(beta * (1.0 - eta));
+    const double t = std::tanh(beta * (x - eta));
+    return beta * (1.0 - t * t) / (a + c);
+  }
+};
+
+}  // namespace boson::param

@@ -1,0 +1,110 @@
+#include "param/levelset.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "param/filters.h"
+
+namespace boson::param {
+
+levelset_param::levelset_param(std::size_t knots_x, std::size_t knots_y,
+                               std::size_t design_nx, std::size_t design_ny, double beta)
+    : knots_x_(knots_x),
+      knots_y_(knots_y),
+      design_nx_(design_nx),
+      design_ny_(design_ny),
+      beta_(beta) {
+  require(knots_x >= 2 && knots_y >= 2, "levelset_param: need at least 2x2 knots");
+  require(design_nx >= knots_x && design_ny >= knots_y,
+          "levelset_param: design grid coarser than knots");
+}
+
+levelset_param::weight4 levelset_param::weights_at(std::size_t ix, std::size_t iy) const {
+  // Map design-cell centers onto the knot lattice [0, knots-1].
+  const double u = design_nx_ > 1
+                       ? static_cast<double>(ix) * static_cast<double>(knots_x_ - 1) /
+                             static_cast<double>(design_nx_ - 1)
+                       : 0.0;
+  const double v = design_ny_ > 1
+                       ? static_cast<double>(iy) * static_cast<double>(knots_y_ - 1) /
+                             static_cast<double>(design_ny_ - 1)
+                       : 0.0;
+  std::size_t ku = static_cast<std::size_t>(u);
+  std::size_t kv = static_cast<std::size_t>(v);
+  if (ku >= knots_x_ - 1) ku = knots_x_ - 2;
+  if (kv >= knots_y_ - 1) kv = knots_y_ - 2;
+  const double fu = u - static_cast<double>(ku);
+  const double fv = v - static_cast<double>(kv);
+
+  weight4 w;
+  w.k00 = ku * knots_y_ + kv;
+  w.k01 = ku * knots_y_ + kv + 1;
+  w.k10 = (ku + 1) * knots_y_ + kv;
+  w.k11 = (ku + 1) * knots_y_ + kv + 1;
+  w.w00 = (1.0 - fu) * (1.0 - fv);
+  w.w01 = (1.0 - fu) * fv;
+  w.w10 = fu * (1.0 - fv);
+  w.w11 = fu * fv;
+  return w;
+}
+
+void levelset_param::interpolate(const dvec& theta, array2d<double>& phi) const {
+  require(theta.size() == num_params(), "levelset_param: theta size mismatch");
+  if (phi.nx() != design_nx_ || phi.ny() != design_ny_)
+    phi = array2d<double>(design_nx_, design_ny_);
+  for (std::size_t ix = 0; ix < design_nx_; ++ix) {
+    for (std::size_t iy = 0; iy < design_ny_; ++iy) {
+      const weight4 w = weights_at(ix, iy);
+      phi(ix, iy) = w.w00 * theta[w.k00] + w.w01 * theta[w.k01] + w.w10 * theta[w.k10] +
+                    w.w11 * theta[w.k11];
+    }
+  }
+}
+
+void levelset_param::forward(const dvec& theta, array2d<double>& rho) const {
+  interpolate(theta, rho);
+  for (auto& v : rho) v = sigmoid(beta_ * v);
+}
+
+void levelset_param::backward(const dvec& theta, const array2d<double>& d_rho,
+                              dvec& d_theta) const {
+  require(theta.size() == num_params(), "levelset_param: theta size mismatch");
+  require(d_rho.nx() == design_nx_ && d_rho.ny() == design_ny_,
+          "levelset_param: d_rho shape mismatch");
+  if (d_theta.size() != num_params()) d_theta.assign(num_params(), 0.0);
+
+  for (std::size_t ix = 0; ix < design_nx_; ++ix) {
+    for (std::size_t iy = 0; iy < design_ny_; ++iy) {
+      const weight4 w = weights_at(ix, iy);
+      const double phi = w.w00 * theta[w.k00] + w.w01 * theta[w.k01] +
+                         w.w10 * theta[w.k10] + w.w11 * theta[w.k11];
+      const double s = sigmoid(beta_ * phi);
+      const double chain = d_rho(ix, iy) * beta_ * sigmoid_derivative_from_value(s);
+      d_theta[w.k00] += chain * w.w00;
+      d_theta[w.k01] += chain * w.w01;
+      d_theta[w.k10] += chain * w.w10;
+      d_theta[w.k11] += chain * w.w11;
+    }
+  }
+}
+
+dvec levelset_param::fit_from_field(const array2d<double>& signed_field) const {
+  require(signed_field.nx() == design_nx_ && signed_field.ny() == design_ny_,
+          "levelset_param: field shape mismatch");
+  dvec theta(num_params(), 0.0);
+  for (std::size_t ku = 0; ku < knots_x_; ++ku) {
+    for (std::size_t kv = 0; kv < knots_y_; ++kv) {
+      // Nearest design cell to this knot.
+      const std::size_t ix = knots_x_ > 1
+                                 ? (ku * (design_nx_ - 1)) / (knots_x_ - 1)
+                                 : 0;
+      const std::size_t iy = knots_y_ > 1
+                                 ? (kv * (design_ny_ - 1)) / (knots_y_ - 1)
+                                 : 0;
+      theta[ku * knots_y_ + kv] = signed_field(ix, iy);
+    }
+  }
+  return theta;
+}
+
+}  // namespace boson::param

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+
+#include "param/parameterization.h"
+
+namespace boson::param {
+
+/// Parameterized level-set topology description (the paper's default 'LS').
+///
+/// theta holds a coarse grid of level-set knot values; bilinear interpolation
+/// lifts them to a continuous level-set function phi on the design grid, and
+/// a sigmoid with sharpness beta converts phi to occupancy:
+///     rho = sigmoid(beta * phi),   phi = interp(theta).
+/// Coarse knots act as an implicit feature-size prior, and the smoothed
+/// Heaviside keeps the map differentiable for adjoint optimization.
+class levelset_param : public parameterization {
+ public:
+  levelset_param(std::size_t knots_x, std::size_t knots_y, std::size_t design_nx,
+                 std::size_t design_ny, double beta = 8.0);
+
+  std::size_t num_params() const override { return knots_x_ * knots_y_; }
+  std::size_t nx() const override { return design_nx_; }
+  std::size_t ny() const override { return design_ny_; }
+
+  void forward(const dvec& theta, array2d<double>& rho) const override;
+  void backward(const dvec& theta, const array2d<double>& d_rho,
+                dvec& d_theta) const override;
+
+  void set_sharpness(double beta) override { beta_ = beta; }
+  double sharpness() const override { return beta_; }
+
+  std::size_t knots_x() const { return knots_x_; }
+  std::size_t knots_y() const { return knots_y_; }
+
+  /// Interpolated level-set function phi (before the sigmoid); used by
+  /// diagnostics and by initializers that fit theta to a target shape.
+  void interpolate(const dvec& theta, array2d<double>& phi) const;
+
+  /// Initialize theta by sampling a signed field defined on the design grid
+  /// at the knot positions (positive = solid).
+  dvec fit_from_field(const array2d<double>& signed_field) const;
+
+ private:
+  struct weight4 {
+    std::size_t k00, k01, k10, k11;
+    double w00, w01, w10, w11;
+  };
+  weight4 weights_at(std::size_t ix, std::size_t iy) const;
+
+  std::size_t knots_x_;
+  std::size_t knots_y_;
+  std::size_t design_nx_;
+  std::size_t design_ny_;
+  double beta_;
+};
+
+}  // namespace boson::param

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+
+#include "common/array2d.h"
+#include "common/types.h"
+
+namespace boson::param {
+
+/// Differentiable map from latent design variables theta to a continuous
+/// material occupancy rho in [0, 1] on the design grid (the paper's P).
+///
+/// Implementations: `levelset_param` (the paper's default) and
+/// `density_param` (the "Density" baseline, optionally with MFS blur).
+class parameterization {
+ public:
+  virtual ~parameterization() = default;
+
+  virtual std::size_t num_params() const = 0;
+  virtual std::size_t nx() const = 0;
+  virtual std::size_t ny() const = 0;
+
+  /// rho(theta); `rho` is resized/overwritten to the design-grid shape.
+  virtual void forward(const dvec& theta, array2d<double>& rho) const = 0;
+
+  /// Chain rule: d_theta += (d rho / d theta)^T d_rho at the given theta.
+  virtual void backward(const dvec& theta, const array2d<double>& d_rho,
+                        dvec& d_theta) const = 0;
+
+  /// Projection sharpness (beta) schedule hook; implementations that project
+  /// smoothly override this. Larger beta pushes rho toward binary.
+  virtual void set_sharpness(double beta) = 0;
+  virtual double sharpness() const = 0;
+};
+
+}  // namespace boson::param

@@ -1,0 +1,40 @@
+#include "param/regularizer.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace boson::param {
+
+double total_variation(const array2d<double>& rho, array2d<double>* d_rho,
+                       double smoothing) {
+  require(rho.nx() >= 2 && rho.ny() >= 2, "total_variation: pattern too small");
+  require(smoothing > 0.0, "total_variation: smoothing must be positive");
+  if (d_rho != nullptr && !d_rho->same_shape(rho))
+    *d_rho = array2d<double>(rho.nx(), rho.ny(), 0.0);
+
+  double tv = 0.0;
+  const double eps2 = smoothing * smoothing;
+  // Forward differences; the last row/column use a zero gradient on the
+  // missing side (free boundary).
+  for (std::size_t ix = 0; ix < rho.nx(); ++ix) {
+    for (std::size_t iy = 0; iy < rho.ny(); ++iy) {
+      const double gx = (ix + 1 < rho.nx()) ? rho(ix + 1, iy) - rho(ix, iy) : 0.0;
+      const double gy = (iy + 1 < rho.ny()) ? rho(ix, iy + 1) - rho(ix, iy) : 0.0;
+      const double mag = std::sqrt(gx * gx + gy * gy + eps2);
+      tv += mag - smoothing;  // zero for flat regions
+      if (d_rho == nullptr) continue;
+      if (ix + 1 < rho.nx()) {
+        (*d_rho)(ix + 1, iy) += gx / mag;
+        (*d_rho)(ix, iy) -= gx / mag;
+      }
+      if (iy + 1 < rho.ny()) {
+        (*d_rho)(ix, iy + 1) += gy / mag;
+        (*d_rho)(ix, iy) -= gy / mag;
+      }
+    }
+  }
+  return tv;
+}
+
+}  // namespace boson::param

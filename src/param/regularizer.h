@@ -1,0 +1,22 @@
+#pragma once
+
+#include "common/array2d.h"
+#include "common/types.h"
+
+namespace boson::param {
+
+/// Smoothed isotropic total-variation (perimeter) regularizer:
+///   TV(rho) = sum_cells sqrt(|grad rho|^2 + eps^2) * cell_area-ish weight.
+///
+/// This is the classical curvature / feature-size *heuristic* that prior
+/// inverse-design work adds to discourage fine features (the paper's
+/// Section II-B discussion). BOSON-1 replaces it with explicit fabrication
+/// modeling; the regularizer is provided for baseline studies and as an
+/// optional extra term (`run_options::tv_weight`).
+///
+/// Returns the TV value; when `d_rho` is non-null, accumulates the exact
+/// gradient of the smoothed functional into it.
+double total_variation(const array2d<double>& rho, array2d<double>* d_rho,
+                       double smoothing = 1e-3);
+
+}  // namespace boson::param

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+
+namespace boson::robust {
+
+/// One realization of every variation source the framework models:
+/// lithography corner index (into `fab::standard_litho_corners`), operating
+/// temperature, a uniform shift of the etch threshold, and EOLE coefficients
+/// for the spatially varying part of the threshold field.
+struct variation_corner {
+  int litho = 0;
+  double temperature = 300.0;
+  double eta_shift = 0.0;
+  dvec xi;                 ///< empty means all-zero coefficients
+  double weight = 1.0;     ///< relative weight in the robust objective
+  std::string name = "nominal";
+
+  bool is_nominal() const {
+    if (litho != 0 || temperature != 300.0 || eta_shift != 0.0) return false;
+    for (const double v : xi)
+      if (v != 0.0) return false;
+    return true;
+  }
+};
+
+/// Ranges of the variation distribution; axial corners sit at the extremes
+/// and Monte-Carlo evaluation samples uniformly within.
+struct variation_space {
+  double temp_min = 260.0;
+  double temp_max = 340.0;
+  double eta_delta = 0.05;          ///< global threshold corner offset
+  std::size_t num_litho_corners = 3;
+  std::size_t eole_terms = 8;       ///< length of xi
+  double worst_xi_scale = 1.5;      ///< magnitude of the one-step xi ascent
+};
+
+}  // namespace boson::robust

@@ -1,0 +1,180 @@
+#include "robust/sampler.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "linalg/vec.h"
+
+namespace boson::robust {
+
+const char* to_string(sampling_strategy s) {
+  switch (s) {
+    case sampling_strategy::nominal_only: return "nominal-only";
+    case sampling_strategy::axial_single: return "single-sided-axial";
+    case sampling_strategy::axial_double: return "double-sided-axial";
+    case sampling_strategy::exhaustive: return "corner-sweeping";
+    case sampling_strategy::axial_plus_random: return "axial+random";
+    case sampling_strategy::axial_plus_worst: return "axial+worst-case";
+  }
+  return "?";
+}
+
+corner_sampler::corner_sampler(sampling_strategy strategy, variation_space space)
+    : strategy_(strategy), space_(space) {
+  require(space.temp_max >= space.temp_min, "corner_sampler: bad temperature range");
+}
+
+namespace {
+
+variation_corner nominal(const variation_space& space) {
+  variation_corner c;
+  c.xi.assign(space.eole_terms, 0.0);
+  c.name = "nominal";
+  return c;
+}
+
+std::vector<variation_corner> axial(const variation_space& space, bool double_sided) {
+  std::vector<variation_corner> corners;
+  corners.push_back(nominal(space));
+
+  auto push = [&](variation_corner c, const std::string& name) {
+    c.name = name;
+    if (c.xi.empty()) c.xi.assign(space.eole_terms, 0.0);
+    corners.push_back(std::move(c));
+  };
+
+  // Lithography axis.
+  {
+    variation_corner c = nominal(space);
+    c.litho = 2;  // l_max
+    push(c, "litho+");
+    if (double_sided) {
+      variation_corner d = nominal(space);
+      d.litho = 1;  // l_min
+      push(d, "litho-");
+    }
+  }
+  // Temperature axis.
+  {
+    variation_corner c = nominal(space);
+    c.temperature = space.temp_max;
+    push(c, "temp+");
+    if (double_sided) {
+      variation_corner d = nominal(space);
+      d.temperature = space.temp_min;
+      push(d, "temp-");
+    }
+  }
+  // Global etch-threshold axis.
+  {
+    variation_corner c = nominal(space);
+    c.eta_shift = space.eta_delta;
+    push(c, "eta+");
+    if (double_sided) {
+      variation_corner d = nominal(space);
+      d.eta_shift = -space.eta_delta;
+      push(d, "eta-");
+    }
+  }
+  return corners;
+}
+
+std::vector<variation_corner> exhaustive_sweep(const variation_space& space) {
+  std::vector<variation_corner> corners;
+  const double temps[3] = {300.0, space.temp_min, space.temp_max};
+  const double etas[3] = {0.0, -space.eta_delta, space.eta_delta};
+  for (int l = 0; l < static_cast<int>(space.num_litho_corners); ++l) {
+    for (int t = 0; t < 3; ++t) {
+      for (int e = 0; e < 3; ++e) {
+        variation_corner c;
+        c.litho = l;
+        c.temperature = temps[t];
+        c.eta_shift = etas[e];
+        c.xi.assign(space.eole_terms, 0.0);
+        c.name = "sweep(l=" + std::to_string(l) + ",t=" + std::to_string(t) +
+                 ",e=" + std::to_string(e) + ")";
+        corners.push_back(std::move(c));
+      }
+    }
+  }
+  return corners;
+}
+
+}  // namespace
+
+variation_corner random_corner(rng& r, const variation_space& space, const std::string& name) {
+  variation_corner c;
+  c.litho = static_cast<int>(
+      r.uniform_int(0, static_cast<long>(space.num_litho_corners) - 1));
+  c.temperature = r.uniform(space.temp_min, space.temp_max);
+  c.eta_shift = 0.0;  // the random field already perturbs the threshold
+  c.xi = r.normal_vector(space.eole_terms);
+  c.name = name;
+  return c;
+}
+
+variation_corner make_worst_corner(const worst_case_info& info, const variation_space& space) {
+  variation_corner c;
+  c.name = "worst-case";
+  // Temperature: move to whichever extreme the loss gradient points at.
+  c.temperature = info.d_temperature >= 0.0 ? space.temp_max : space.temp_min;
+  // EOLE coefficients: one normalized ascent step (xi has unit variance, so
+  // the step magnitude is expressed in standard deviations).
+  c.xi.assign(space.eole_terms, 0.0);
+  const std::size_t n = std::min(info.d_xi.size(), c.xi.size());
+  double norm = 0.0;
+  for (std::size_t m = 0; m < n; ++m) norm += info.d_xi[m] * info.d_xi[m];
+  norm = std::sqrt(norm);
+  if (norm > 1e-30) {
+    for (std::size_t m = 0; m < n; ++m)
+      c.xi[m] = space.worst_xi_scale * info.d_xi[m] / norm;
+  }
+  return c;
+}
+
+std::vector<variation_corner> corner_sampler::sample(
+    rng& r, const std::optional<worst_case_info>& worst) const {
+  switch (strategy_) {
+    case sampling_strategy::nominal_only: {
+      return {nominal(space_)};
+    }
+    case sampling_strategy::axial_single:
+      return axial(space_, false);
+    case sampling_strategy::axial_double:
+      return axial(space_, true);
+    case sampling_strategy::exhaustive:
+      return exhaustive_sweep(space_);
+    case sampling_strategy::axial_plus_random: {
+      auto corners = axial(space_, true);
+      corners.push_back(random_corner(r, space_, "random-extra"));
+      return corners;
+    }
+    case sampling_strategy::axial_plus_worst: {
+      auto corners = axial(space_, true);
+      if (worst) {
+        corners.push_back(make_worst_corner(*worst, space_));
+      } else {
+        // First iteration: no gradient info yet; duplicate nominal so the
+        // simulation budget matches later iterations.
+        corners.push_back(nominal(space_));
+        corners.back().name = "worst-case(warmup)";
+      }
+      return corners;
+    }
+  }
+  throw bad_argument("corner_sampler: unknown strategy");
+}
+
+std::size_t corner_sampler::corners_per_iteration() const {
+  switch (strategy_) {
+    case sampling_strategy::nominal_only: return 1;
+    case sampling_strategy::axial_single: return 4;
+    case sampling_strategy::axial_double: return 7;
+    case sampling_strategy::exhaustive: return 9 * space_.num_litho_corners;
+    case sampling_strategy::axial_plus_random: return 8;
+    case sampling_strategy::axial_plus_worst: return 8;
+  }
+  return 0;
+}
+
+}  // namespace boson::robust

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "robust/corners.h"
+
+namespace boson::robust {
+
+/// Corner-sampling strategies compared in the paper's Fig. 6(a), plus the
+/// exhaustive sweep used by prior art (InvFabCor) and by the Table II
+/// ablation.
+enum class sampling_strategy {
+  nominal_only,       ///< no variation awareness
+  axial_single,       ///< one-sided axial corners: O(N)
+  axial_double,       ///< double-sided axial corners: O(2N)
+  exhaustive,         ///< full 3^N corner sweep
+  axial_plus_random,  ///< axial + random extra samples (cost-matched control)
+  axial_plus_worst,   ///< BOSON-1: axial + one-step gradient-ascent worst case
+};
+
+const char* to_string(sampling_strategy s);
+
+/// Gradient information harvested from the previous iteration's nominal
+/// corner, used to build the worst-case corner by one-step ascent (the
+/// SAM-inspired move of Section III-E).
+struct worst_case_info {
+  dvec d_xi;                ///< dLoss/dxi at the nominal corner
+  double d_temperature = 0.0;
+};
+
+/// Produces the set of variation corners simulated in one optimization
+/// iteration.
+class corner_sampler {
+ public:
+  corner_sampler(sampling_strategy strategy, variation_space space);
+
+  sampling_strategy strategy() const { return strategy_; }
+  const variation_space& space() const { return space_; }
+
+  /// Corner set for this iteration. `worst` supplies ascent directions when
+  /// the strategy uses them (ignored otherwise; when absent at iteration 0
+  /// the worst slot falls back to the nominal corner).
+  std::vector<variation_corner> sample(rng& r,
+                                       const std::optional<worst_case_info>& worst) const;
+
+  /// Number of simulated corners per iteration (cost model for benches).
+  std::size_t corners_per_iteration() const;
+
+ private:
+  sampling_strategy strategy_;
+  variation_space space_;
+};
+
+/// Build the worst-case corner by one-step gradient ascent on temperature
+/// and the EOLE coefficients.
+variation_corner make_worst_corner(const worst_case_info& info, const variation_space& space);
+
+/// Draw one random corner uniformly from the variation space (litho corner
+/// uniform, temperature uniform, xi standard normal). Shared by the sampler
+/// and the Monte-Carlo evaluator.
+variation_corner random_corner(rng& r, const variation_space& space, const std::string& name);
+
+}  // namespace boson::robust

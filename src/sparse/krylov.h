@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+#include "sparse/csr.h"
+
+namespace boson::sp {
+
+/// Zero-fill incomplete LU factorization of a complex CSR matrix, used to
+/// precondition BiCGSTAB. Kept as an alternative solve path for grids whose
+/// bandwidth makes the direct banded factorization unattractive.
+class ilu0 {
+ public:
+  explicit ilu0(const csr_c& a);
+
+  /// Apply z = (LU)^{-1} r.
+  cvec apply(const cvec& r) const;
+
+ private:
+  csr_c factors_;               // L (unit diagonal, strictly lower) and U share the pattern of A
+  std::vector<std::size_t> diag_;  // position of the diagonal entry in each row
+};
+
+/// Outcome of an iterative solve.
+struct krylov_result {
+  bool converged = false;
+  std::size_t iterations = 0;
+  double relative_residual = 0.0;
+};
+
+/// Preconditioned BiCGSTAB for complex non-Hermitian systems. `x` carries the
+/// initial guess in and the solution out.
+krylov_result bicgstab(const csr_c& a, const cvec& b, cvec& x, const ilu0* precond,
+                       double tol = 1e-8, std::size_t max_iterations = 2000);
+
+/// Restarted GMRES(m) with optional left ILU(0) preconditioning. More robust
+/// than BiCGSTAB on strongly indefinite Helmholtz systems at the cost of
+/// storing `restart` basis vectors.
+krylov_result gmres(const csr_c& a, const cvec& b, cvec& x, const ilu0* precond,
+                    std::size_t restart = 60, double tol = 1e-8,
+                    std::size_t max_iterations = 2000);
+
+}  // namespace boson::sp

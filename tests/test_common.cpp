@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <thread>
+
+#include "common/array2d.h"
+#include "common/env.h"
+#include "common/error.h"
+#include "common/log.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/timer.h"
+
+namespace boson {
+namespace {
+
+// ---------------------------------------------------------------- error ----
+
+TEST(error, require_throws_bad_argument) {
+  EXPECT_THROW(require(false, "boom"), bad_argument);
+  EXPECT_NO_THROW(require(true, "fine"));
+}
+
+TEST(error, check_numeric_throws_numeric_error) {
+  EXPECT_THROW(check_numeric(false, "nan"), numeric_error);
+  EXPECT_NO_THROW(check_numeric(true, "ok"));
+}
+
+TEST(error, hierarchy_is_catchable_as_base) {
+  try {
+    throw numeric_error("x");
+  } catch (const error& e) {
+    EXPECT_STREQ(e.what(), "x");
+    return;
+  }
+  FAIL() << "numeric_error not caught as boson::error";
+}
+
+// ------------------------------------------------------------------ env ----
+
+TEST(env, string_fallback_when_unset) {
+  ::unsetenv("BOSON_TEST_VAR");
+  EXPECT_EQ(env_string("BOSON_TEST_VAR", "dflt"), "dflt");
+  ::setenv("BOSON_TEST_VAR", "abc", 1);
+  EXPECT_EQ(env_string("BOSON_TEST_VAR", "dflt"), "abc");
+  ::unsetenv("BOSON_TEST_VAR");
+}
+
+TEST(env, int_parses_and_falls_back) {
+  ::setenv("BOSON_TEST_INT", "42", 1);
+  EXPECT_EQ(env_int("BOSON_TEST_INT", 7), 42);
+  ::setenv("BOSON_TEST_INT", "notanumber", 1);
+  EXPECT_EQ(env_int("BOSON_TEST_INT", 7), 7);
+  ::unsetenv("BOSON_TEST_INT");
+  EXPECT_EQ(env_int("BOSON_TEST_INT", -3), -3);
+}
+
+TEST(env, double_parses) {
+  ::setenv("BOSON_TEST_DBL", "0.25", 1);
+  EXPECT_DOUBLE_EQ(env_double("BOSON_TEST_DBL", 1.0), 0.25);
+  ::unsetenv("BOSON_TEST_DBL");
+  EXPECT_DOUBLE_EQ(env_double("BOSON_TEST_DBL", 1.5), 1.5);
+}
+
+TEST(env, flag_recognizes_truthy_values) {
+  for (const char* v : {"1", "true", "yes", "on", "TRUE", "Yes"}) {
+    ::setenv("BOSON_TEST_FLAG", v, 1);
+    EXPECT_TRUE(env_flag("BOSON_TEST_FLAG")) << v;
+  }
+  for (const char* v : {"0", "false", "off", "nope"}) {
+    ::setenv("BOSON_TEST_FLAG", v, 1);
+    EXPECT_FALSE(env_flag("BOSON_TEST_FLAG")) << v;
+  }
+  ::unsetenv("BOSON_TEST_FLAG");
+}
+
+// -------------------------------------------------------------- array2d ----
+
+TEST(array2d, shape_and_indexing) {
+  array2d<double> a(3, 5, 1.5);
+  EXPECT_EQ(a.nx(), 3u);
+  EXPECT_EQ(a.ny(), 5u);
+  EXPECT_EQ(a.size(), 15u);
+  EXPECT_DOUBLE_EQ(a(2, 4), 1.5);
+  a(1, 2) = -2.0;
+  EXPECT_DOUBLE_EQ(a.at(1, 2), -2.0);
+  EXPECT_EQ(a.index(1, 2), 1 * 5 + 2u);
+}
+
+TEST(array2d, at_checks_bounds) {
+  array2d<int> a(2, 2);
+  EXPECT_THROW(a.at(2, 0), bad_argument);
+  EXPECT_THROW(a.at(0, 2), bad_argument);
+}
+
+TEST(array2d, default_constructed_is_empty) {
+  array2d<double> a;
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(array2d, add_scaled_accumulates) {
+  array2d<double> a(2, 2, 1.0);
+  array2d<double> b(2, 2, 2.0);
+  add_scaled(a, 0.5, b);
+  for (const double v : a) EXPECT_DOUBLE_EQ(v, 2.0);
+}
+
+TEST(array2d, add_scaled_rejects_shape_mismatch) {
+  array2d<double> a(2, 2);
+  array2d<double> b(2, 3);
+  EXPECT_THROW(add_scaled(a, 1.0, b), bad_argument);
+}
+
+TEST(array2d, total_and_min_max) {
+  array2d<double> a(2, 3, 1.0);
+  a(0, 0) = -4.0;
+  a(1, 2) = 9.0;
+  EXPECT_DOUBLE_EQ(total(a), -4.0 + 9.0 + 4.0);
+  const auto [lo, hi] = min_max(a);
+  EXPECT_DOUBLE_EQ(lo, -4.0);
+  EXPECT_DOUBLE_EQ(hi, 9.0);
+}
+
+TEST(array2d, same_shape_across_types) {
+  array2d<double> a(4, 6);
+  array2d<cplx> b(4, 6);
+  array2d<cplx> c(6, 4);
+  EXPECT_TRUE(a.same_shape(b));
+  EXPECT_FALSE(a.same_shape(c));
+}
+
+// ------------------------------------------------------------------ rng ----
+
+TEST(rng, deterministic_given_seed) {
+  rng a(123), b(123);
+  for (int i = 0; i < 16; ++i) EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+}
+
+TEST(rng, uniform_respects_bounds) {
+  rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(rng, uniform_int_covers_range) {
+  rng r(9);
+  std::set<long> seen;
+  for (int i = 0; i < 300; ++i) seen.insert(r.uniform_int(0, 2));
+  EXPECT_EQ(seen.size(), 3u);
+  EXPECT_TRUE(seen.count(0) && seen.count(1) && seen.count(2));
+}
+
+TEST(rng, normal_moments_are_sane) {
+  rng r(11);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(rng, fork_streams_are_distinct_and_deterministic) {
+  rng base(42);
+  rng f1 = base.fork(1);
+  rng f2 = base.fork(2);
+  rng f1b = rng(42).fork(1);
+  const double a = f1.uniform(0, 1);
+  EXPECT_NE(a, f2.uniform(0, 1));
+  EXPECT_DOUBLE_EQ(a, f1b.uniform(0, 1));
+}
+
+TEST(rng, invalid_ranges_throw) {
+  rng r(1);
+  EXPECT_THROW(r.uniform(1.0, 0.0), bad_argument);
+  EXPECT_THROW(r.uniform_int(3, 2), bad_argument);
+}
+
+TEST(rng, normal_vector_has_requested_size) {
+  rng r(5);
+  EXPECT_EQ(r.normal_vector(17).size(), 17u);
+}
+
+// ------------------------------------------------------------- parallel ----
+
+TEST(parallel, runs_every_index_exactly_once) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(parallel, zero_iterations_is_noop) {
+  bool touched = false;
+  parallel_for(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(parallel, propagates_first_exception) {
+  EXPECT_THROW(
+      parallel_for(64, [&](std::size_t i) {
+        if (i == 13) throw numeric_error("worker failure");
+      }),
+      numeric_error);
+}
+
+TEST(parallel, worker_count_is_positive_and_bounded) {
+  EXPECT_GE(worker_count(), 1u);
+  EXPECT_LE(worker_count(), std::max(1u, std::thread::hardware_concurrency()));
+}
+
+TEST(parallel, single_item_runs_inline) {
+  int count = 0;
+  parallel_for(1, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+// ---------------------------------------------------------------- timer ----
+
+TEST(timer, measures_nonnegative_elapsed_time) {
+  stopwatch sw;
+  EXPECT_GE(sw.seconds(), 0.0);
+  sw.reset();
+  EXPECT_GE(sw.seconds(), 0.0);
+  EXPECT_LT(sw.seconds(), 5.0);
+}
+
+// ------------------------------------------------------------------ log ----
+
+TEST(log, level_round_trip) {
+  const log_level before = current_log_level();
+  set_log_level(log_level::err);
+  EXPECT_EQ(current_log_level(), log_level::err);
+  set_log_level(before);
+}
+
+TEST(log, suppressed_levels_do_not_crash) {
+  const log_level before = current_log_level();
+  set_log_level(log_level::off);
+  log_debug("hidden ", 1);
+  log_info("hidden ", 2.5);
+  log_warn("hidden ", "three");
+  log_error("hidden");
+  set_log_level(before);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace boson

@@ -1,0 +1,473 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "fab/temperature.h"
+#include "fdfd/monitor.h"
+#include "fdfd/solver.h"
+#include "fdfd/source.h"
+#include "modes/slab.h"
+#include "sparse/krylov.h"
+
+namespace boson::fdfd {
+namespace {
+
+constexpr double k0_default = 2.0 * pi / 1.55;
+
+/// Straight silicon waveguide through a small domain.
+struct waveguide_fixture {
+  grid2d g;
+  pml_spec pml;
+  array2d<double> eps;
+  std::size_t wg_lo, wg_hi;  // core cells in y
+
+  explicit waveguide_fixture(std::size_t nx = 70, std::size_t ny = 48, double d = 0.05) {
+    g.nx = nx;
+    g.ny = ny;
+    g.dx = g.dy = d;
+    pml.cells = 8;
+    eps = array2d<double>(nx, ny, 1.0);
+    wg_lo = ny / 2 - 4;
+    wg_hi = ny / 2 + 4;
+    const double eps_si = fab::eps_si(300.0);
+    for (std::size_t ix = 0; ix < nx; ++ix)
+      for (std::size_t iy = wg_lo; iy < wg_hi; ++iy) eps(ix, iy) = eps_si;
+  }
+
+  modes::slab_mode mode(std::size_t order = 1) const {
+    dvec line(g.ny - 2 * pml.cells);
+    for (std::size_t t = 0; t < line.size(); ++t) line[t] = eps(0, pml.cells + t);
+    auto ms = modes::solve_slab_modes(line, g.dy, k0_default, order + 2);
+    return ms.at(order - 1);
+  }
+
+  std::size_t span_start() const { return pml.cells; }
+  std::size_t span_count() const { return g.ny - 2 * pml.cells; }
+
+  array2d<cplx> solve_with_source(const fdfd_solver& solver, std::size_t src_ix,
+                                  int direction) const {
+    array2d<cplx> current(g.nx, g.ny, cplx{});
+    mode_source_spec ss;
+    ss.axis = port_axis::vertical;
+    ss.line_index = src_ix;
+    ss.span_start = span_start();
+    ss.direction = direction;
+    add_mode_source(current, ss, mode(), g.dx);
+    return solver.solve(current);
+  }
+};
+
+// ------------------------------------------------------------- operator ----
+
+class operator_grids : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(operator_grids, scaled_helmholtz_matrix_is_complex_symmetric) {
+  const auto [nx, ny] = GetParam();
+  grid2d g;
+  g.nx = nx;
+  g.ny = ny;
+  g.dx = 0.05;
+  g.dy = 0.04;
+  pml_spec pml;
+  pml.cells = 6;
+  rng r(nx + ny);
+  array2d<double> eps(nx, ny);
+  for (auto& v : eps) v = 1.0 + 11.0 * r.uniform(0, 1);
+  fdfd_solver solver(g, pml, k0_default, eps);
+  EXPECT_LT(solver.assemble_csr().asymmetry(), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(grids, operator_grids,
+                         ::testing::Values(std::pair<std::size_t, std::size_t>{24, 20},
+                                           std::pair<std::size_t, std::size_t>{40, 16},
+                                           std::pair<std::size_t, std::size_t>{16, 40}));
+
+TEST(fdfd_solver, solution_satisfies_csr_residual) {
+  waveguide_fixture f(48, 36);
+  fdfd_solver solver(f.g, f.pml, k0_default, f.eps);
+  array2d<cplx> current(f.g.nx, f.g.ny, cplx{});
+  current(20, f.g.ny / 2) = cplx{1.0};
+  const auto field = solver.solve(current);
+
+  // Rebuild b exactly as the solver does and check A e = b in CSR form.
+  const auto a = solver.assemble_csr();
+  cvec e(field.raw());
+  const auto ae = a.matvec(e);
+  cvec b(f.g.cell_count(), cplx{});
+  const std::size_t idx = 20 * f.g.ny + f.g.ny / 2;
+  b[idx] = -imag_unit * k0_default * solver.stretch_x().center[20] *
+           solver.stretch_y().center[f.g.ny / 2];
+  double err = 0.0, scale = 0.0;
+  for (std::size_t i = 0; i < ae.size(); ++i) {
+    err = std::max(err, std::abs(ae[i] - b[i]));
+    scale = std::max(scale, std::abs(b[i]));
+  }
+  EXPECT_LT(err, 1e-10 * scale);
+}
+
+TEST(fdfd_solver, validates_inputs) {
+  grid2d g;
+  g.nx = g.ny = 30;
+  g.dx = g.dy = 0.05;
+  pml_spec pml;
+  pml.cells = 6;
+  array2d<double> eps(30, 30, 1.0);
+  EXPECT_THROW(fdfd_solver(g, pml, -1.0, eps), bad_argument);
+  array2d<double> wrong(29, 30, 1.0);
+  EXPECT_THROW(fdfd_solver(g, pml, k0_default, wrong), bad_argument);
+  fdfd_solver solver(g, pml, k0_default, eps);
+  array2d<cplx> bad_src(29, 30);
+  EXPECT_THROW(solver.solve(bad_src), bad_argument);
+}
+
+// -------------------------------------------------------------- physics ----
+
+TEST(physics, pml_absorbs_outgoing_waves) {
+  // Homogeneous medium, point source at the center: the field near the
+  // domain boundary (inside the PML) must be strongly attenuated.
+  grid2d g;
+  g.nx = g.ny = 60;
+  g.dx = g.dy = 0.05;
+  pml_spec pml;
+  pml.cells = 10;
+  array2d<double> eps(60, 60, 1.0);
+  fdfd_solver solver(g, pml, k0_default, eps);
+  array2d<cplx> current(60, 60, cplx{});
+  current(30, 30) = cplx{1.0};
+  const auto field = solver.solve(current);
+
+  // Compare against the field just outside the source, where the cylindrical
+  // wave is still strong; the PML plus 1/sqrt(r) spreading must attenuate the
+  // boundary field by more than three orders of magnitude.
+  const double center_mag = std::abs(field(33, 30));
+  const double edge_mag = std::abs(field(59, 30));
+  EXPECT_GT(center_mag, 0.0);
+  EXPECT_LT(edge_mag, 1e-3 * center_mag);
+}
+
+TEST(physics, free_space_wavelength_matches_k0) {
+  // 1-D-like propagation: a full-height line source in vacuum creates a
+  // quasi-plane wave; the discrete phase advance per cell approximates k0 dx.
+  grid2d g;
+  g.nx = 100;
+  g.ny = 40;
+  g.dx = g.dy = 0.05;
+  pml_spec pml;
+  pml.cells = 10;
+  array2d<double> eps(g.nx, g.ny, 1.0);
+  fdfd_solver solver(g, pml, k0_default, eps);
+  array2d<cplx> current(g.nx, g.ny, cplx{});
+  for (std::size_t iy = 0; iy < g.ny; ++iy) current(30, iy) = cplx{1.0};
+  const auto field = solver.solve(current);
+
+  const std::size_t iy = g.ny / 2;
+  double total_phase = 0.0;
+  int counted = 0;
+  for (std::size_t ix = 45; ix < 80; ++ix) {
+    const cplx ratio = field(ix + 1, iy) / field(ix, iy);
+    total_phase += std::arg(ratio);
+    ++counted;
+  }
+  const double phase_per_cell = total_phase / counted;
+  // Discrete dispersion: q dx = 2 asin(k0 dx / 2).
+  const double expected = 2.0 * std::asin(k0_default * g.dx / 2.0);
+  EXPECT_NEAR(std::abs(phase_per_cell), expected, 0.01 * expected);
+}
+
+class pml_strengths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(pml_strengths, thicker_pml_never_reflects_more) {
+  // Launch a guided mode at a wall of PML and measure the reflected flux.
+  const std::size_t cells = GetParam();
+  waveguide_fixture f(70, 48);
+  f.pml.cells = cells;
+  fdfd_solver solver(f.g, f.pml, k0_default, f.eps);
+  const auto field = f.solve_with_source(solver, 30, +1);
+  // Net flux between source and right PML = incident - reflected; compare
+  // against the flux right next to the source (the launched power).
+  flux_monitor near(port_axis::vertical, 35, f.span_start(), f.span_count(), f.g.dx,
+                    f.g.dy, k0_default);
+  flux_monitor far(port_axis::vertical, 69 - cells - 2, f.span_start(), f.span_count(),
+                   f.g.dx, f.g.dy, k0_default);
+  const double p_near = near.evaluate(field).value;
+  const double p_far = far.evaluate(field).value;
+  ASSERT_GT(p_near, 0.0);
+  // Power is conserved down the guide into the absorber: any PML reflection
+  // would show as a standing-wave mismatch between the two planes.
+  EXPECT_NEAR(p_far / p_near, 1.0, 0.02) << "pml cells = " << cells;
+}
+
+INSTANTIATE_TEST_SUITE_P(thickness, pml_strengths, ::testing::Values(8, 12, 16));
+
+TEST(physics, rectangular_cells_preserve_transmission) {
+  // dx != dy: a straight waveguide must still transmit unit power.
+  grid2d g;
+  g.nx = 90;
+  g.ny = 48;
+  g.dx = 0.04;
+  g.dy = 0.05;
+  pml_spec pml;
+  pml.cells = 10;
+  array2d<double> eps(g.nx, g.ny, 1.0);
+  const double eps_si = fab::eps_si(300.0);
+  for (std::size_t ix = 0; ix < g.nx; ++ix)
+    for (std::size_t iy = 20; iy < 28; ++iy) eps(ix, iy) = eps_si;
+  fdfd_solver solver(g, pml, k0_default, eps);
+
+  dvec line(28);
+  for (std::size_t t = 0; t < 28; ++t) line[t] = eps(0, 10 + t);
+  const auto ms = modes::solve_slab_modes(line, g.dy, k0_default, 2);
+  ASSERT_GE(ms.size(), 1u);
+
+  array2d<cplx> current(g.nx, g.ny, cplx{});
+  mode_source_spec ss;
+  ss.axis = port_axis::vertical;
+  ss.line_index = 25;
+  ss.span_start = 10;
+  ss.direction = +1;
+  add_mode_source(current, ss, ms[0], g.dx);
+  const auto field = solver.solve(current);
+
+  mode_power_monitor near(port_axis::vertical, 35, 10, ms[0], g.dy, k0_default, g.dx);
+  mode_power_monitor far(port_axis::vertical, 70, 10, ms[0], g.dy, k0_default, g.dx);
+  const double p_near = near.evaluate(field).value;
+  ASSERT_GT(p_near, 0.0);
+  EXPECT_NEAR(far.evaluate(field).value / p_near, 1.0, 0.02);
+}
+
+TEST(physics, mode_source_is_unidirectional) {
+  waveguide_fixture f;
+  fdfd_solver solver(f.g, f.pml, k0_default, f.eps);
+  const auto field = f.solve_with_source(solver, 25, +1);
+  flux_monitor right(port_axis::vertical, 45, f.span_start(), f.span_count(), f.g.dx, f.g.dy,
+                     k0_default);
+  flux_monitor left(port_axis::vertical, 14, f.span_start(), f.span_count(), f.g.dx, f.g.dy,
+                    k0_default);
+  const double p_right = right.evaluate(field).value;
+  const double p_left = left.evaluate(field).value;
+  EXPECT_GT(p_right, 0.0);
+  EXPECT_GT(p_right / std::max(std::abs(p_left), 1e-30), 100.0);
+}
+
+TEST(physics, backward_mode_source_mirrors_forward) {
+  waveguide_fixture f;
+  fdfd_solver solver(f.g, f.pml, k0_default, f.eps);
+  const auto field = f.solve_with_source(solver, 45, -1);
+  flux_monitor left(port_axis::vertical, 20, f.span_start(), f.span_count(), f.g.dx, f.g.dy,
+                    k0_default);
+  const double p_left = left.evaluate(field).value;  // net +x flux; must be negative
+  EXPECT_LT(p_left, 0.0);
+}
+
+TEST(physics, straight_waveguide_transmits_unit_power) {
+  waveguide_fixture f;
+  fdfd_solver solver(f.g, f.pml, k0_default, f.eps);
+  const auto field = f.solve_with_source(solver, 20, +1);
+  const auto mode = f.mode();
+  mode_power_monitor near(port_axis::vertical, 30, f.span_start(), mode, f.g.dy, k0_default,
+                          f.g.dx);
+  mode_power_monitor far(port_axis::vertical, 55, f.span_start(), mode, f.g.dy, k0_default,
+                         f.g.dx);
+  const double p_near = near.evaluate(field).value;
+  const double p_far = far.evaluate(field).value;
+  ASSERT_GT(p_near, 0.0);
+  EXPECT_NEAR(p_far / p_near, 1.0, 0.01);
+}
+
+TEST(physics, modal_power_matches_poynting_flux) {
+  waveguide_fixture f;
+  fdfd_solver solver(f.g, f.pml, k0_default, f.eps);
+  const auto field = f.solve_with_source(solver, 20, +1);
+  mode_power_monitor mode_mon(port_axis::vertical, 50, f.span_start(), f.mode(), f.g.dy,
+                              k0_default, f.g.dx);
+  flux_monitor flux_mon(port_axis::vertical, 50, f.span_start(), f.span_count(), f.g.dx,
+                        f.g.dy, k0_default);
+  const double p_mode = mode_mon.evaluate(field).value;
+  const double p_flux = flux_mon.evaluate(field).value;
+  EXPECT_NEAR(p_mode / p_flux, 1.0, 0.02);
+}
+
+TEST(physics, scatterer_conserves_power) {
+  // Power in = transmitted + reflected + radiated: check net flux through a
+  // closed box around a scatterer is ~zero (lossless medium).
+  waveguide_fixture f(80, 56);
+  // A silicon post partially blocking the guide.
+  for (std::size_t ix = 40; ix < 44; ++ix)
+    for (std::size_t iy = f.wg_lo - 4; iy < f.wg_lo + 2; ++iy) f.eps(ix, iy) = 12.1;
+  fdfd_solver solver(f.g, f.pml, k0_default, f.eps);
+  const auto field = f.solve_with_source(solver, 20, +1);
+
+  const std::size_t lo = f.pml.cells + 1, hi_x = f.g.nx - f.pml.cells - 2,
+                    hi_y = f.g.ny - f.pml.cells - 2;
+  flux_monitor right(port_axis::vertical, hi_x, lo, hi_y - lo, f.g.dx, f.g.dy, k0_default);
+  flux_monitor left(port_axis::vertical, 25, lo, hi_y - lo, f.g.dx, f.g.dy, k0_default);
+  flux_monitor top(port_axis::horizontal, hi_y, 26, hi_x - 26, f.g.dy, f.g.dx, k0_default);
+  flux_monitor bottom(port_axis::horizontal, lo, 26, hi_x - 26, f.g.dy, f.g.dx, k0_default);
+
+  const double in = left.evaluate(field).value;
+  const double out = right.evaluate(field).value + top.evaluate(field).value -
+                     bottom.evaluate(field).value;
+  ASSERT_GT(in, 0.0);
+  EXPECT_NEAR(out / in, 1.0, 0.03);
+}
+
+TEST(physics, reciprocity_of_point_sources) {
+  // With the symmetric scaled operator, G(p, q) = G(q, p) exactly for
+  // interior points (s = 1 at both).
+  waveguide_fixture f(60, 44);
+  for (std::size_t ix = 28; ix < 33; ++ix)
+    for (std::size_t iy = 18; iy < 23; ++iy) f.eps(ix, iy) = 8.0;  // arbitrary scatterer
+  fdfd_solver solver(f.g, f.pml, k0_default, f.eps);
+
+  array2d<cplx> ja(f.g.nx, f.g.ny, cplx{});
+  ja(18, 22) = cplx{1.0};
+  const auto ea = solver.solve(ja);
+  array2d<cplx> jb(f.g.nx, f.g.ny, cplx{});
+  jb(42, 24) = cplx{1.0};
+  const auto eb = solver.solve(jb);
+  EXPECT_NEAR(std::abs(ea(42, 24) - eb(18, 22)), 0.0, 1e-10 * std::abs(ea(42, 24)));
+}
+
+// ------------------------------------------------------------ gradients ----
+
+/// Wirtinger FD check: for real F(e), dF = 2 Re(g_i de_i).
+template <class Monitor>
+void expect_monitor_gradient_matches_fd(const Monitor& mon, array2d<cplx> field) {
+  const auto base = mon.evaluate(field);
+  const double h = 1e-6;
+  ASSERT_FALSE(base.grad.empty());
+  for (std::size_t t = 0; t < std::min<std::size_t>(base.grad.size(), 6); ++t) {
+    const auto [idx, gval] = base.grad[t];
+    // Real perturbation.
+    field.raw()[idx] += h;
+    const double f_re = mon.evaluate(field).value;
+    field.raw()[idx] -= h;
+    EXPECT_NEAR((f_re - base.value) / h, 2.0 * gval.real(),
+                1e-4 * (std::abs(gval) + 1.0) + 1e-8);
+    // Imaginary perturbation.
+    field.raw()[idx] += cplx(0.0, h);
+    const double f_im = mon.evaluate(field).value;
+    field.raw()[idx] -= cplx(0.0, h);
+    EXPECT_NEAR((f_im - base.value) / h, -2.0 * gval.imag(),
+                1e-4 * (std::abs(gval) + 1.0) + 1e-8);
+  }
+}
+
+TEST(gradients, flux_monitor_gradient_matches_fd) {
+  waveguide_fixture f;
+  fdfd_solver solver(f.g, f.pml, k0_default, f.eps);
+  const auto field = f.solve_with_source(solver, 20, +1);
+  flux_monitor mon(port_axis::vertical, 40, f.span_start(), f.span_count(), f.g.dx, f.g.dy,
+                   k0_default);
+  expect_monitor_gradient_matches_fd(mon, field);
+}
+
+TEST(gradients, horizontal_flux_monitor_gradient_matches_fd) {
+  waveguide_fixture f;
+  fdfd_solver solver(f.g, f.pml, k0_default, f.eps);
+  const auto field = f.solve_with_source(solver, 20, +1);
+  flux_monitor mon(port_axis::horizontal, f.g.ny - f.pml.cells - 3, 20, 30, f.g.dy, f.g.dx,
+                   k0_default);
+  expect_monitor_gradient_matches_fd(mon, field);
+}
+
+TEST(gradients, mode_monitor_gradient_matches_fd) {
+  waveguide_fixture f;
+  fdfd_solver solver(f.g, f.pml, k0_default, f.eps);
+  const auto field = f.solve_with_source(solver, 20, +1);
+  mode_power_monitor mon(port_axis::vertical, 45, f.span_start(), f.mode(), f.g.dy,
+                         k0_default, f.g.dx);
+  expect_monitor_gradient_matches_fd(mon, field);
+}
+
+TEST(gradients, adjoint_eps_gradient_matches_fd) {
+  // Objective: modal power at the output of a perturbed waveguide.
+  waveguide_fixture f(56, 40);
+  const auto mode = f.mode();
+  const std::size_t src = 16, mon_ix = 44;
+
+  auto objective = [&](const array2d<double>& eps) {
+    fdfd_solver solver(f.g, f.pml, k0_default, eps);
+    const auto field = f.solve_with_source(solver, src, +1);
+    mode_power_monitor mon(port_axis::vertical, mon_ix, f.span_start(), mode, f.g.dy,
+                           k0_default, f.g.dx);
+    return mon.evaluate(field).value;
+  };
+
+  fdfd_solver solver(f.g, f.pml, k0_default, f.eps);
+  const auto field = f.solve_with_source(solver, src, +1);
+  mode_power_monitor mon(port_axis::vertical, mon_ix, f.span_start(), mode, f.g.dy,
+                         k0_default, f.g.dx);
+  const auto res = mon.evaluate(field);
+  const auto lambda = solver.solve_adjoint(res.grad);
+  array2d<double> grad(f.g.nx, f.g.ny, 0.0);
+  solver.accumulate_eps_gradient(field, lambda, grad);
+
+  const double h = 1e-5;
+  for (const auto [ix, iy] : {std::pair<std::size_t, std::size_t>{30, f.wg_lo + 2},
+                              std::pair<std::size_t, std::size_t>{32, f.wg_lo - 2},
+                              std::pair<std::size_t, std::size_t>{28, f.wg_hi + 1}}) {
+    array2d<double> ep = f.eps;
+    ep(ix, iy) += h;
+    array2d<double> em = f.eps;
+    em(ix, iy) -= h;
+    const double fd = (objective(ep) - objective(em)) / (2.0 * h);
+    EXPECT_NEAR(grad(ix, iy), fd, 2e-3 * (std::abs(fd) + std::abs(grad(ix, iy))) + 1e-12)
+        << "cell (" << ix << "," << iy << ")";
+  }
+}
+
+TEST(fdfd_solver, iterative_path_matches_direct_solver) {
+  // The CSR + ILU(0) + BiCGSTAB alternative solve path must reproduce the
+  // banded-LU solution on a real (indefinite, PML-damped) Helmholtz system.
+  waveguide_fixture f(40, 30);
+  fdfd_solver solver(f.g, f.pml, k0_default, f.eps);
+  array2d<cplx> current(f.g.nx, f.g.ny, cplx{});
+  current(14, f.g.ny / 2) = cplx{1.0};
+  const auto direct = solver.solve(current);
+
+  const auto a = solver.assemble_csr();
+  cvec b(f.g.cell_count(), cplx{});
+  b[14 * f.g.ny + f.g.ny / 2] = -imag_unit * k0_default *
+                                solver.stretch_x().center[14] *
+                                solver.stretch_y().center[f.g.ny / 2];
+  const sp::ilu0 prec(a);
+  cvec x;
+  const auto res = sp::bicgstab(a, b, x, &prec, 1e-10, 4000);
+  ASSERT_TRUE(res.converged) << "residual " << res.relative_residual;
+
+  double worst = 0.0;
+  double scale = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    worst = std::max(worst, std::abs(x[i] - direct.raw()[i]));
+    scale = std::max(scale, std::abs(direct.raw()[i]));
+  }
+  EXPECT_LT(worst, 1e-6 * scale);
+
+  // GMRES on the same preconditioned system.
+  cvec xg;
+  const auto gres = sp::gmres(a, b, xg, &prec, 80, 1e-10, 4000);
+  ASSERT_TRUE(gres.converged) << "residual " << gres.relative_residual;
+  double worst_g = 0.0;
+  for (std::size_t i = 0; i < xg.size(); ++i)
+    worst_g = std::max(worst_g, std::abs(xg[i] - direct.raw()[i]));
+  EXPECT_LT(worst_g, 1e-6 * scale);
+}
+
+TEST(gradients, adjoint_reuses_factorization) {
+  // Two adjoint solves after a forward solve must agree with fresh solves.
+  waveguide_fixture f(48, 36);
+  fdfd_solver solver(f.g, f.pml, k0_default, f.eps);
+  const auto field = f.solve_with_source(solver, 16, +1);
+  (void)field;
+  field_gradient g1{{200, cplx{1.0, 0.5}}};
+  const auto l1 = solver.solve_adjoint(g1);
+  fdfd_solver fresh(f.g, f.pml, k0_default, f.eps);
+  const auto l2 = fresh.solve_adjoint(g1);
+  for (std::size_t i = 0; i < l1.size(); ++i)
+    EXPECT_NEAR(std::abs(l1.raw()[i] - l2.raw()[i]), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace boson::fdfd

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grid/grid2d.h"
+#include "grid/pml.h"
+#include "modes/slab.h"
+
+namespace boson {
+namespace {
+
+// --------------------------------------------------------------- grid2d ----
+
+TEST(grid2d, coordinates_and_lookup) {
+  grid2d g;
+  g.nx = 10;
+  g.ny = 20;
+  g.dx = 0.1;
+  g.dy = 0.05;
+  EXPECT_DOUBLE_EQ(g.width(), 1.0);
+  EXPECT_DOUBLE_EQ(g.height(), 1.0);
+  EXPECT_DOUBLE_EQ(g.x_center(0), 0.05);
+  EXPECT_DOUBLE_EQ(g.y_center(19), 0.975);
+  EXPECT_EQ(g.ix_of(0.55), 5u);
+  EXPECT_EQ(g.ix_of(-1.0), 0u);
+  EXPECT_EQ(g.ix_of(99.0), 9u);
+  EXPECT_EQ(g.cell_count(), 200u);
+}
+
+TEST(cell_window, contains_and_validation) {
+  grid2d g;
+  g.nx = g.ny = 10;
+  g.dx = g.dy = 1.0;
+  cell_window w{2, 3, 4, 5};
+  EXPECT_TRUE(w.contains(2, 3));
+  EXPECT_TRUE(w.contains(5, 7));
+  EXPECT_FALSE(w.contains(6, 3));
+  EXPECT_FALSE(w.contains(2, 8));
+  EXPECT_NO_THROW(w.validate_within(g));
+  cell_window bad{8, 8, 4, 4};
+  EXPECT_THROW(bad.validate_within(g), bad_argument);
+}
+
+// ------------------------------------------------------------------ pml ----
+
+TEST(pml, interior_is_unstretched) {
+  pml_spec spec;
+  spec.cells = 8;
+  const auto s = build_stretch(64, 0.05, 4.0, spec);
+  ASSERT_EQ(s.center.size(), 64u);
+  ASSERT_EQ(s.iface.size(), 65u);
+  for (std::size_t i = spec.cells + 1; i + spec.cells + 1 < 64; ++i) {
+    EXPECT_EQ(s.center[i], cplx(1.0, 0.0)) << i;
+  }
+}
+
+TEST(pml, absorption_grows_toward_boundary) {
+  pml_spec spec;
+  spec.cells = 10;
+  const auto s = build_stretch(50, 0.05, 4.0, spec);
+  // Imaginary part decreases monotonically walking inward from the low edge.
+  for (std::size_t i = 1; i < spec.cells; ++i)
+    EXPECT_LE(s.center[i].imag(), s.center[i - 1].imag());
+  // Symmetric profile.
+  for (std::size_t i = 0; i < 50; ++i)
+    EXPECT_NEAR(s.center[i].imag(), s.center[49 - i].imag(), 1e-12);
+  // Positive absorption at the boundary, unit real part everywhere.
+  EXPECT_GT(s.center[0].imag(), 0.0);
+  for (const auto& v : s.center) EXPECT_DOUBLE_EQ(v.real(), 1.0);
+}
+
+TEST(pml, grid_too_small_throws) {
+  pml_spec spec;
+  spec.cells = 12;
+  EXPECT_THROW(build_stretch(20, 0.05, 4.0, spec), bad_argument);
+}
+
+TEST(pml, stronger_target_reflection_means_weaker_sigma) {
+  pml_spec strong;
+  strong.cells = 10;
+  strong.r0 = 1e-10;
+  pml_spec weak = strong;
+  weak.r0 = 1e-2;
+  const auto ss = build_stretch(40, 0.05, 4.0, strong);
+  const auto sw = build_stretch(40, 0.05, 4.0, weak);
+  EXPECT_GT(ss.center[0].imag(), sw.center[0].imag());
+}
+
+// ---------------------------------------------------------------- modes ----
+
+/// Analytic effective index of the fundamental even mode of a symmetric slab
+/// (core half-width a, indices n1 > n2), from tan(kappa a) = gamma / kappa.
+double analytic_fundamental_neff(double a, double n1, double n2, double k0) {
+  auto mismatch = [&](double neff) {
+    const double kappa = k0 * std::sqrt(n1 * n1 - neff * neff);
+    const double gamma = k0 * std::sqrt(neff * neff - n2 * n2);
+    return std::tan(kappa * a) - gamma / kappa;
+  };
+  // The fundamental solution has kappa*a in (0, pi/2): bracket and bisect.
+  double lo = std::sqrt(std::max(n2 * n2, n1 * n1 - std::pow(0.5 * pi / (k0 * a), 2.0))) + 1e-9;
+  double hi = n1 - 1e-9;
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (mismatch(mid) > 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+TEST(modes, fundamental_neff_matches_analytic_dispersion) {
+  const double k0 = 2.0 * pi / 1.55;
+  const double n1 = 3.48, n2 = 1.0, width = 0.4;
+  const double d = 0.005;  // fine sampling for small discretization error
+  const std::size_t n = 600;
+  dvec eps(n, n2 * n2);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double y = (static_cast<double>(j) + 0.5) * d - 1.5;
+    if (std::abs(y) < width / 2.0) eps[j] = n1 * n1;
+  }
+  const auto ms = modes::solve_slab_modes(eps, d, k0, 2);
+  ASSERT_GE(ms.size(), 1u);
+  const double expected = analytic_fundamental_neff(width / 2.0, n1, n2, k0);
+  EXPECT_NEAR(ms[0].neff, expected, 2e-3);
+}
+
+TEST(modes, ordering_and_labels) {
+  const double k0 = 2.0 * pi / 1.55;
+  dvec eps(280, 1.0);
+  for (std::size_t j = 100; j < 180; ++j) eps[j] = 12.1;  // wide guide, many modes
+  const auto ms = modes::solve_slab_modes(eps, 0.025, k0, 5);
+  ASSERT_GE(ms.size(), 3u);
+  for (std::size_t m = 1; m < ms.size(); ++m) EXPECT_GT(ms[m - 1].beta, ms[m].beta);
+  for (std::size_t m = 0; m < ms.size(); ++m) EXPECT_EQ(ms[m].order, static_cast<int>(m + 1));
+}
+
+TEST(modes, profiles_orthonormal) {
+  const double k0 = 2.0 * pi / 1.55;
+  const double d = 0.025;
+  dvec eps(280, 1.0);
+  for (std::size_t j = 100; j < 180; ++j) eps[j] = 12.1;
+  const auto ms = modes::solve_slab_modes(eps, d, k0, 4);
+  ASSERT_GE(ms.size(), 3u);
+  for (std::size_t a = 0; a < ms.size(); ++a) {
+    for (std::size_t b = 0; b < ms.size(); ++b) {
+      double overlap = 0.0;
+      for (std::size_t j = 0; j < eps.size(); ++j)
+        overlap += ms[a].profile[j] * ms[b].profile[j] * d;
+      EXPECT_NEAR(overlap, a == b ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(modes, mode_count_grows_with_width) {
+  const double k0 = 2.0 * pi / 1.55;
+  auto count = [&](std::size_t core_cells) {
+    dvec eps(240, 1.0);
+    for (std::size_t j = 120 - core_cells / 2; j < 120 + core_cells / 2; ++j) eps[j] = 12.1;
+    return modes::solve_slab_modes(eps, 0.025, k0, 8).size();
+  };
+  EXPECT_LT(count(12), count(56));
+}
+
+TEST(modes, tm1_profile_has_no_interior_zero_crossing) {
+  const double k0 = 2.0 * pi / 1.55;
+  dvec eps(200, 1.0);
+  for (std::size_t j = 80; j < 120; ++j) eps[j] = 12.1;
+  const auto ms = modes::solve_slab_modes(eps, 0.025, k0, 3);
+  ASSERT_GE(ms.size(), 2u);
+  // TM1: single-signed in the core region; TM2: exactly one sign change.
+  auto sign_changes = [&](const dvec& p) {
+    int changes = 0;
+    for (std::size_t j = 81; j < 119; ++j)
+      if (p[j] * p[j - 1] < 0.0) ++changes;
+    return changes;
+  };
+  EXPECT_EQ(sign_changes(ms[0].profile), 0);
+  EXPECT_EQ(sign_changes(ms[1].profile), 1);
+}
+
+TEST(modes, power_factor_discrete_dispersion) {
+  modes::slab_mode m;
+  m.beta = 12.0;
+  const double k0 = 4.0;
+  EXPECT_DOUBLE_EQ(modes::mode_power_factor(m, k0), 12.0 / 8.0);
+  const double d = 0.05;
+  const double expected = std::sqrt(1.0 - 0.25 * 0.36) * 12.0 / 8.0;
+  EXPECT_NEAR(modes::mode_power_factor(m, k0, d), expected, 1e-12);
+  // Unresolvable mode (beta d >= 2) must be rejected.
+  EXPECT_THROW(modes::mode_power_factor(m, k0, 0.2), bad_argument);
+}
+
+TEST(modes, requires_sane_inputs) {
+  dvec tiny(4, 1.0);
+  EXPECT_THROW(modes::solve_slab_modes(tiny, 0.05, 4.0), bad_argument);
+  dvec ok(32, 1.0);
+  EXPECT_THROW(modes::solve_slab_modes(ok, -0.05, 4.0), bad_argument);
+  EXPECT_THROW(modes::solve_slab_modes(ok, 0.05, 0.0), bad_argument);
+}
+
+TEST(modes, no_guided_mode_in_homogeneous_medium) {
+  dvec eps(64, 2.25);
+  const auto ms = modes::solve_slab_modes(eps, 0.05, 4.0, 4);
+  EXPECT_TRUE(ms.empty());
+}
+
+}  // namespace
+}  // namespace boson

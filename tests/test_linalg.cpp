@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/dense.h"
+#include "linalg/eig_sym.h"
+#include "linalg/vec.h"
+
+namespace boson::la {
+namespace {
+
+// ------------------------------------------------------------------ vec ----
+
+TEST(vec, conjugated_dot) {
+  const cvec a{{1, 1}, {0, 2}};
+  const cvec b{{2, 0}, {1, 0}};
+  const cplx d = dot(a, b);  // conj(a) . b
+  EXPECT_DOUBLE_EQ(d.real(), 2.0);
+  EXPECT_DOUBLE_EQ(d.imag(), -4.0);
+}
+
+TEST(vec, unconjugated_dot) {
+  const cvec a{{1, 1}, {0, 2}};
+  const cvec b{{2, 0}, {1, 0}};
+  const cplx d = dotu(a, b);
+  EXPECT_DOUBLE_EQ(d.real(), 2.0);
+  EXPECT_DOUBLE_EQ(d.imag(), 4.0);
+}
+
+TEST(vec, nrm2_matches_manual) {
+  const cvec a{{3, 4}, {0, 0}};
+  EXPECT_DOUBLE_EQ(nrm2(a), 5.0);
+  const dvec b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(nrm2(b), 5.0);
+}
+
+TEST(vec, axpy_and_scale) {
+  dvec y{1.0, 2.0};
+  axpy(2.0, dvec{10.0, 20.0}, y);
+  EXPECT_DOUBLE_EQ(y[0], 21.0);
+  EXPECT_DOUBLE_EQ(y[1], 42.0);
+  scale(y, 0.5);
+  EXPECT_DOUBLE_EQ(y[0], 10.5);
+}
+
+TEST(vec, max_abs) {
+  EXPECT_DOUBLE_EQ(max_abs(dvec{-3.0, 2.0}), 3.0);
+  EXPECT_DOUBLE_EQ(max_abs(cvec{{0, -4}, {1, 0}}), 4.0);
+}
+
+TEST(vec, size_mismatch_throws) {
+  EXPECT_THROW(dot(dvec{1.0}, dvec{1.0, 2.0}), bad_argument);
+}
+
+// ---------------------------------------------------------------- dense ----
+
+TEST(dense, identity_and_matvec) {
+  const auto eye = dmat::identity(3);
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const auto y = eye.matvec(x);
+  for (int i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(y[i], x[i]);
+}
+
+TEST(dense, matmul_small_known) {
+  dmat a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  const auto sq = a.matmul(a);
+  EXPECT_DOUBLE_EQ(sq(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(sq(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(sq(1, 0), 15.0);
+  EXPECT_DOUBLE_EQ(sq(1, 1), 22.0);
+}
+
+TEST(dense, transpose) {
+  dmat a(2, 3);
+  a(0, 2) = 5.0;
+  const auto t = a.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 5.0);
+}
+
+class lu_solve_sizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(lu_solve_sizes, real_random_system_recovers_solution) {
+  const std::size_t n = GetParam();
+  rng r(100 + n);
+  dmat a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = r.uniform(-1, 1);
+    a(i, i) += static_cast<double>(n);  // diagonally dominant
+  }
+  std::vector<double> x_true(n);
+  for (auto& v : x_true) v = r.uniform(-2, 2);
+  const auto b = a.matvec(x_true);
+  const auto x = lu_solve(a, b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST_P(lu_solve_sizes, complex_random_system_recovers_solution) {
+  const std::size_t n = GetParam();
+  rng r(200 + n);
+  cmat a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = cplx(r.uniform(-1, 1), r.uniform(-1, 1));
+    a(i, i) += cplx(static_cast<double>(n), 0.0);
+  }
+  cvec x_true(n);
+  for (auto& v : x_true) v = cplx(r.uniform(-1, 1), r.uniform(-1, 1));
+  const auto b = a.matvec(x_true);
+  const auto x = lu_solve(a, b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(std::abs(x[i] - x_true[i]), 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(sizes, lu_solve_sizes, ::testing::Values(1, 2, 5, 16, 40));
+
+TEST(dense, lu_solve_singular_throws) {
+  dmat a(2, 2, 0.0);
+  a(0, 0) = 1.0;  // second row all zero
+  EXPECT_THROW(lu_solve(a, std::vector<double>{1.0, 1.0}), numeric_error);
+}
+
+// ------------------------------------------------------------- eigen ------
+
+/// ||A v - lambda v|| for every eigenpair, plus orthonormality of V.
+template <class T>
+void expect_valid_eigenpairs(const dense_matrix<T>& a, const eig_result<T>& e, double tol) {
+  const std::size_t n = a.rows();
+  ASSERT_EQ(e.values.size(), n);
+  for (std::size_t j = 0; j < n; ++j) {
+    std::vector<T> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = e.vectors(i, j);
+    const auto av = a.matvec(v);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(std::abs(av[i] - e.values[j] * v[i]), 0.0, tol) << "pair " << j;
+  }
+  // Orthonormal columns.
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = j; k < n; ++k) {
+      cplx acc{};
+      for (std::size_t i = 0; i < n; ++i)
+        acc += std::conj(cplx(e.vectors(i, j))) * cplx(e.vectors(i, k));
+      EXPECT_NEAR(std::abs(acc - (j == k ? 1.0 : 0.0)), 0.0, tol);
+    }
+  }
+}
+
+dmat random_symmetric(std::size_t n, std::uint64_t seed) {
+  rng r(seed);
+  dmat a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = r.uniform(-1, 1);
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  return a;
+}
+
+class sym_eig_sizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(sym_eig_sizes, jacobi_eigenpairs_valid) {
+  const auto a = random_symmetric(GetParam(), 31 + GetParam());
+  expect_valid_eigenpairs(a, jacobi_eig(a), 1e-8);
+}
+
+TEST_P(sym_eig_sizes, householder_tql2_eigenpairs_valid) {
+  const auto a = random_symmetric(GetParam(), 57 + GetParam());
+  expect_valid_eigenpairs(a, sym_eig(a), 1e-8);
+}
+
+TEST_P(sym_eig_sizes, jacobi_and_sym_eig_agree_on_spectrum) {
+  const auto a = random_symmetric(GetParam(), 91 + GetParam());
+  const auto ja = jacobi_eig(a);
+  const auto hh = sym_eig(a);
+  for (std::size_t i = 0; i < a.rows(); ++i) EXPECT_NEAR(ja.values[i], hh.values[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(sizes, sym_eig_sizes, ::testing::Values(2, 3, 8, 20, 50));
+
+TEST(eigen, values_sorted_ascending) {
+  const auto a = random_symmetric(12, 7);
+  const auto e = sym_eig(a);
+  for (std::size_t i = 1; i < e.values.size(); ++i) EXPECT_LE(e.values[i - 1], e.values[i]);
+}
+
+TEST(eigen, diagonal_matrix_spectrum_exact) {
+  dmat a(4, 4, 0.0);
+  a(0, 0) = -1.0;
+  a(1, 1) = 2.0;
+  a(2, 2) = 2.0;  // repeated eigenvalue
+  a(3, 3) = 7.0;
+  const auto e = sym_eig(a);
+  EXPECT_NEAR(e.values[0], -1.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(e.values[2], 2.0, 1e-12);
+  EXPECT_NEAR(e.values[3], 7.0, 1e-12);
+}
+
+TEST(eigen, tridiag_known_laplacian_spectrum) {
+  // -u'' on a path graph: eigenvalues 2 - 2 cos(k pi / (n+1)).
+  const std::size_t n = 16;
+  dvec diag(n, 2.0);
+  dvec sub(n, -1.0);
+  const auto e = tridiag_eig(diag, sub);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double expected =
+        2.0 - 2.0 * std::cos(static_cast<double>(k + 1) * pi / static_cast<double>(n + 1));
+    EXPECT_NEAR(e.values[k], expected, 1e-10);
+  }
+}
+
+TEST(eigen, tridiag_eigenvectors_valid) {
+  const std::size_t n = 24;
+  rng r(3);
+  dvec diag(n), sub(n);
+  for (auto& v : diag) v = r.uniform(-1, 1);
+  for (auto& v : sub) v = r.uniform(-1, 1);
+  sub[0] = 0.0;
+  // Build the dense equivalent to verify pairs.
+  dmat a(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) = diag[i];
+  for (std::size_t i = 1; i < n; ++i) {
+    a(i, i - 1) = sub[i];
+    a(i - 1, i) = sub[i];
+  }
+  expect_valid_eigenpairs(a, tridiag_eig(diag, sub), 1e-8);
+}
+
+cmat random_hermitian(std::size_t n, std::uint64_t seed) {
+  rng r(seed);
+  cmat a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      const cplx v(r.uniform(-1, 1), r.uniform(-1, 1));
+      a(i, j) = v;
+      a(j, i) = std::conj(v);
+    }
+    a(i, i) = cplx(r.uniform(-1, 1), 0.0);
+  }
+  return a;
+}
+
+class hermitian_sizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(hermitian_sizes, eigenpairs_valid) {
+  const auto a = random_hermitian(GetParam(), 11 + GetParam());
+  expect_valid_eigenpairs(a, hermitian_eig(a), 1e-8);
+}
+
+TEST_P(hermitian_sizes, reconstruction_from_eigenpairs) {
+  const auto a = random_hermitian(GetParam(), 77 + GetParam());
+  const auto e = hermitian_eig(a);
+  const std::size_t n = a.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      cplx acc{};
+      for (std::size_t k = 0; k < n; ++k)
+        acc += e.values[k] * e.vectors(i, k) * std::conj(e.vectors(j, k));
+      EXPECT_NEAR(std::abs(acc - a(i, j)), 0.0, 1e-8);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(sizes, hermitian_sizes, ::testing::Values(2, 3, 6, 15, 30));
+
+TEST(eigen, hermitian_rank_one_projector) {
+  // A = v v^H has spectrum {|v|^2, 0, ..., 0}.
+  const std::size_t n = 5;
+  cvec v(n);
+  rng r(19);
+  for (auto& x : v) x = cplx(r.uniform(-1, 1), r.uniform(-1, 1));
+  double norm2 = 0.0;
+  for (const auto& x : v) norm2 += std::norm(x);
+  cmat a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = v[i] * std::conj(v[j]);
+  const auto e = hermitian_eig(a);
+  EXPECT_NEAR(e.values.back(), norm2, 1e-9);
+  for (std::size_t k = 0; k + 1 < n; ++k) EXPECT_NEAR(e.values[k], 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace boson::la

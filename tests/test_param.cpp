@@ -1,0 +1,327 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "param/density.h"
+#include "param/filters.h"
+#include "param/levelset.h"
+#include "param/regularizer.h"
+
+namespace boson::param {
+namespace {
+
+// -------------------------------------------------------------- filters ----
+
+TEST(filters, sigmoid_basic_properties) {
+  EXPECT_DOUBLE_EQ(sigmoid(0.0), 0.5);
+  EXPECT_NEAR(sigmoid(40.0), 1.0, 1e-12);
+  EXPECT_NEAR(sigmoid(-40.0), 0.0, 1e-12);
+  EXPECT_NEAR(sigmoid(2.0) + sigmoid(-2.0), 1.0, 1e-12);
+  // Stable for extreme arguments (no overflow to NaN).
+  EXPECT_TRUE(std::isfinite(sigmoid(1e4)));
+  EXPECT_TRUE(std::isfinite(sigmoid(-1e4)));
+}
+
+TEST(filters, sigmoid_derivative_matches_fd) {
+  for (const double x : {-3.0, -0.5, 0.0, 0.7, 2.5}) {
+    const double h = 1e-6;
+    const double fd = (sigmoid(x + h) - sigmoid(x - h)) / (2 * h);
+    EXPECT_NEAR(sigmoid_derivative_from_value(sigmoid(x)), fd, 1e-8);
+  }
+}
+
+TEST(filters, tanh_projection_limits_and_midpoint) {
+  tanh_projection proj{12.0, 0.5};
+  EXPECT_NEAR(proj.forward(0.0), 0.0, 1e-4);
+  EXPECT_NEAR(proj.forward(1.0), 1.0, 1e-9);
+  EXPECT_NEAR(proj.forward(0.5), std::tanh(6.0) / (std::tanh(6.0) + std::tanh(6.0)) * 1.0,
+              0.5);  // = 0.5 for eta = 0.5
+  EXPECT_NEAR(proj.forward(0.5), 0.5, 1e-9);
+}
+
+TEST(filters, tanh_projection_monotone_and_sharpens_with_beta) {
+  tanh_projection soft{4.0, 0.5};
+  tanh_projection sharp{40.0, 0.5};
+  double prev = -1.0;
+  for (double x = 0.0; x <= 1.0; x += 0.05) {
+    const double v = soft.forward(x);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_GT(sharp.forward(0.6), soft.forward(0.6));
+  EXPECT_LT(sharp.forward(0.4), soft.forward(0.4));
+}
+
+TEST(filters, tanh_projection_derivative_matches_fd) {
+  tanh_projection proj{10.0, 0.45};
+  for (const double x : {0.1, 0.4, 0.45, 0.6, 0.9}) {
+    const double h = 1e-6;
+    const double fd = (proj.forward(x + h) - proj.forward(x - h)) / (2 * h);
+    EXPECT_NEAR(proj.derivative(x), fd, 1e-6 * (1.0 + std::abs(fd)));
+  }
+}
+
+class blur_radii : public ::testing::TestWithParam<double> {};
+
+TEST_P(blur_radii, preserves_constant_fields) {
+  // The normalized blur must map a constant field to itself (partition of
+  // unity), including at the boundary.
+  gaussian_blur blur(17, 13, GetParam());
+  array2d<double> in(17, 13, 0.7);
+  array2d<double> out;
+  blur.forward(in, out);
+  for (const double v : out) EXPECT_NEAR(v, 0.7, 1e-12);
+}
+
+TEST_P(blur_radii, adjoint_identity) {
+  const double radius = GetParam();
+  gaussian_blur blur(11, 9, radius);
+  rng r(static_cast<std::uint64_t>(radius * 10) + 3);
+  array2d<double> x(11, 9), y(11, 9);
+  for (auto& v : x) v = r.uniform(-1, 1);
+  for (auto& v : y) v = r.uniform(-1, 1);
+  array2d<double> bx, bty;
+  blur.forward(x, bx);
+  blur.adjoint(y, bty);
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    lhs += bx.data()[i] * y.data()[i];
+    rhs += x.data()[i] * bty.data()[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-10 * (1.0 + std::abs(lhs)));
+}
+
+INSTANTIATE_TEST_SUITE_P(radii, blur_radii, ::testing::Values(0.0, 0.8, 1.5, 3.0));
+
+TEST(blur, removes_single_pixel_features) {
+  gaussian_blur blur(21, 21, 2.0);
+  array2d<double> in(21, 21, 0.0);
+  in(10, 10) = 1.0;  // an isolated pixel: below the MFS
+  array2d<double> out;
+  blur.forward(in, out);
+  EXPECT_LT(out(10, 10), 0.1);
+}
+
+TEST(blur, identity_when_radius_nonpositive) {
+  gaussian_blur blur(7, 7, 0.0);
+  EXPECT_TRUE(blur.is_identity());
+  array2d<double> in(7, 7);
+  rng r(5);
+  for (auto& v : in) v = r.uniform(0, 1);
+  array2d<double> out;
+  blur.forward(in, out);
+  for (std::size_t i = 0; i < in.size(); ++i) EXPECT_DOUBLE_EQ(out.data()[i], in.data()[i]);
+}
+
+// ------------------------------------------------------------- levelset ----
+
+TEST(levelset, shape_and_param_count) {
+  levelset_param p(5, 7, 20, 28);
+  EXPECT_EQ(p.num_params(), 35u);
+  EXPECT_EQ(p.nx(), 20u);
+  EXPECT_EQ(p.ny(), 28u);
+}
+
+TEST(levelset, constant_knots_produce_constant_rho) {
+  levelset_param p(4, 4, 16, 16, 8.0);
+  dvec theta(16, 0.5);
+  array2d<double> rho;
+  p.forward(theta, rho);
+  for (const double v : rho) EXPECT_NEAR(v, sigmoid(8.0 * 0.5), 1e-12);
+}
+
+TEST(levelset, interpolation_reproduces_knot_values_at_corners) {
+  levelset_param p(3, 3, 9, 9, 1.0);
+  rng r(8);
+  dvec theta(9);
+  for (auto& t : theta) t = r.uniform(-1, 1);
+  array2d<double> phi;
+  p.interpolate(theta, phi);
+  // Design cell (0,0) coincides with knot (0,0), cell (8,8) with knot (2,2).
+  EXPECT_NEAR(phi(0, 0), theta[0], 1e-12);
+  EXPECT_NEAR(phi(8, 8), theta[8], 1e-12);
+  EXPECT_NEAR(phi(4, 4), theta[4], 1e-12);  // center knot
+}
+
+TEST(levelset, sharpness_controls_binarization) {
+  levelset_param p(4, 4, 12, 12, 4.0);
+  rng r(21);
+  dvec theta(16);
+  for (auto& t : theta) t = r.uniform(0.3, 1.0);
+  array2d<double> soft_rho;
+  p.forward(theta, soft_rho);
+  p.set_sharpness(60.0);
+  EXPECT_DOUBLE_EQ(p.sharpness(), 60.0);
+  array2d<double> hard_rho;
+  p.forward(theta, hard_rho);
+  for (std::size_t i = 0; i < soft_rho.size(); ++i)
+    EXPECT_GE(hard_rho.data()[i], soft_rho.data()[i] - 1e-12);
+  // With positive phi everywhere, high beta saturates near 1.
+  for (const double v : hard_rho) EXPECT_GT(v, 0.99);
+}
+
+class param_gradient_check
+    : public ::testing::TestWithParam<std::tuple<bool, double>> {};
+
+TEST_P(param_gradient_check, backward_matches_fd) {
+  const auto [use_levelset, beta] = GetParam();
+  std::unique_ptr<parameterization> p;
+  if (use_levelset) {
+    p = std::make_unique<levelset_param>(4, 5, 12, 15, beta);
+  } else {
+    p = std::make_unique<density_param>(12, 15, 1.2, beta);
+  }
+  rng r(31);
+  dvec theta(p->num_params());
+  for (auto& t : theta) t = r.uniform(-1, 1);
+  array2d<double> d_rho(12, 15);
+  for (auto& v : d_rho) v = r.uniform(-1, 1);
+
+  dvec grad(p->num_params(), 0.0);
+  p->backward(theta, d_rho, grad);
+
+  // FD of L = sum d_rho * rho(theta).
+  auto loss = [&](const dvec& th) {
+    array2d<double> rho;
+    p->forward(th, rho);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < rho.size(); ++i) acc += d_rho.data()[i] * rho.data()[i];
+    return acc;
+  };
+  const double h = 1e-6;
+  for (std::size_t k = 0; k < p->num_params(); k += 7) {
+    dvec tp = theta, tm = theta;
+    tp[k] += h;
+    tm[k] -= h;
+    const double fd = (loss(tp) - loss(tm)) / (2 * h);
+    EXPECT_NEAR(grad[k], fd, 1e-5 * (1.0 + std::abs(fd))) << "param " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(variants, param_gradient_check,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Values(4.0, 12.0, 30.0)));
+
+TEST(levelset, fit_from_field_reproduces_simple_shapes) {
+  levelset_param p(9, 9, 33, 33, 20.0);
+  array2d<double> field(33, 33);
+  for (std::size_t ix = 0; ix < 33; ++ix)
+    for (std::size_t iy = 0; iy < 33; ++iy)
+      field(ix, iy) = iy < 16 ? 1.0 : -1.0;  // bottom half solid
+  const dvec theta = p.fit_from_field(field);
+  array2d<double> rho;
+  p.forward(theta, rho);
+  EXPECT_GT(rho(16, 4), 0.9);
+  EXPECT_LT(rho(16, 30), 0.1);
+}
+
+// -------------------------------------------------------------- density ----
+
+TEST(density, gray_theta_gives_intermediate_rho) {
+  density_param p(8, 8, 0.0, 8.0);
+  dvec theta(64, 0.0);
+  array2d<double> rho;
+  p.forward(theta, rho);
+  for (const double v : rho) EXPECT_NEAR(v, 0.5, 1e-9);
+}
+
+TEST(density, blur_flag_reported) {
+  density_param with(8, 8, 1.5);
+  density_param without(8, 8, 0.0);
+  EXPECT_TRUE(with.has_mfs_blur());
+  EXPECT_FALSE(without.has_mfs_blur());
+}
+
+TEST(density, extreme_theta_saturates) {
+  density_param p(6, 6, 0.0, 20.0);
+  dvec theta(36, 8.0);
+  array2d<double> rho;
+  p.forward(theta, rho);
+  for (const double v : rho) EXPECT_GT(v, 0.98);
+  for (auto& t : theta) t = -8.0;
+  p.forward(theta, rho);
+  for (const double v : rho) EXPECT_LT(v, 0.02);
+}
+
+TEST(density, mfs_blur_suppresses_checkerboard) {
+  // A checkerboard (the classical non-fabricable pattern) must collapse
+  // toward gray under the '-M' blur, while a solid block survives.
+  density_param with_mfs(16, 16, 1.5, 8.0);
+  density_param without(16, 16, 0.0, 8.0);
+  dvec checker(256);
+  for (std::size_t ix = 0; ix < 16; ++ix)
+    for (std::size_t iy = 0; iy < 16; ++iy) checker[ix * 16 + iy] = ((ix + iy) % 2) ? 6.0 : -6.0;
+  array2d<double> rho_m, rho_free;
+  with_mfs.forward(checker, rho_m);
+  without.forward(checker, rho_free);
+  double spread_m = 0.0, spread_free = 0.0;
+  for (std::size_t i = 0; i < 256; ++i) {
+    spread_m = std::max(spread_m, std::abs(rho_m.data()[i] - 0.5));
+    spread_free = std::max(spread_free, std::abs(rho_free.data()[i] - 0.5));
+  }
+  EXPECT_LT(spread_m, 0.2);
+  EXPECT_GT(spread_free, 0.45);
+}
+
+TEST(density, theta_size_validated) {
+  density_param p(4, 4, 0.0);
+  array2d<double> rho;
+  EXPECT_THROW(p.forward(dvec(15), rho), bad_argument);
+}
+
+// ---------------------------------------------------------- regularizer ----
+
+TEST(total_variation, zero_for_constant_patterns) {
+  array2d<double> flat(10, 12, 0.37);
+  EXPECT_NEAR(total_variation(flat, nullptr), 0.0, 1e-9);
+}
+
+TEST(total_variation, measures_edge_length) {
+  // A vertical step edge of height 1 crossing n rows has TV ~= n.
+  const std::size_t n = 16;
+  array2d<double> step(n, n, 0.0);
+  for (std::size_t ix = n / 2; ix < n; ++ix)
+    for (std::size_t iy = 0; iy < n; ++iy) step(ix, iy) = 1.0;
+  const double tv = total_variation(step, nullptr, 1e-6);
+  EXPECT_NEAR(tv, static_cast<double>(n), 0.1);
+}
+
+TEST(total_variation, penalizes_checkerboard_more_than_solid) {
+  const std::size_t n = 12;
+  array2d<double> checker(n, n), solid(n, n, 0.0);
+  for (std::size_t ix = 0; ix < n; ++ix)
+    for (std::size_t iy = 0; iy < n; ++iy) checker(ix, iy) = (ix + iy) % 2 ? 1.0 : 0.0;
+  for (std::size_t ix = 2; ix < n - 2; ++ix)
+    for (std::size_t iy = 2; iy < n - 2; ++iy) solid(ix, iy) = 1.0;
+  EXPECT_GT(total_variation(checker, nullptr), 4.0 * total_variation(solid, nullptr));
+}
+
+TEST(total_variation, gradient_matches_fd) {
+  rng r(77);
+  array2d<double> rho(8, 9);
+  for (auto& v : rho) v = r.uniform(0, 1);
+  array2d<double> grad(8, 9, 0.0);
+  const double smoothing = 1e-2;  // smooth enough for clean finite differences
+  total_variation(rho, &grad, smoothing);
+  const double h = 1e-6;
+  for (const std::size_t i : {0ul, 17ul, 40ul, 71ul}) {
+    array2d<double> rp = rho, rm = rho;
+    rp.data()[i] += h;
+    rm.data()[i] -= h;
+    const double fd = (total_variation(rp, nullptr, smoothing) -
+                       total_variation(rm, nullptr, smoothing)) /
+                      (2 * h);
+    EXPECT_NEAR(grad.data()[i], fd, 1e-5 * (1.0 + std::abs(fd))) << i;
+  }
+}
+
+TEST(total_variation, validates_input) {
+  array2d<double> tiny(1, 5, 0.0);
+  EXPECT_THROW(total_variation(tiny, nullptr), bad_argument);
+  array2d<double> ok(4, 4, 0.0);
+  EXPECT_THROW(total_variation(ok, nullptr, 0.0), bad_argument);
+}
+
+}  // namespace
+}  // namespace boson::param
