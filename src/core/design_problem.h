@@ -1,3 +1,11 @@
+/// \file design_problem.h
+/// The end-to-end differentiable inverse-design pipeline of the paper's
+/// Eq. (1): latent variables -> parameterization -> Hopkins lithography ->
+/// EOLE etch -> temperature-dependent permittivity -> FDFD solve -> modal /
+/// flux monitors -> scalar loss, with the adjoint backward pass. Owns the
+/// immutable per-device `fab_context` (per-corner litho models, EOLE field,
+/// variation space) so corner evaluations can run concurrently.
+
 #pragma once
 
 #include <map>

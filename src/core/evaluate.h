@@ -1,3 +1,10 @@
+/// \file evaluate.h
+/// Evaluation protocols for finished designs: pre-fabrication metrics (the
+/// "numerically plausible" numbers a naive flow reports), the post-fab
+/// Monte-Carlo protocol of Section IV-B (random litho corner, temperature,
+/// and EOLE etch field per sample, hard-etch binarization), and spectral
+/// sweeps over operating wavelength.
+
 #pragma once
 
 #include <cstdint>

@@ -1,3 +1,9 @@
+/// \file methods.h
+/// Registry of every design methodology compared in the paper's tables
+/// (density baselines, LS-ED, InvFabCor two-stage correction, BOSON-1 and
+/// its Table II ablations) plus the shared experiment configuration with
+/// BOSON_BENCH_SCALE / BOSON_SEED environment overrides.
+
 #pragma once
 
 #include <cstdint>

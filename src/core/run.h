@@ -1,3 +1,12 @@
+/// \file run.h
+/// The optimization driver: `run_inverse_design` executes the full BOSON-1
+/// loop — sample variation corners, evaluate the differentiable
+/// fabrication-aware pipeline on each in parallel, average gradients,
+/// optionally blend in the relaxed (ideal) gradient during the conditional
+/// subspace-relaxation warmup, and take an Adam step on the latent design
+/// variables. `run_options` selects between the full BOSON-1 recipe and the
+/// ablated/baseline configurations compared in the paper's tables.
+
 #pragma once
 
 #include <cstdint>

@@ -1,3 +1,9 @@
+/// \file builders.h
+/// Builders for the paper's three photonic benchmarks (Section IV-A): the
+/// 90-degree bend, the waveguide crossing, and the magneto-optic isolator —
+/// each a `device_spec` with geometry, ports, monitors, and objective at
+/// lambda = 1.55 um on a configurable grid pitch.
+
 #pragma once
 
 #include "devices/spec.h"

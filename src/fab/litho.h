@@ -1,3 +1,10 @@
+/// \file litho.h
+/// Differentiable Hopkins partially-coherent lithography model (SOCS
+/// decomposition of the transmission cross-coefficient matrix). This is the
+/// physical mechanism behind BOSON-1's fabricable subspace: the projection
+/// pupil band-limits the aerial image, so sub-diffraction features of the
+/// mask cannot reach the wafer. Process corners vary focus and dose.
+
 #pragma once
 
 #include <cstddef>

@@ -1,3 +1,9 @@
+/// \file corners.h
+/// The variation space: one `variation_corner` fixes every modelled
+/// fabrication/operating error (lithography focus+dose corner, temperature,
+/// uniform etch-threshold shift, EOLE coefficients); `variation_space` gives
+/// the ranges that axial corners and Monte-Carlo evaluation draw from.
+
 #pragma once
 
 #include <string>

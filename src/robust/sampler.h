@@ -1,3 +1,10 @@
+/// \file sampler.h
+/// Variation-corner sampling strategies (Fig. 6(a)): from nominal-only and
+/// exhaustive 3^N sweeps to BOSON-1's axial corners plus a one-step
+/// gradient-ascent worst-case corner (the SAM-inspired move of Section
+/// III-E). The sampler decides which corners each optimization iteration
+/// simulates; the cost model feeds the paper's runtime comparisons.
+
 #pragma once
 
 #include <optional>

@@ -71,8 +71,9 @@ TEST(design_problem, embed_in_halo_keeps_fixed_geometry_and_interior) {
   EXPECT_GT(halo_solid, 0.0);
   for (std::size_t ex = 0; ex < ext.nx(); ++ex)
     for (std::size_t ey = 0; ey < ext.ny(); ++ey)
-      if (ex < h || ex >= h + rho.nx() || ey < h || ey >= h + rho.ny())
+      if (ex < h || ex >= h + rho.nx() || ey < h || ey >= h + rho.ny()) {
         EXPECT_TRUE(ext(ex, ey) == 0.0 || ext(ex, ey) == 1.0);
+      }
 }
 
 TEST(design_problem, metrics_are_affine_in_monitor_values) {

@@ -161,7 +161,7 @@ TEST(litho, backward_matches_fd) {
     return acc;
   };
   const double h = 1e-6;
-  for (const auto [ix, iy] : {std::pair<std::size_t, std::size_t>{10, 10},
+  for (const auto& [ix, iy] : {std::pair<std::size_t, std::size_t>{10, 10},
                               std::pair<std::size_t, std::size_t>{3, 17},
                               std::pair<std::size_t, std::size_t>{15, 5}}) {
     array2d<double> mp = mask, mm = mask;

@@ -405,7 +405,7 @@ TEST(gradients, adjoint_eps_gradient_matches_fd) {
   solver.accumulate_eps_gradient(field, lambda, grad);
 
   const double h = 1e-5;
-  for (const auto [ix, iy] : {std::pair<std::size_t, std::size_t>{30, f.wg_lo + 2},
+  for (const auto& [ix, iy] : {std::pair<std::size_t, std::size_t>{30, f.wg_lo + 2},
                               std::pair<std::size_t, std::size_t>{32, f.wg_lo - 2},
                               std::pair<std::size_t, std::size_t>{28, f.wg_hi + 1}}) {
     array2d<double> ep = f.eps;
