@@ -1,20 +1,35 @@
 // Microbenchmarks (google-benchmark) of the computational kernels behind the
 // inverse-design loop: banded LU factorization/solve (the FDFD direct
-// solver), the FFT convolution engine, the Hopkins lithography model's
-// forward/backward passes, slab mode solving and one full pipeline
-// evaluation. These quantify where an optimization iteration's time goes.
+// solver), single- vs multi-RHS substitution, the direct and iterative
+// simulation-engine backends, the FFT convolution engine, the Hopkins
+// lithography model's forward/backward passes, slab mode solving and one
+// full pipeline evaluation. These quantify where an optimization iteration's
+// time goes. After the google-benchmark run the driver times the solver
+// comparisons (single vs multi RHS, backend split, cached vs uncached
+// Monte Carlo) with a wall clock and writes them to BENCH_solvers.json so
+// the performance trajectory is recorded run over run.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/env.h"
 #include "common/rng.h"
+#include "common/timer.h"
 #include "core/design_problem.h"
+#include "core/evaluate.h"
 #include "core/methods.h"
 #include "devices/builders.h"
 #include "fab/litho.h"
 #include "fab/temperature.h"
 #include "fdfd/solver.h"
 #include "fft/conv2d.h"
+#include "io/json.h"
 #include "modes/slab.h"
+#include "sim/backend.h"
+#include "sim/cache.h"
+#include "sim/engine.h"
 #include "sparse/banded.h"
 
 namespace {
@@ -46,6 +61,83 @@ void bm_banded_lu(benchmark::State& state) {
   state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
 }
 BENCHMARK(bm_banded_lu)->Arg(32)->Arg(48)->Arg(64)->Arg(88)->Unit(benchmark::kMillisecond);
+
+// ----------------------------------------------- single vs multi RHS -------
+
+/// FDFD waveguide operator, factored once, plus a pool of right-hand sides.
+struct solver_fixture {
+  grid2d g;
+  pml_spec pml;
+  array2d<double> eps;
+  std::unique_ptr<fdfd::fdfd_solver> solver;
+  std::vector<cvec> rhs;
+
+  explicit solver_fixture(std::size_t side = 88, std::size_t nrhs = 8) {
+    g.nx = g.ny = side;
+    g.dx = g.dy = 0.05;
+    pml.cells = 10;
+    eps = array2d<double>(side, side, 1.0);
+    for (std::size_t ix = 0; ix < side; ++ix)
+      for (std::size_t iy = side / 2 - 4; iy < side / 2 + 4; ++iy)
+        eps(ix, iy) = fab::eps_si(300.0);
+    solver = std::make_unique<fdfd::fdfd_solver>(g, pml, 2.0 * pi / 1.55, eps);
+    (void)solver->factorization();  // factor outside every timed region
+    rng r(11);
+    rhs.assign(nrhs, cvec(g.cell_count(), cplx{}));
+    for (auto& b : rhs)
+      for (auto& v : b) v = cplx(r.uniform(-1, 1), r.uniform(-1, 1));
+  }
+};
+
+void bm_banded_solve_single_rhs(benchmark::State& state) {
+  static solver_fixture f;
+  const auto nrhs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state)
+    for (std::size_t k = 0; k < nrhs; ++k)
+      benchmark::DoNotOptimize(f.solver->factorization().solve(f.rhs[k]));
+}
+BENCHMARK(bm_banded_solve_single_rhs)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void bm_banded_solve_multi_rhs(benchmark::State& state) {
+  static solver_fixture f;
+  const auto nrhs = static_cast<std::size_t>(state.range(0));
+  const std::vector<cvec> batch(f.rhs.begin(),
+                                f.rhs.begin() + static_cast<std::ptrdiff_t>(nrhs));
+  for (auto _ : state) benchmark::DoNotOptimize(f.solver->factorization().solve(batch));
+}
+BENCHMARK(bm_banded_solve_multi_rhs)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------- engine backends ---------
+
+void bm_engine_prepare(benchmark::State& state) {
+  static solver_fixture f(64);
+  sim::engine_settings s;
+  s.backend = static_cast<sim::backend_kind>(state.range(0));
+  for (auto _ : state) {
+    const sim::simulation_engine engine(f.g, f.pml, 2.0 * pi / 1.55, f.eps, s);
+    benchmark::DoNotOptimize(engine.backend_name());
+  }
+}
+BENCHMARK(bm_engine_prepare)
+    ->Arg(static_cast<int>(sim::backend_kind::banded))
+    ->Arg(static_cast<int>(sim::backend_kind::bicgstab))
+    ->Unit(benchmark::kMillisecond);
+
+void bm_engine_solve(benchmark::State& state) {
+  static solver_fixture f(64);
+  sim::engine_settings s;
+  s.backend = static_cast<sim::backend_kind>(state.range(0));
+  s.tol = 1e-8;
+  const sim::simulation_engine engine(f.g, f.pml, 2.0 * pi / 1.55, f.eps, s);
+  array2d<cplx> current(f.g.nx, f.g.ny, cplx{});
+  current(f.g.nx / 4, f.g.ny / 2) = cplx{1.0};
+  for (auto _ : state) benchmark::DoNotOptimize(engine.solve_excitation(current));
+}
+BENCHMARK(bm_engine_solve)
+    ->Arg(static_cast<int>(sim::backend_kind::banded))
+    ->Arg(static_cast<int>(sim::backend_kind::bicgstab))
+    ->Arg(static_cast<int>(sim::backend_kind::gmres))
+    ->Unit(benchmark::kMillisecond);
 
 // ----------------------------------------------------------- FDFD solve ----
 
@@ -176,6 +268,123 @@ void bm_pipeline_evaluate(benchmark::State& state) {
 }
 BENCHMARK(bm_pipeline_evaluate)->Unit(benchmark::kMillisecond);
 
+// ------------------------------------------- BENCH_solvers.json report ----
+
+/// Wall-clock the solver-level comparisons the microbenchmarks sample —
+/// single vs multi RHS through one factorization, the prepare/solve split of
+/// every backend, and cold- vs warm-cache post-fab Monte Carlo — and write
+/// them to BENCH_solvers.json so the perf trajectory is recorded run to run.
+io::json_value time_solvers() {
+  io::json_value report = io::json_value::object();
+
+  {  // single- vs multi-RHS substitution through one banded factorization.
+    solver_fixture f(88, 8);
+    constexpr int reps = 10;
+    stopwatch sw;
+    for (int rep = 0; rep < reps; ++rep)
+      for (const auto& b : f.rhs) benchmark::DoNotOptimize(f.solver->factorization().solve(b));
+    const double single_s = sw.seconds() / reps;
+    sw.reset();
+    for (int rep = 0; rep < reps; ++rep)
+      benchmark::DoNotOptimize(f.solver->factorization().solve(f.rhs));
+    const double multi_s = sw.seconds() / reps;
+
+    io::json_value j = io::json_value::object();
+    j["grid"] = std::string("88x88");
+    j["num_rhs"] = f.rhs.size();
+    j["single_rhs_seconds"] = single_s;
+    j["multi_rhs_seconds"] = multi_s;
+    j["speedup"] = single_s / multi_s;
+    report["banded_multi_rhs"] = std::move(j);
+    std::printf("multi-RHS (8 rhs, 88x88): %.3f ms vs %.3f ms single => %.2fx\n",
+                1e3 * multi_s, 1e3 * single_s, single_s / multi_s);
+  }
+
+  {  // prepare + solve per backend on the same operator.
+    solver_fixture f(64);
+    array2d<cplx> current(f.g.nx, f.g.ny, cplx{});
+    current(f.g.nx / 4, f.g.ny / 2) = cplx{1.0};
+    io::json_value backends = io::json_value::object();
+    for (const auto kind : {sim::backend_kind::banded, sim::backend_kind::bicgstab,
+                            sim::backend_kind::gmres}) {
+      sim::engine_settings s;
+      s.backend = kind;
+      s.tol = 1e-8;
+      stopwatch sw;
+      const sim::simulation_engine engine(f.g, f.pml, 2.0 * pi / 1.55, f.eps, s);
+      const double prepare_s = sw.seconds();
+      constexpr int reps = 5;
+      sw.reset();
+      for (int rep = 0; rep < reps; ++rep)
+        benchmark::DoNotOptimize(engine.solve_excitation(current));
+      const double solve_s = sw.seconds() / reps;
+      io::json_value j = io::json_value::object();
+      j["prepare_seconds"] = prepare_s;
+      j["solve_seconds"] = solve_s;
+      backends[sim::to_string(kind)] = std::move(j);
+      std::printf("backend %-9s (64x64): prepare %.3f ms, solve %.3f ms\n",
+                  sim::to_string(kind), 1e3 * prepare_s, 1e3 * solve_s);
+    }
+    report["backends"] = std::move(backends);
+  }
+
+  {  // cold- vs warm-cache post-fab Monte Carlo on the bend benchmark.
+    core::experiment_config cfg;
+    cfg.resolution = 0.1;
+    cfg.litho.na = 0.65;
+    cfg.litho.sigma = 0.35;
+    cfg.litho.kernel_half = 5;
+    cfg.litho.max_kernels = 5;
+    const core::design_problem problem = core::make_problem(dev::make_bend(0.1), true, cfg);
+    array2d<double> mask(problem.spec().design.nx, problem.spec().design.ny, 0.0);
+    for (std::size_t i = 0; i < mask.nx(); ++i)
+      for (std::size_t j = mask.ny() / 3; j < 2 * mask.ny() / 3; ++j) mask(i, j) = 1.0;
+
+    const auto samples = static_cast<std::size_t>(
+        std::max(2.0, 8.0 * env_double("BOSON_BENCH_SCALE", 1.0)));
+    stopwatch sw;
+    (void)core::postfab_monte_carlo(problem, mask, samples, 42, /*use_operator_cache=*/false);
+    const double uncached_s = sw.seconds();
+    sim::engine_cache::global().clear();
+    sw.reset();
+    (void)core::postfab_monte_carlo(problem, mask, samples, 42);
+    const double cold_s = sw.seconds();
+    sw.reset();
+    (void)core::postfab_monte_carlo(problem, mask, samples, 42);
+    const double warm_s = sw.seconds();
+    const auto cs = sim::engine_cache::global().stats();
+
+    io::json_value j = io::json_value::object();
+    j["samples"] = samples;
+    j["uncached_seconds"] = uncached_s;
+    j["cached_cold_seconds"] = cold_s;
+    j["cached_warm_seconds"] = warm_s;
+    j["speedup_warm_vs_uncached"] = uncached_s / warm_s;
+    j["cache_hits"] = cs.hits;
+    j["cache_misses"] = cs.misses;
+    report["postfab_monte_carlo"] = std::move(j);
+    std::printf("postfab MC (%zu samples): uncached %.3f s, cached cold %.3f s, "
+                "cached warm %.3f s => %.2fx (%zu hits / %zu misses)\n",
+                samples, uncached_s, cold_s, warm_s, uncached_s / warm_s, cs.hits,
+                cs.misses);
+  }
+
+  return report;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Keep the Monte-Carlo comparison's operators resident: one engine per
+  // sample plus the reference operator must fit the cache.
+  setenv("BOSON_SIM_CACHE", "24", /*overwrite=*/0);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+
+  const io::json_value report = time_solvers();
+  report.write_file("BENCH_solvers.json");
+  std::printf("solver timings written to BENCH_solvers.json\n");
+  return 0;
+}

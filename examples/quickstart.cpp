@@ -13,6 +13,8 @@
 
 #include "core/methods.h"
 #include "io/pgm.h"
+#include "sim/backend.h"
+#include "sim/cache.h"
 
 int main() {
   using namespace boson;
@@ -32,11 +34,17 @@ int main() {
 
   // 4. Report.
   std::printf("\nBOSON-1 on the %s benchmark\n", device.name.c_str());
+  std::printf("  FDFD backend         : %s (BOSON_BACKEND selects banded|bicgstab|gmres)\n",
+              sim::to_string(sim::default_backend()));
   std::printf("  pre-fab transmission : %.4f\n", result.prefab_fom);
   std::printf("  post-fab transmission: %.4f +- %.4f  (%zu Monte-Carlo samples)\n",
               result.postfab.fom_mean, result.postfab.fom_std, result.postfab.samples);
   std::printf("  post-fab reflection  : %.4f\n",
               result.postfab.metric_means.at("reflection"));
+
+  const auto cache = sim::engine_cache::global().stats();
+  std::printf("  operator cache       : %zu hits / %zu misses (capacity %zu)\n",
+              cache.hits, cache.misses, sim::engine_cache::global().capacity());
 
   io::write_pgm("quickstart_bend_mask.pgm", result.mask);
   std::printf("  mask written to quickstart_bend_mask.pgm\n");

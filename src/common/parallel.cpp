@@ -12,12 +12,11 @@
 namespace boson {
 
 std::size_t worker_count() {
-  static const std::size_t count = [] {
-    const std::size_t hw = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-    const long requested = env_int("BOSON_THREADS", static_cast<long>(hw));
-    return static_cast<std::size_t>(std::clamp<long>(requested, 1, static_cast<long>(hw)));
-  }();
-  return count;
+  // Deliberately not cached: BOSON_THREADS is consulted on every call so a
+  // test or driver can change the worker budget between parallel sections.
+  const std::size_t hw = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const long requested = env_int("BOSON_THREADS", static_cast<long>(hw));
+  return static_cast<std::size_t>(std::clamp<long>(requested, 1, static_cast<long>(hw)));
 }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
@@ -28,12 +27,17 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
     return;
   }
 
+  // Dynamic scheduling: workers pull the next index from a shared atomic
+  // counter, so a long-running index never strands the remaining work on one
+  // thread. After the first failure, not-yet-started indices are skipped.
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
   auto run = [&] {
     for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
       const std::size_t i = next.fetch_add(1);
       if (i >= n) return;
       try {
@@ -41,6 +45,7 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
       }
     }
   };

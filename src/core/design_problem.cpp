@@ -10,6 +10,9 @@
 #include "fdfd/solver.h"
 #include "fdfd/source.h"
 #include "modes/slab.h"
+#include "sim/cache.h"
+#include "sim/engine.h"
+#include "sim/workspace.h"
 
 namespace boson::core {
 
@@ -116,7 +119,8 @@ fab_context make_fab_context(const dev::device_spec& spec,
 
 design_problem::design_problem(dev::device_spec spec,
                                std::shared_ptr<param::parameterization> param,
-                               fab_context fab, double mfs_blur_radius_cells)
+                               fab_context fab, double mfs_blur_radius_cells,
+                               const eval_options& reference_opts)
     : spec_(std::move(spec)),
       param_(std::move(param)),
       fab_(std::move(fab)),
@@ -148,7 +152,7 @@ design_problem::design_problem(dev::device_spec spec,
     }
   }
 
-  compute_input_powers();
+  compute_input_powers(reference_opts);
 }
 
 array2d<double> design_problem::embed_in_halo(const array2d<double>& rho_design) const {
@@ -161,7 +165,44 @@ array2d<double> design_problem::embed_in_halo(const array2d<double>& rho_design)
   return ext;
 }
 
-void design_problem::compute_input_powers() {
+design_problem::solved_excitations design_problem::solve_excitations(
+    const array2d<double>& eps, const eval_options& opts) const {
+  const auto& g = spec_.grid;
+  solved_excitations out;
+  out.engine = opts.use_operator_cache
+                   ? sim::engine_cache::global().acquire(g, spec_.pml, spec_.k0, eps,
+                                                         opts.engine)
+                   : std::make_shared<const sim::simulation_engine>(g, spec_.pml, spec_.k0,
+                                                                    eps, opts.engine);
+
+  auto& ws = sim::workspace::local();
+  std::vector<array2d<cplx>> currents;
+  currents.reserve(spec_.excitations.size());
+  for (const auto& exc : spec_.excitations) {
+    const double src_spacing = exc.source.axis == fdfd::port_axis::vertical ? g.dx : g.dy;
+    const double src_transverse =
+        exc.source.axis == fdfd::port_axis::vertical ? g.dy : g.dx;
+    const auto src_mode =
+        solve_port_mode(eps, exc.source, src_transverse, spec_.k0, exc.source_mode_order);
+
+    array2d<cplx> current = ws.take_cgrid(g.nx, g.ny);
+    fdfd::mode_source_spec ss;
+    ss.axis = exc.source.axis;
+    ss.line_index = exc.source.line;
+    ss.span_start = exc.source.span_start;
+    ss.direction = exc.source.direction;
+    fdfd::add_mode_source(current, ss, src_mode, src_spacing);
+    currents.push_back(std::move(current));
+  }
+
+  // All excitations of the corner share the prepared operator through one
+  // blocked multi-RHS substitution (direct backend) or one ILU setup.
+  out.fields = out.engine->solve_excitations(currents);
+  for (auto& c : currents) ws.give_cgrid(std::move(c));
+  return out;
+}
+
+void design_problem::compute_input_powers(const eval_options& reference_opts) {
   const auto& g = spec_.grid;
   const double eps_s = fab::eps_si(fab::nominal_temperature);
   array2d<double> eps(g.nx, g.ny);
@@ -169,26 +210,11 @@ void design_problem::compute_input_powers() {
     eps.data()[i] =
         fab::eps_void + (eps_s - fab::eps_void) * spec_.reference_occupancy.data()[i];
 
-  fdfd::fdfd_solver solver(g, spec_.pml, spec_.k0, eps);
+  const solved_excitations sol = solve_excitations(eps, reference_opts);
+
   input_power_.clear();
-  for (const auto& exc : spec_.excitations) {
-    const double src_spacing =
-        exc.source.axis == fdfd::port_axis::vertical ? g.dx : g.dy;
-    const double src_transverse =
-        exc.source.axis == fdfd::port_axis::vertical ? g.dy : g.dx;
-    const auto src_mode =
-        solve_port_mode(eps, exc.source, src_transverse, spec_.k0, exc.source_mode_order);
-
-    array2d<cplx> current(g.nx, g.ny, cplx{});
-    fdfd::mode_source_spec ss;
-    ss.axis = exc.source.axis;
-    ss.line_index = exc.source.line;
-    ss.span_start = exc.source.span_start;
-    ss.direction = exc.source.direction;
-    fdfd::add_mode_source(current, ss, src_mode, src_spacing);
-
-    const array2d<cplx> field = solver.solve(current);
-
+  for (std::size_t ei = 0; ei < spec_.excitations.size(); ++ei) {
+    const auto& exc = spec_.excitations[ei];
     // Launched power = net Poynting flux through the reference plane. In the
     // straight reference structure the flux is exactly position-independent
     // (discrete power conservation), which makes the normalization immune to
@@ -198,7 +224,8 @@ void design_problem::compute_input_powers() {
     const double mon_transverse = rm.p.axis == fdfd::port_axis::vertical ? g.dy : g.dx;
     fdfd::flux_monitor mon(rm.p.axis, rm.p.line, rm.p.span_start, rm.p.span_count,
                            mon_normal, mon_transverse, spec_.k0);
-    const double pin = static_cast<double>(exc.source.direction) * mon.evaluate(field).value;
+    const double pin =
+        static_cast<double>(exc.source.direction) * mon.evaluate(sol.fields[ei]).value;
     check_numeric(pin > 1e-12, "design_problem: reference run launched no power");
     input_power_.push_back(pin);
     log_debug("design_problem[", spec_.name, "]: excitation '", exc.name,
@@ -291,17 +318,21 @@ eval_result design_problem::evaluate_impl(const dvec* theta, const array2d<doubl
   }
 
   // --- forward: permittivity and field solves ------------------------------------
+  auto& ws = sim::workspace::local();
   const double eps_s = fab::eps_si(corner.temperature);
-  array2d<double> occ = spec_.background_occupancy;
+  array2d<double> occ = ws.take_dgrid(g.nx, g.ny);
+  std::copy(spec_.background_occupancy.begin(), spec_.background_occupancy.end(),
+            occ.begin());
   for (std::size_t i = 0; i < spec_.design.nx; ++i)
     for (std::size_t j = 0; j < spec_.design.ny; ++j)
       occ(spec_.design.ix0 + i, spec_.design.iy0 + j) = rho_final(i, j);
 
-  array2d<double> eps(g.nx, g.ny);
+  array2d<double> eps = ws.take_dgrid(g.nx, g.ny);
   for (std::size_t i = 0; i < eps.size(); ++i)
     eps.data()[i] = fab::eps_void + (eps_s - fab::eps_void) * occ.data()[i];
 
-  fdfd::fdfd_solver solver(g, spec_.pml, spec_.k0, eps);
+  solved_excitations sol = solve_excitations(eps, opts);
+  const sim::simulation_engine& engine = *sol.engine;
 
   struct monitor_entry {
     std::string full_name;
@@ -318,21 +349,9 @@ eval_result design_problem::evaluate_impl(const dvec* theta, const array2d<doubl
   for (std::size_t ei = 0; ei < spec_.excitations.size(); ++ei) {
     const auto& exc = spec_.excitations[ei];
     const double pin = input_power_[ei];
-    const double src_spacing = exc.source.axis == fdfd::port_axis::vertical ? g.dx : g.dy;
-    const double src_transverse = exc.source.axis == fdfd::port_axis::vertical ? g.dy : g.dx;
-
-    const auto src_mode =
-        solve_port_mode(eps, exc.source, src_transverse, spec_.k0, exc.source_mode_order);
-    array2d<cplx> current(g.nx, g.ny, cplx{});
-    fdfd::mode_source_spec ss;
-    ss.axis = exc.source.axis;
-    ss.line_index = exc.source.line;
-    ss.span_start = exc.source.span_start;
-    ss.direction = exc.source.direction;
-    fdfd::add_mode_source(current, ss, src_mode, src_spacing);
 
     exc_run run;
-    run.field = solver.solve(current);
+    run.field = std::move(sol.fields[ei]);
 
     for (const auto& mm : exc.mode_monitors) {
       const double tsp = mm.p.axis == fdfd::port_axis::vertical ? g.dy : g.dx;
@@ -355,6 +374,7 @@ eval_result design_problem::evaluate_impl(const dvec* theta, const array2d<doubl
     }
     runs.push_back(std::move(run));
   }
+  ws.give_dgrid(std::move(eps));  // last monitor mode solved; recycle
 
   // --- objective -------------------------------------------------------------
   const objective_eval obj = eval_objective(spec_.objective, monvals, opts);
@@ -362,7 +382,10 @@ eval_result design_problem::evaluate_impl(const dvec* theta, const array2d<doubl
   out.loss = obj.loss;
   out.metrics = obj.metrics;
   out.pattern = rho_final;
-  if (!opts.compute_gradient) return out;
+  if (!opts.compute_gradient) {
+    ws.give_dgrid(std::move(occ));
+    return out;
+  }
 
   // --- backward: dLoss/dmonitor --------------------------------------------------
   std::map<std::string, double> dmon;
@@ -373,18 +396,27 @@ eval_result design_problem::evaluate_impl(const dvec* theta, const array2d<doubl
   }
 
   // --- backward: adjoint solves and dLoss/deps ------------------------------------
+  // All adjoints of the corner reuse the engine's prepared operator and go
+  // through one blocked multi-RHS substitution.
   array2d<double> d_eps(g.nx, g.ny, 0.0);
-  for (auto& run : runs) {
+  std::vector<fdfd::field_gradient> adjoint_rhs;
+  std::vector<std::size_t> adjoint_run;
+  for (std::size_t ri = 0; ri < runs.size(); ++ri) {
     fdfd::field_gradient rhs;
-    for (const auto& entry : run.monitors) {
+    for (const auto& entry : runs[ri].monitors) {
       const auto it = dmon.find(entry.full_name);
       if (it == dmon.end() || it->second == 0.0) continue;
       const double w = it->second * entry.norm_factor;
       for (const auto& [idx, gval] : entry.result.grad) rhs.emplace_back(idx, w * gval);
     }
     if (rhs.empty()) continue;
-    const array2d<cplx> lambda = solver.solve_adjoint(rhs);
-    solver.accumulate_eps_gradient(run.field, lambda, d_eps);
+    adjoint_rhs.push_back(std::move(rhs));
+    adjoint_run.push_back(ri);
+  }
+  if (!adjoint_rhs.empty()) {
+    const std::vector<array2d<cplx>> lambdas = engine.solve_adjoints(adjoint_rhs);
+    for (std::size_t k = 0; k < lambdas.size(); ++k)
+      engine.accumulate_eps_gradient(runs[adjoint_run[k]].field, lambdas[k], d_eps);
   }
 
   // --- backward: chain into the design window ------------------------------------
@@ -395,6 +427,7 @@ eval_result design_problem::evaluate_impl(const dvec* theta, const array2d<doubl
       d_t += d_eps.data()[i] * occ.data()[i] * deps_dt;
     out.d_temperature = d_t;
   }
+  ws.give_dgrid(std::move(occ));
 
   array2d<double> d_rho_final(spec_.design.nx, spec_.design.ny);
   for (std::size_t i = 0; i < spec_.design.nx; ++i)

@@ -22,6 +22,11 @@
 #include "param/filters.h"
 #include "param/parameterization.h"
 #include "robust/corners.h"
+#include "sim/backend.h"
+
+namespace boson::sim {
+class simulation_engine;
+}
 
 namespace boson::core {
 
@@ -62,6 +67,16 @@ struct eval_options {
   /// lithography+etch chain. Only meaningful with fab_aware == false.
   int morphology_shift = 0;
   double morphology_radius_cells = 1.2;
+
+  /// Linear-backend selection and iterative-solver controls for the FDFD
+  /// solves of this evaluation (the BOSON_BACKEND environment variable sets
+  /// the default backend).
+  sim::engine_settings engine;
+
+  /// Look up / insert the prepared operator in sim::engine_cache::global(),
+  /// so evaluations that repeat an operator state (Monte-Carlo samples,
+  /// sweep points) skip re-assembly and re-factorization.
+  bool use_operator_cache = false;
 };
 
 /// Result of one evaluation: scalar loss, named metrics (including the
@@ -85,8 +100,15 @@ struct eval_result {
 /// during robust optimization.
 class design_problem {
  public:
+  /// `reference_opts` configures the construction-time reference
+  /// normalization solve: its `engine` settings pick the backend and
+  /// `use_operator_cache` opts the reference operator into the global
+  /// engine cache (protocols that rebuild identical problems per scan
+  /// point, e.g. the litho process window, share one factorization that
+  /// way). Every other field is ignored.
   design_problem(dev::device_spec spec, std::shared_ptr<param::parameterization> param,
-                 fab_context fab, double mfs_blur_radius_cells = 1.6);
+                 fab_context fab, double mfs_blur_radius_cells = 1.6,
+                 const eval_options& reference_opts = {});
 
   const dev::device_spec& spec() const { return spec_; }
   const fab_context& fab() const { return fab_; }
@@ -126,10 +148,20 @@ class design_problem {
   array2d<double> embed_in_halo(const array2d<double>& rho_design) const;
 
  private:
+  /// Engine + solved forward fields for every excitation of the spec, in
+  /// spec order. The single simulation pipeline behind both the reference
+  /// normalization and `evaluate`.
+  struct solved_excitations {
+    std::shared_ptr<const sim::simulation_engine> engine;
+    std::vector<array2d<cplx>> fields;
+  };
+  solved_excitations solve_excitations(const array2d<double>& eps,
+                                       const eval_options& opts) const;
+
   eval_result evaluate_impl(const dvec* theta, const array2d<double>* rho_in,
                             const robust::variation_corner& corner,
                             const eval_options& opts) const;
-  void compute_input_powers();
+  void compute_input_powers(const eval_options& reference_opts);
 
   dev::device_spec spec_;
   std::shared_ptr<param::parameterization> param_;

@@ -21,7 +21,8 @@ std::map<std::string, double> prefab_metrics(const design_problem& problem,
 }
 
 mc_stats postfab_monte_carlo(const design_problem& problem, const array2d<double>& mask,
-                             std::size_t num_samples, std::uint64_t seed) {
+                             std::size_t num_samples, std::uint64_t seed,
+                             bool use_operator_cache) {
   require(num_samples > 0, "postfab_monte_carlo: need at least one sample");
   const rng base(seed);
 
@@ -35,6 +36,9 @@ mc_stats postfab_monte_carlo(const design_problem& problem, const array2d<double
     o.hard_etch = true;
     o.dense_objectives = false;
     o.compute_gradient = false;
+    // Hard-binarized samples collide across draws (identical litho corner +
+    // nearby etch fields realize the same pattern); reuse their operators.
+    o.use_operator_cache = use_operator_cache;
     metric_samples[s] = problem.evaluate_pattern(mask, corner, o).metrics;
   });
 
@@ -82,8 +86,12 @@ std::vector<process_window_point> litho_process_window(const design_problem& pro
     ctx.litho = {std::make_shared<const fab::hopkins_litho>(
         ctx.litho_cfg, fab::litho_corner_params{defocus, dose}, ext_nx, ext_ny)};
     ctx.space.num_litho_corners = 1;
+    // Every scan point rebuilds the same reference operator; cache it so the
+    // whole window shares one factorization.
+    eval_options reference_opts;
+    reference_opts.use_operator_cache = true;
     const design_problem scanned(problem.spec(), problem.shared_parameterization(),
-                                 std::move(ctx));
+                                 std::move(ctx), 1.6, reference_opts);
 
     robust::variation_corner nominal;
     nominal.xi.assign(scanned.fab().space.eole_terms, 0.0);
@@ -92,6 +100,7 @@ std::vector<process_window_point> litho_process_window(const design_problem& pro
     o.hard_etch = true;
     o.dense_objectives = false;
     o.compute_gradient = false;
+    o.use_operator_cache = true;
     const auto ev = scanned.evaluate_pattern(mask, nominal, o);
     window[idx] = {defocus, dose, scanned.fom_of(ev.metrics)};
   });
@@ -112,6 +121,8 @@ std::vector<spectrum_point> wavelength_sweep(const design_problem& problem,
     o.hard_etch = true;
     o.dense_objectives = false;
     o.compute_gradient = false;
+    // No operator cache here: every sweep point has a unique k0, so caching
+    // would only insert zero-reuse entries that evict useful ones.
     const auto ev = shifted.evaluate_pattern(mask, nominal, o);
     spectrum[i].lambda_um = wavelengths_um[i];
     spectrum[i].fom = shifted.fom_of(ev.metrics);

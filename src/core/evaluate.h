@@ -34,8 +34,12 @@ struct mc_stats {
 /// Post-fabrication evaluation protocol (Section IV-B): `num_samples` Monte
 /// Carlo draws of (lithography corner, temperature, EOLE etch field), hard
 /// etch binarization, FoM per the device objective. Samples run concurrently.
+/// `use_operator_cache` routes the per-sample operators through the global
+/// engine cache (on by default; benchmarks switch it off to measure the
+/// uncached baseline). The statistics are identical either way.
 mc_stats postfab_monte_carlo(const design_problem& problem, const array2d<double>& mask,
-                             std::size_t num_samples, std::uint64_t seed);
+                             std::size_t num_samples, std::uint64_t seed,
+                             bool use_operator_cache = true);
 
 /// One point of a spectral-response sweep.
 struct spectrum_point {

@@ -54,6 +54,15 @@ struct run_options {
   std::uint64_t seed = 17;
   std::string objective_override;  ///< e.g. "fwd_transmission" for '-eff'
   bool record_trajectory = true;
+
+  /// Linear-backend selection for every FDFD solve of the run (the
+  /// BOSON_BACKEND environment variable sets the default backend).
+  sim::engine_settings engine;
+
+  /// Reuse prepared operators across corners via the global engine cache —
+  /// duplicate corner states (e.g. the warmup worst-case slot, which repeats
+  /// the nominal corner) then skip re-assembly and re-factorization.
+  bool use_operator_cache = false;
 };
 
 /// Nominal-corner metrics per iteration (the series plotted in Fig. 5).

@@ -65,12 +65,15 @@ void fdfd_solver::assemble_and_factor() const {
   lu_ = std::move(lu);
 }
 
-array2d<cplx> fdfd_solver::solve(const array2d<cplx>& current_density) const {
-  require(current_density.nx() == grid_.nx && current_density.ny() == grid_.ny,
-          "fdfd_solver::solve: source shape mismatch");
+const sp::banded_lu& fdfd_solver::factorization() const {
   if (!lu_) assemble_and_factor();
+  return *lu_;
+}
 
-  cvec b(grid_.cell_count(), cplx{});
+void fdfd_solver::build_rhs(const array2d<cplx>& current_density, cvec& b) const {
+  require(current_density.nx() == grid_.nx && current_density.ny() == grid_.ny,
+          "fdfd_solver::build_rhs: source shape mismatch");
+  b.assign(grid_.cell_count(), cplx{});
   const cplx factor = -imag_unit * k0_;
   for (std::size_t ix = 0; ix < grid_.nx; ++ix) {
     for (std::size_t iy = 0; iy < grid_.ny; ++iy) {
@@ -78,6 +81,20 @@ array2d<cplx> fdfd_solver::solve(const array2d<cplx>& current_density) const {
       if (j != cplx{}) b[flat(ix, iy)] = factor * j * sx_.center[ix] * sy_.center[iy];
     }
   }
+}
+
+void fdfd_solver::build_adjoint_rhs(const field_gradient& g, cvec& b) const {
+  b.assign(grid_.cell_count(), cplx{});
+  for (const auto& [idx, val] : g) {
+    require(idx < b.size(), "fdfd_solver::build_adjoint_rhs: index out of range");
+    b[idx] += val;
+  }
+}
+
+array2d<cplx> fdfd_solver::solve(const array2d<cplx>& current_density) const {
+  if (!lu_) assemble_and_factor();
+  cvec b;
+  build_rhs(current_density, b);
   const cvec x = lu_->solve(b);
 
   array2d<cplx> field(grid_.nx, grid_.ny);
@@ -87,11 +104,8 @@ array2d<cplx> fdfd_solver::solve(const array2d<cplx>& current_density) const {
 
 array2d<cplx> fdfd_solver::solve_adjoint(const field_gradient& g) const {
   if (!lu_) assemble_and_factor();
-  cvec rhs(grid_.cell_count(), cplx{});
-  for (const auto& [idx, val] : g) {
-    require(idx < rhs.size(), "fdfd_solver::solve_adjoint: index out of range");
-    rhs[idx] += val;
-  }
+  cvec rhs;
+  build_adjoint_rhs(g, rhs);
   const cvec x = lu_->solve(rhs);
   array2d<cplx> lambda(grid_.nx, grid_.ny);
   for (std::size_t i = 0; i < x.size(); ++i) lambda.raw()[i] = x[i];

@@ -46,6 +46,15 @@ class fdfd_solver {
   /// Solve the adjoint system A lambda = g for a sparse field gradient g.
   array2d<cplx> solve_adjoint(const field_gradient& g) const;
 
+  /// Build the scaled right-hand side b = -i k0 J s_x s_y of A e = b.
+  /// `b` is assigned (resized and overwritten); a recycled buffer keeps its
+  /// allocation. Shared by `solve` and the sim-engine batched path.
+  void build_rhs(const array2d<cplx>& current_density, cvec& b) const;
+
+  /// Build the adjoint right-hand side by scattering a sparse field
+  /// gradient; same buffer contract as `build_rhs`.
+  void build_adjoint_rhs(const field_gradient& g, cvec& b) const;
+
   /// Accumulate dF/deps(i,j) += -2 Re(lambda_ij k0^2 s_xc(i) s_yc(j) e_ij)
   /// given the forward field and one adjoint field.
   void accumulate_eps_gradient(const array2d<cplx>& field,
@@ -55,6 +64,11 @@ class fdfd_solver {
   /// Assemble the same (scaled) operator in CSR form — used by tests to
   /// verify residuals/symmetry and by the iterative solve path.
   sp::csr_c assemble_csr() const;
+
+  /// Banded LU of the scaled operator, assembling and factoring on first
+  /// use. Not thread-safe on the first call; sim::simulation_engine forces
+  /// the factorization eagerly before sharing a solver across threads.
+  const sp::banded_lu& factorization() const;
 
   /// Per-axis complex stretch profiles (exposed for monitors and tests).
   const stretch_profile& stretch_x() const { return sx_; }

@@ -1,0 +1,101 @@
+#include "sim/backend.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/env.h"
+#include "common/error.h"
+#include "fdfd/solver.h"
+#include "sparse/banded.h"
+#include "sparse/csr.h"
+#include "sparse/krylov.h"
+
+namespace boson::sim {
+
+const char* to_string(backend_kind kind) {
+  switch (kind) {
+    case backend_kind::banded: return "banded";
+    case backend_kind::bicgstab: return "bicgstab";
+    case backend_kind::gmres: return "gmres";
+  }
+  return "?";
+}
+
+backend_kind backend_from_string(const std::string& name) {
+  std::string s = name;
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (s == "banded" || s == "direct" || s == "lu") return backend_kind::banded;
+  if (s == "bicgstab") return backend_kind::bicgstab;
+  if (s == "gmres") return backend_kind::gmres;
+  throw bad_argument("unknown backend '" + name +
+                     "' (expected banded|direct|lu|bicgstab|gmres)");
+}
+
+backend_kind default_backend() {
+  const std::string name = env_string("BOSON_BACKEND", "banded");
+  return backend_from_string(name);
+}
+
+namespace {
+
+/// Direct path: the solver's own banded LU, shared by every excitation and
+/// adjoint of the corner through the blocked multi-RHS substitution.
+class banded_backend final : public linear_backend {
+ public:
+  explicit banded_backend(const fdfd::fdfd_solver& solver) : solver_(solver) {
+    (void)solver_.factorization();  // factor eagerly so solves are thread-safe
+  }
+
+  const char* name() const override { return "banded"; }
+
+  std::vector<cvec> solve(const std::vector<cvec>& rhs) const override {
+    return solver_.factorization().solve(rhs);
+  }
+
+ private:
+  const fdfd::fdfd_solver& solver_;
+};
+
+/// Iterative path: CSR operator + ILU(0), BiCGSTAB or restarted GMRES.
+class krylov_backend final : public linear_backend {
+ public:
+  krylov_backend(const fdfd::fdfd_solver& solver, const engine_settings& settings)
+      : settings_(settings), a_(solver.assemble_csr()), precond_(a_) {}
+
+  const char* name() const override { return to_string(settings_.backend); }
+
+  std::vector<cvec> solve(const std::vector<cvec>& rhs) const override {
+    std::vector<cvec> xs(rhs.size());
+    for (std::size_t k = 0; k < rhs.size(); ++k) {
+      cvec x;
+      const sp::krylov_result res =
+          settings_.backend == backend_kind::gmres
+              ? sp::gmres(a_, rhs[k], x, &precond_, settings_.gmres_restart,
+                          settings_.tol, settings_.max_iterations)
+              : sp::bicgstab(a_, rhs[k], x, &precond_, settings_.tol,
+                             settings_.max_iterations);
+      check_numeric(res.converged,
+                    std::string(name()) + " backend failed to converge (residual " +
+                        std::to_string(res.relative_residual) + ")");
+      xs[k] = std::move(x);
+    }
+    return xs;
+  }
+
+ private:
+  engine_settings settings_;
+  sp::csr_c a_;
+  sp::ilu0 precond_;
+};
+
+}  // namespace
+
+std::unique_ptr<linear_backend> make_backend(const fdfd::fdfd_solver& solver,
+                                             const engine_settings& settings) {
+  if (settings.backend == backend_kind::banded)
+    return std::make_unique<banded_backend>(solver);
+  return std::make_unique<krylov_backend>(solver, settings);
+}
+
+}  // namespace boson::sim

@@ -1,0 +1,136 @@
+#include "sim/cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/env.h"
+#include "common/error.h"
+
+namespace boson::sim {
+
+namespace {
+
+/// FNV-1a over raw bytes; the digest accumulates every field that determines
+/// the prepared operator.
+std::uint64_t fnv1a(const void* data, std::size_t bytes, std::uint64_t h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+template <class T>
+std::uint64_t fnv_value(const T& v, std::uint64_t h) {
+  return fnv1a(&v, sizeof(v), h);
+}
+
+std::uint64_t operator_digest(const grid2d& grid, const pml_spec& pml, double k0,
+                              const array2d<double>& eps, const engine_settings& settings) {
+  std::uint64_t h = 14695981039346656037ULL;
+  h = fnv_value(grid.nx, h);
+  h = fnv_value(grid.ny, h);
+  h = fnv_value(grid.dx, h);
+  h = fnv_value(grid.dy, h);
+  h = fnv_value(pml.cells, h);
+  h = fnv_value(pml.order, h);
+  h = fnv_value(pml.r0, h);
+  h = fnv_value(k0, h);
+  h = fnv_value(settings.backend, h);
+  h = fnv_value(settings.tol, h);
+  h = fnv_value(settings.max_iterations, h);
+  h = fnv_value(settings.gmres_restart, h);
+  h = fnv1a(eps.data(), eps.size() * sizeof(double), h);
+  return h;
+}
+
+}  // namespace
+
+engine_cache::engine_cache(std::size_t capacity) : capacity_(capacity) {
+  require(capacity >= 1, "engine_cache: capacity must be at least 1");
+}
+
+engine_cache& engine_cache::global() {
+  static engine_cache cache(
+      static_cast<std::size_t>(std::max(1L, env_int("BOSON_SIM_CACHE", 4))));
+  return cache;
+}
+
+bool engine_cache::matches(const entry& e, const grid2d& grid, const pml_spec& pml,
+                           double k0, const array2d<double>& eps,
+                           const engine_settings& settings) const {
+  const simulation_engine& eng = *e.engine;
+  if (eng.k0() != k0 || eng.grid().nx != grid.nx || eng.grid().ny != grid.ny ||
+      eng.grid().dx != grid.dx || eng.grid().dy != grid.dy)
+    return false;
+  const pml_spec& p = eng.pml();
+  if (p.cells != pml.cells || p.order != pml.order || p.r0 != pml.r0) return false;
+  const engine_settings& s = eng.settings();
+  if (s.backend != settings.backend || s.tol != settings.tol ||
+      s.max_iterations != settings.max_iterations ||
+      s.gmres_restart != settings.gmres_restart)
+    return false;
+  const array2d<double>& cached = eng.eps();
+  return cached.size() == eps.size() &&
+         std::memcmp(cached.data(), eps.data(), eps.size() * sizeof(double)) == 0;
+}
+
+std::shared_ptr<const simulation_engine> engine_cache::acquire(
+    const grid2d& grid, const pml_spec& pml, double k0, const array2d<double>& eps,
+    const engine_settings& settings) {
+  const std::uint64_t digest = operator_digest(grid, pml, k0, eps, settings);
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(digest);
+    if (it != index_.end() && matches(*it->second, grid, pml, k0, eps, settings)) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second);  // promote to most-recent
+      return it->second->engine;
+    }
+    ++stats_.misses;
+  }
+
+  // Build outside the lock: concurrent misses on the same key may duplicate
+  // the preparation, but never block each other behind it.
+  auto engine = std::make_shared<const simulation_engine>(grid, pml, k0, eps, settings);
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(digest);
+  if (it != index_.end()) {
+    if (matches(*it->second, grid, pml, k0, eps, settings)) {
+      // Another thread inserted the same operator while we were building.
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->engine;
+    }
+    // Digest collision with a different operator: replace the old entry.
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++stats_.evictions;
+  }
+  lru_.push_front(entry{digest, engine});
+  index_[digest] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().digest);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  return engine;
+}
+
+engine_cache::cache_stats engine_cache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  cache_stats s = stats_;
+  s.entries = lru_.size();
+  return s;
+}
+
+void engine_cache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  stats_ = cache_stats{};
+}
+
+}  // namespace boson::sim

@@ -1,0 +1,72 @@
+/// \file cache.h
+/// LRU cache of prepared simulation engines, keyed by a digest of the
+/// operator state (permittivity bytes, k0, PML, grid, backend settings).
+/// Post-fab Monte Carlo and process-window scans repeat identical operators
+/// — hard-binarized lithography corners collide across samples, and every
+/// scan point re-runs the same reference-normalization solve — so reusing
+/// the factorization amortizes the dominant per-sample cost. Digest
+/// collisions are guarded by a full key comparison on hit.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/array2d.h"
+#include "grid/grid2d.h"
+#include "grid/pml.h"
+#include "sim/engine.h"
+
+namespace boson::sim {
+
+/// Thread-safe LRU cache of shared, immutable simulation engines.
+class engine_cache {
+ public:
+  /// `capacity` bounds the number of retained engines (each holds a full
+  /// factorization, so keep this small). Must be at least 1.
+  explicit engine_cache(std::size_t capacity);
+
+  /// Process-wide cache used by the evaluation protocols. Capacity comes
+  /// from BOSON_SIM_CACHE (default 4).
+  static engine_cache& global();
+
+  /// Return the cached engine for this operator state, or build, insert and
+  /// return a new one (evicting the least-recently-used entry at capacity).
+  std::shared_ptr<const simulation_engine> acquire(const grid2d& grid, const pml_spec& pml,
+                                                   double k0, const array2d<double>& eps,
+                                                   const engine_settings& settings);
+
+  struct cache_stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+    std::size_t entries = 0;
+  };
+  cache_stats stats() const;
+
+  /// Drop every cached engine (in-flight shared_ptrs stay valid) and reset
+  /// the statistics.
+  void clear();
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct entry {
+    std::uint64_t digest = 0;
+    std::shared_ptr<const simulation_engine> engine;
+  };
+
+  bool matches(const entry& e, const grid2d& grid, const pml_spec& pml, double k0,
+               const array2d<double>& eps, const engine_settings& settings) const;
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, std::list<entry>::iterator> index_;
+  cache_stats stats_;
+};
+
+}  // namespace boson::sim

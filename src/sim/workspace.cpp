@@ -1,0 +1,60 @@
+#include "sim/workspace.h"
+
+#include <utility>
+
+namespace boson::sim {
+
+workspace& workspace::local() {
+  thread_local workspace ws;
+  return ws;
+}
+
+cvec workspace::take_cvec(std::size_t n) {
+  if (cvecs_.empty()) return cvec(n);
+  cvec v = std::move(cvecs_.back());
+  cvecs_.pop_back();
+  v.resize(n);
+  return v;
+}
+
+void workspace::give_cvec(cvec v) {
+  if (cvecs_.size() < max_pooled) cvecs_.push_back(std::move(v));
+}
+
+namespace {
+
+/// Pop a pooled grid of the requested shape, or a default-constructed one.
+/// Grids of other shapes stay pooled for callers that still need them.
+template <class T>
+array2d<T> pop_matching(std::vector<array2d<T>>& pool, std::size_t nx, std::size_t ny) {
+  for (std::size_t k = pool.size(); k-- > 0;) {
+    if (pool[k].nx() == nx && pool[k].ny() == ny) {
+      array2d<T> g = std::move(pool[k]);
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(k));
+      return g;
+    }
+  }
+  return array2d<T>(nx, ny);
+}
+
+}  // namespace
+
+array2d<cplx> workspace::take_cgrid(std::size_t nx, std::size_t ny) {
+  array2d<cplx> g = pop_matching(cgrids_, nx, ny);
+  g.fill(cplx{});
+  return g;
+}
+
+void workspace::give_cgrid(array2d<cplx> g) {
+  if (!g.empty() && cgrids_.size() < max_pooled) cgrids_.push_back(std::move(g));
+}
+
+array2d<double> workspace::take_dgrid(std::size_t nx, std::size_t ny) {
+  return pop_matching(dgrids_, nx, ny);
+}
+
+void workspace::give_dgrid(array2d<double> g) {
+  if (!g.empty() && dgrids_.size() < max_pooled) dgrids_.push_back(std::move(g));
+}
+
+}  // namespace boson::sim

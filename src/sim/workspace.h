@@ -1,0 +1,58 @@
+/// \file workspace.h
+/// Per-thread scratch-buffer pools. Monte-Carlo sampling and corner sweeps
+/// evaluate the same-shaped systems thousands of times; recycling the
+/// right-hand-side vectors and grid-sized scratch arrays through a
+/// thread-local pool removes that per-sample allocation churn. Buffers move
+/// in and out of the pool by value, so a buffer a caller forgets (or loses to
+/// an exception) is simply freed instead of leaking.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/array2d.h"
+#include "common/types.h"
+
+namespace boson::sim {
+
+/// Pool of reusable buffers. Use the thread-local instance from `local()`;
+/// a `workspace` itself is not thread-safe. Each pool keeps at most
+/// `max_pooled` buffers — solve batches return more vectors than they take
+/// (solutions as well as right-hand sides), and the cap stops a long
+/// Monte-Carlo run from accumulating parked grid-sized buffers without
+/// bound; surplus gives simply free their buffer.
+class workspace {
+ public:
+  /// Retained-buffer cap per pool; generously above the concurrent takes of
+  /// one corner evaluation (excitations + adjoints).
+  static constexpr std::size_t max_pooled = 16;
+
+  /// The calling thread's workspace (created on first use).
+  static workspace& local();
+
+  /// Borrow a complex vector resized to `n`; contents are unspecified.
+  cvec take_cvec(std::size_t n);
+  /// Return a vector to the pool (its allocation is kept for reuse).
+  void give_cvec(cvec v);
+
+  /// Borrow a complex grid of shape (nx, ny), cleared to zero.
+  array2d<cplx> take_cgrid(std::size_t nx, std::size_t ny);
+  void give_cgrid(array2d<cplx> g);
+
+  /// Borrow a real grid of shape (nx, ny); contents are unspecified.
+  array2d<double> take_dgrid(std::size_t nx, std::size_t ny);
+  void give_dgrid(array2d<double> g);
+
+  /// Number of buffers currently parked in each pool (tests/diagnostics).
+  std::size_t pooled_cvecs() const { return cvecs_.size(); }
+  std::size_t pooled_cgrids() const { return cgrids_.size(); }
+  std::size_t pooled_dgrids() const { return dgrids_.size(); }
+
+ private:
+  std::vector<cvec> cvecs_;
+  std::vector<array2d<cplx>> cgrids_;
+  std::vector<array2d<double>> dgrids_;
+};
+
+}  // namespace boson::sim

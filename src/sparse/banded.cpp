@@ -98,6 +98,45 @@ cvec banded_lu::solve(const cvec& b) const {
   return x;
 }
 
+std::vector<cvec> banded_lu::solve(const std::vector<cvec>& bs) const {
+  require(factored_, "banded_lu::solve: factor() first");
+  for (const auto& b : bs) require(b.size() == n_, "banded_lu::solve: rhs size mismatch");
+  std::vector<cvec> xs = bs;
+  const std::size_t m = xs.size();
+  if (m == 0) return xs;
+  if (m == 1) {
+    xs[0] = solve(bs[0]);
+    return xs;
+  }
+
+  // Forward substitution, all RHS per column: each stored multiplier is read
+  // once and applied to every column of the block.
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (pivot_[j] != j)
+      for (auto& x : xs) std::swap(x[j], x[pivot_[j]]);
+    const std::size_t last_row = std::min(j + kl_, n_ - 1);
+    for (std::size_t i = j + 1; i <= last_row; ++i) {
+      const cplx a = ab_(j, offset(i, j));
+      if (a == cplx{}) continue;
+      for (auto& x : xs) x[i] -= a * x[j];
+    }
+  }
+
+  // Back substitution on U (bandwidth ku + kl).
+  const std::size_t band_hi = ku_ + kl_;
+  for (std::size_t jj = n_; jj-- > 0;) {
+    const cplx inv_diag = 1.0 / ab_(jj, offset(jj, jj));
+    for (auto& x : xs) x[jj] *= inv_diag;
+    const std::size_t first_row = (jj > band_hi) ? jj - band_hi : 0;
+    for (std::size_t i = first_row; i < jj; ++i) {
+      const cplx a = ab_(jj, offset(i, jj));
+      if (a == cplx{}) continue;
+      for (auto& x : xs) x[i] -= a * x[jj];
+    }
+  }
+  return xs;
+}
+
 cvec banded_lu::matvec(const cvec& x) const {
   require(!factored_, "banded_lu::matvec: matrix already factored");
   require(x.size() == n_, "banded_lu::matvec: size mismatch");

@@ -43,6 +43,12 @@ class banded_lu {
   /// Solve A x = b using the factorization; returns x.
   cvec solve(const cvec& b) const;
 
+  /// Blocked multi-RHS solve: forward/back-substitutes every right-hand side
+  /// through the factorization together, so each LU coefficient is loaded
+  /// once per column instead of once per RHS. This is how one variation
+  /// corner's excitations and adjoints share the factorization.
+  std::vector<cvec> solve(const std::vector<cvec>& bs) const;
+
   /// y = A x with the *unfactored* matrix (for residual checks).
   cvec matvec(const cvec& x) const;
 

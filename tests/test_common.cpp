@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <map>
+#include <mutex>
 #include <set>
 #include <thread>
 
@@ -221,6 +224,54 @@ TEST(parallel, single_item_runs_inline) {
   int count = 0;
   parallel_for(1, [&](std::size_t) { ++count; });
   EXPECT_EQ(count, 1);
+}
+
+TEST(parallel, dynamic_scheduling_drains_uneven_work_around_a_slow_index) {
+  if (worker_count() < 2) GTEST_SKIP() << "needs at least two workers";
+  // Index 0 sleeps; with atomic-counter scheduling the other workers drain
+  // the remaining indices meanwhile, so the slow index's thread ends up with
+  // far fewer than a static contiguous share of the work.
+  constexpr std::size_t n = 64;
+  std::mutex mu;
+  std::map<std::thread::id, std::size_t> per_thread;
+  std::thread::id slow_tid;
+  parallel_for(n, [&](std::size_t i) {
+    if (i == 0) std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    const std::lock_guard<std::mutex> lock(mu);
+    if (i == 0) slow_tid = std::this_thread::get_id();
+    ++per_thread[std::this_thread::get_id()];
+  });
+  std::size_t ran = 0;
+  for (const auto& [tid, cnt] : per_thread) ran += cnt;
+  EXPECT_EQ(ran, n);
+  EXPECT_GE(per_thread.size(), 2u);
+  EXPECT_LT(per_thread.at(slow_tid), n / 4)
+      << "slow index's worker should not accumulate a static share";
+}
+
+TEST(parallel, stops_handing_out_work_after_a_failure) {
+  // With one worker the loop runs inline, so the failure point is exact:
+  // indices past the throwing one must never start.
+  ASSERT_EQ(setenv("BOSON_THREADS", "1", 1), 0);
+  std::atomic<std::size_t> started{0};
+  EXPECT_THROW(parallel_for(1000,
+                            [&](std::size_t i) {
+                              started.fetch_add(1);
+                              if (i == 5) throw numeric_error("boom");
+                            }),
+               numeric_error);
+  unsetenv("BOSON_THREADS");
+  EXPECT_EQ(started.load(), 6u);
+}
+
+TEST(parallel, worker_count_tracks_boson_threads_at_runtime) {
+  ASSERT_EQ(setenv("BOSON_THREADS", "1", 1), 0);
+  EXPECT_EQ(worker_count(), 1u);
+  ASSERT_EQ(setenv("BOSON_THREADS", "2", 1), 0);
+  EXPECT_EQ(worker_count(),
+            std::min<std::size_t>(2, std::max(1u, std::thread::hardware_concurrency())));
+  unsetenv("BOSON_THREADS");
+  EXPECT_EQ(worker_count(), std::max<std::size_t>(1, std::thread::hardware_concurrency()));
 }
 
 // ---------------------------------------------------------------- timer ----

@@ -137,6 +137,44 @@ INSTANTIATE_TEST_SUITE_P(shapes, banded_sizes,
                                            band_case{40, 5, 2}, band_case{40, 2, 5},
                                            band_case{100, 10, 10}, band_case{64, 8, 8}));
 
+TEST(banded, multi_rhs_solve_matches_single_rhs_solves) {
+  rng r(321);
+  const std::size_t n = 60, kl = 6, ku = 4, nrhs = 5;
+  banded_lu banded(n, kl, ku);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j + kl < i || i + ku < j) continue;
+      cplx v(r.uniform(-1, 1), r.uniform(-1, 1));
+      if (i == j) v += cplx(3.0, 0.0);
+      banded.add(i, j, v);
+    }
+  }
+  banded.factor();
+
+  std::vector<cvec> bs(nrhs, cvec(n));
+  for (auto& b : bs)
+    for (auto& v : b) v = cplx(r.uniform(-1, 1), r.uniform(-1, 1));
+
+  const std::vector<cvec> xs = banded.solve(bs);
+  ASSERT_EQ(xs.size(), nrhs);
+  for (std::size_t k = 0; k < nrhs; ++k) {
+    const cvec x_single = banded.solve(bs[k]);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(std::abs(xs[k][i] - x_single[i]), 0.0, 1e-10)
+          << "rhs " << k << " row " << i;
+  }
+}
+
+TEST(banded, multi_rhs_solve_handles_empty_and_singleton_batches) {
+  banded_lu banded(4, 1, 1);
+  for (std::size_t i = 0; i < 4; ++i) banded.add(i, i, cplx{2.0});
+  banded.factor();
+  EXPECT_TRUE(banded.solve(std::vector<cvec>{}).empty());
+  const auto xs = banded.solve(std::vector<cvec>{cvec(4, cplx{1.0})});
+  ASSERT_EQ(xs.size(), 1u);
+  for (const auto& v : xs[0]) EXPECT_NEAR(std::abs(v - cplx{0.5}), 0.0, 1e-14);
+}
+
 TEST(banded, matvec_matches_dense) {
   const std::size_t n = 15, k = 3;
   rng r(9);
