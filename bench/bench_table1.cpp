@@ -3,44 +3,59 @@
 // For each device (crossing, bending, isolator) it runs the conventional
 // density-based flow, the strongest two-stage prior art (InvFabCor-M-3) and
 // BOSON-1, and reports pre-fab -> post-fab FoM plus the average improvement
-// of BOSON-1 over the baselines. Expectation versus the paper: absolute
-// numbers differ (different simulation substrate), the ordering and the
-// collapse of the unconstrained baselines reproduce.
+// of BOSON-1 over the baselines. The whole matrix executes as declarative
+// specs through the boson::api session façade — the same experiments could
+// be run from a JSON batch with boson_cli. Expectation versus the paper:
+// absolute numbers differ (different simulation substrate), the ordering and
+// the collapse of the unconstrained baselines reproduce.
 
+#include "api/registry.h"
+#include "api/session.h"
 #include "bench_common.h"
 
 int main() {
   using namespace boson;
-  using core::method_id;
 
   const stopwatch total;
-  const core::experiment_config cfg = core::default_config();
 
   bench::print_banner(
       "Table I: post-fabrication performance on the three benchmarks");
-  std::printf("(iterations=%zu, MC samples=%zu, seed=%llu, scale=%.2f)\n",
-              cfg.scaled_iterations(), cfg.scaled_samples(),
-              static_cast<unsigned long long>(cfg.seed), cfg.scale);
+  {
+    const core::experiment_config cfg = api::session::config_for(api::experiment_spec{});
+    std::printf("(iterations=%zu, MC samples=%zu, seed=%llu, scale=%.2f)\n",
+                cfg.scaled_iterations(), cfg.scaled_samples(),
+                static_cast<unsigned long long>(cfg.seed), cfg.scale);
+  }
 
   io::csv_writer csv("table1.csv", {"benchmark/model", "prefab_fom", "postfab_fom",
                                     "postfab_std", "fwd_mean", "bwd_mean"});
 
-  const std::vector<method_id> methods{method_id::density, method_id::invfabcor_m_3,
-                                       method_id::boson};
+  const std::vector<std::string> methods{"density", "invfabcor_m_3", "boson"};
+
+  api::session_options so;
+  so.write_artifacts = false;  // the CSV/stdout rows are the artifact here
+  api::session session(so);
 
   double improvement_sum = 0.0;
   std::size_t improvement_count = 0;
 
-  for (const auto kind :
-       {dev::device_kind::crossing, dev::device_kind::bend, dev::device_kind::isolator}) {
-    const dev::device_spec device = dev::make_device(kind);
-    const bool lower = device.objective.fom_lower_better;
+  for (const std::string device : {"crossing", "bend", "isolator"}) {
+    const bool lower = api::registry::global()
+                           .make_device(device, api::experiment_spec{}.resolution)
+                           .objective.fom_lower_better;
 
     io::console_table table({"model", "fwd & bwd transmission", "avg FoM (pre -> post)"});
-    std::vector<core::method_result> results;
-    for (const auto id : methods) results.push_back(core::run_method(device, id, cfg));
+    std::vector<api::experiment_result> results;
+    for (const std::string& method : methods) {
+      api::experiment_spec spec;
+      spec.name = device + "_" + method;
+      spec.device = device;
+      spec.method = method;
+      results.push_back(session.run(spec));
+    }
 
-    for (const auto& r : results) {
+    for (const auto& res : results) {
+      const core::method_result& r = res.method;
       const bool is_boson = r.method == "BOSON-1";
       std::string fom_cell =
           is_boson ? io::console_table::sci(r.postfab.fom_mean)
@@ -49,7 +64,7 @@ int main() {
       if (r.postfab.metric_means.count("fwd_transmission"))
         fwd_bwd = bench::fwd_bwd_cell(r.postfab.metric_means);
       table.add_row({r.method, fwd_bwd, fom_cell});
-      csv.write_row(std::string(dev::to_string(kind)) + "/" + r.method,
+      csv.write_row(device + "/" + r.method,
                     {r.prefab_fom, r.postfab.fom_mean, r.postfab.fom_std,
                      r.postfab.metric_means.count("fwd_transmission")
                          ? r.postfab.metric_means.at("fwd_transmission")
@@ -59,17 +74,17 @@ int main() {
                          : 0.0});
     }
 
-    const double boson_fom = results.back().postfab.fom_mean;
+    const double boson_fom = results.back().method.postfab.fom_mean;
     double device_improvement = 0.0;
     for (std::size_t b = 0; b + 1 < results.size(); ++b)
-      device_improvement +=
-          core::relative_improvement(results[b].postfab.fom_mean, boson_fom, lower);
+      device_improvement += core::relative_improvement(
+          results[b].method.postfab.fom_mean, boson_fom, lower);
     device_improvement /= static_cast<double>(results.size() - 1);
     improvement_sum += device_improvement;
     ++improvement_count;
 
     std::printf("\n");
-    table.print(std::string("Benchmark: ") + dev::to_string(kind));
+    table.print("Benchmark: " + device);
     std::printf("avg improvement: %.0f%%\n", 100.0 * device_improvement);
   }
 

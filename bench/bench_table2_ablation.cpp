@@ -4,48 +4,59 @@
 // conditional subspace relaxation, adaptive (axial + worst-case) sampling
 // (replaced by the exhaustive 27-corner sweep), and the light-concentrated
 // initialization (replaced by random). Degradation is relative contrast
-// worsening versus full BOSON-1.
+// worsening versus full BOSON-1. The variants run as declarative specs
+// through one boson::api session.
 
+#include "api/session.h"
 #include "bench_common.h"
 
 int main() {
   using namespace boson;
-  using core::method_id;
 
   const stopwatch total;
-  const core::experiment_config cfg = core::default_config();
-  const dev::device_spec device = dev::make_isolator();
 
   bench::print_banner("Table II: ablation study of BOSON-1 (optical isolator)");
-  std::printf("(iterations=%zu, MC samples=%zu, seed=%llu)\n", cfg.scaled_iterations(),
-              cfg.scaled_samples(), static_cast<unsigned long long>(cfg.seed));
+  {
+    const core::experiment_config cfg = api::session::config_for(api::experiment_spec{});
+    std::printf("(iterations=%zu, MC samples=%zu, seed=%llu)\n", cfg.scaled_iterations(),
+                cfg.scaled_samples(), static_cast<unsigned long long>(cfg.seed));
+  }
 
-  const std::vector<std::pair<method_id, const char*>> variants{
-      {method_id::boson, "BOSON-1"},
-      {method_id::boson_no_reshape, "- loss landscape reshaping"},
-      {method_id::boson_no_relax, "- subspace relax"},
-      {method_id::boson_exhaustive, "exhaustive sample"},
-      {method_id::boson_random_init, "random init"},
+  const std::vector<std::pair<std::string, const char*>> variants{
+      {"boson", "BOSON-1"},
+      {"boson_no_reshape", "- loss landscape reshaping"},
+      {"boson_no_relax", "- subspace relax"},
+      {"boson_exhaustive", "exhaustive sample"},
+      {"boson_random_init", "random init"},
   };
 
   io::csv_writer csv("table2_ablation.csv",
                      {"model", "fwd", "bwd", "contrast", "degradation_pct"});
   io::console_table table({"model", "[fwd, bwd]", "contrast (lower better)", "degradation"});
 
+  api::session_options so;
+  so.write_artifacts = false;
+  api::session session(so);
+
   double reference_contrast = 0.0;
-  for (const auto& [id, label] : variants) {
-    const core::method_result r = core::run_method(device, id, cfg);
+  for (const auto& [method, label] : variants) {
+    api::experiment_spec spec;
+    spec.name = "isolator_" + method;
+    spec.device = "isolator";
+    spec.method = method;
+    const core::method_result r = session.run(spec).method;
     const double contrast = r.postfab.fom_mean;
-    if (id == method_id::boson) reference_contrast = contrast;
+    const bool is_reference = method == "boson";
+    if (is_reference) reference_contrast = contrast;
     // Degradation: how much of the variant's contrast is excess over full
     // BOSON-1 (the paper's definition yields 0..100%).
     const double degradation =
-        id == method_id::boson
+        is_reference
             ? 0.0
             : std::max(0.0, (contrast - reference_contrast) / std::max(contrast, 1e-12));
     table.add_row({label, bench::fwd_bwd_cell(r.postfab.metric_means),
                    io::console_table::sci(contrast),
-                   id == method_id::boson
+                   is_reference
                        ? std::string("N/A")
                        : io::console_table::num(100.0 * degradation, 0) + "%"});
     csv.write_row(label, {r.postfab.metric_means.at("fwd_transmission"),

@@ -4,30 +4,33 @@
 // with 1 or 3 matched lithography corners, its '-eff' variant (transmission
 // objective), and BOSON-1. Rows show the pre-fab [fwd, bwd] transmissions
 // and FoM followed by the post-fab values. BOSON-1 reports its real
-// (post-fab) performance only, as in the paper.
+// (post-fab) performance only, as in the paper. The eleven runs execute as
+// declarative specs through one boson::api session, sharing the engine
+// cache across methods.
 
+#include "api/session.h"
 #include "bench_common.h"
 
 int main() {
   using namespace boson;
-  using core::method_id;
 
   const stopwatch total;
-  const core::experiment_config cfg = core::default_config();
-  const dev::device_spec device = dev::make_isolator();
 
   bench::print_banner("Table III: methods comparison on the optical isolator");
-  std::printf("(iterations=%zu, MC samples=%zu, seed=%llu)\n", cfg.scaled_iterations(),
-              cfg.scaled_samples(), static_cast<unsigned long long>(cfg.seed));
+  {
+    const core::experiment_config cfg = api::session::config_for(api::experiment_spec{});
+    std::printf("(iterations=%zu, MC samples=%zu, seed=%llu)\n", cfg.scaled_iterations(),
+                cfg.scaled_samples(), static_cast<unsigned long long>(cfg.seed));
+  }
 
   // The paper's ten rows plus LS-ED, the erosion/dilation geometry-corner
   // prior art the paper discusses in Section II-B (extra row, not in the
   // paper's table).
-  const std::vector<method_id> methods{
-      method_id::density,       method_id::density_m,    method_id::ls,
-      method_id::ls_m,          method_id::invfabcor_1,  method_id::invfabcor_3,
-      method_id::invfabcor_m_1, method_id::invfabcor_m_3, method_id::invfabcor_m_3_eff,
-      method_id::ls_ed,         method_id::boson,
+  const std::vector<std::string> methods{
+      "density",       "density_m",     "ls",
+      "ls_m",          "invfabcor_1",   "invfabcor_3",
+      "invfabcor_m_1", "invfabcor_m_3", "invfabcor_m_3_eff",
+      "ls_ed",         "boson",
   };
 
   io::csv_writer csv("table3_methods.csv",
@@ -35,11 +38,19 @@ int main() {
                       "postfab_fwd", "postfab_bwd", "postfab_contrast"});
   io::console_table table({"model", "fwd & bwd transmission", "avg FoM (pre -> post)"});
 
+  api::session_options so;
+  so.write_artifacts = false;
+  api::session session(so);
+
   double best_baseline = 1e300;
   double boson_fom = 0.0;
-  for (const auto id : methods) {
-    const core::method_result r = core::run_method(device, id, cfg);
-    const bool is_boson = id == method_id::boson;
+  for (const std::string& method : methods) {
+    api::experiment_spec spec;
+    spec.name = "isolator_" + method;
+    spec.device = "isolator";
+    spec.method = method;
+    const core::method_result r = session.run(spec).method;
+    const bool is_boson = method == "boson";
     if (is_boson) {
       boson_fom = r.postfab.fom_mean;
       table.add_row({r.method, bench::fwd_bwd_cell(r.postfab.metric_means),

@@ -1,52 +1,58 @@
 // Quickstart: inverse-design a 90-degree waveguide bend with BOSON-1.
 //
-// Demonstrates the minimal end-to-end flow of the library:
-//   1. pick a benchmark device,
-//   2. build the design problem (parameterization + fabrication models),
-//   3. run the fabrication-aware, variation-aware optimization,
-//   4. evaluate the post-fabrication Monte Carlo and export the pattern.
+// Demonstrates the minimal end-to-end flow of the declarative API:
+//   1. describe the experiment as an `api::experiment_spec` (device +
+//      method + evaluation plan — the same structure boson_cli reads from
+//      JSON),
+//   2. execute it through an `api::session`, which streams progress through
+//      common/log and writes the artifact directory,
+//   3. read the results back from the returned `experiment_result`.
 //
 // Run time: a couple of minutes at the default settings; set
 // BOSON_BENCH_SCALE=0.2 for a ~20 s smoke run.
 
 #include <cstdio>
 
-#include "core/methods.h"
-#include "io/pgm.h"
+#include "api/session.h"
 #include "sim/backend.h"
 #include "sim/cache.h"
 
 int main() {
   using namespace boson;
 
-  // 1. The 90-degree bend benchmark at 50 nm pixels.
-  dev::device_spec device = dev::make_bend();
+  // 1. The experiment as data: the 90-degree bend benchmark, the full
+  //    BOSON-1 recipe, and a post-fabrication Monte Carlo. The equivalent
+  //    JSON could be executed with `boson_cli run`.
+  api::experiment_spec spec;
+  spec.name = "quickstart_bend";
+  spec.device = "bend";
+  spec.method = "boson";
+  spec.evaluation = {api::eval_step::monte_carlo(20)};
 
-  // 2. Experiment configuration (iterations, Monte-Carlo samples, litho /
-  //    etch / temperature variation models). BOSON_BENCH_SCALE scales the
-  //    iteration and sample counts.
-  core::experiment_config cfg = core::default_config();
+  // 2. Execute. The session validates the spec, resolves the registries,
+  //    runs the variation-aware optimization and the evaluation plan, and
+  //    writes summary.json / trajectory.csv / mask.pgm under ./quickstart_out.
+  api::session_options options;
+  options.output_dir = "quickstart_out";
+  api::session session(options);
+  const api::experiment_result result = session.run(spec);
 
-  // 3. Run the full BOSON-1 recipe: level-set parameterization, lithography
-  //    + etching inside the optimization loop, dense auxiliary objectives,
-  //    conditional subspace relaxation and axial + worst-case sampling.
-  core::method_result result = core::run_method(device, core::method_id::boson, cfg);
-
-  // 4. Report.
-  std::printf("\nBOSON-1 on the %s benchmark\n", device.name.c_str());
+  // 3. Report.
+  const auto& method = result.method;
+  std::printf("\nBOSON-1 on the %s benchmark\n", spec.device.c_str());
   std::printf("  FDFD backend         : %s (BOSON_BACKEND selects banded|bicgstab|gmres)\n",
               sim::to_string(sim::default_backend()));
-  std::printf("  pre-fab transmission : %.4f\n", result.prefab_fom);
+  std::printf("  pre-fab transmission : %.4f\n", method.prefab_fom);
   std::printf("  post-fab transmission: %.4f +- %.4f  (%zu Monte-Carlo samples)\n",
-              result.postfab.fom_mean, result.postfab.fom_std, result.postfab.samples);
+              method.postfab.fom_mean, method.postfab.fom_std, method.postfab.samples);
   std::printf("  post-fab reflection  : %.4f\n",
-              result.postfab.metric_means.at("reflection"));
+              method.postfab.metric_means.at("reflection"));
 
   const auto cache = sim::engine_cache::global().stats();
   std::printf("  operator cache       : %zu hits / %zu misses (capacity %zu)\n",
               cache.hits, cache.misses, sim::engine_cache::global().capacity());
 
-  io::write_pgm("quickstart_bend_mask.pgm", result.mask);
-  std::printf("  mask written to quickstart_bend_mask.pgm\n");
+  std::printf("  artifacts            : %s (summary.json, trajectory.csv, mask.pgm)\n",
+              result.artifact_dir.c_str());
   return 0;
 }

@@ -3,35 +3,33 @@
 // Forward TM1 light must convert to TM3 with high efficiency while backward
 // TM1 light is rejected; the figure of merit is the isolation contrast
 // E_bwd / E_fwd (lower is better). This example runs the full BOSON-1 recipe
-// and prints the optimization trajectory (the series behind the paper's
-// Fig. 5a), then stress-tests the final design with a post-fabrication
-// Monte Carlo.
+// through the session façade and prints the optimization trajectory (the
+// series behind the paper's Fig. 5a), then stress-tests the final design
+// with a post-fabrication Monte Carlo. The same trajectory lands in the
+// artifact directory as trajectory.csv.
 
 #include <cstdio>
 
-#include "core/methods.h"
-#include "io/csv.h"
-#include "io/pgm.h"
+#include "api/session.h"
 
 int main() {
   using namespace boson;
 
-  dev::device_spec device = dev::make_isolator();
-  core::experiment_config cfg = core::default_config();
+  api::experiment_spec spec;
+  spec.name = "robust_isolator";
+  spec.device = "isolator";
+  spec.method = "boson";
+  spec.evaluation = {api::eval_step::monte_carlo(20)};
 
-  std::printf("Running BOSON-1 on the optical isolator (%zu iterations)...\n",
-              cfg.scaled_iterations());
-  const core::method_result r = core::run_method(device, core::method_id::boson, cfg);
+  api::session_options options;
+  options.output_dir = "isolator_out";
+  api::session session(options);
+  const api::experiment_result result = session.run(spec);
+  const auto& r = result.method;
 
   std::printf("\n%-5s %-10s %-12s %-12s %-12s\n", "iter", "loss", "fwd T", "bwd T",
               "contrast");
-  io::csv_writer csv("robust_isolator_trajectory.csv",
-                     {"iteration", "loss", "fwd_transmission", "bwd_transmission",
-                      "contrast"});
   for (const auto& rec : r.run.trajectory) {
-    csv.write_row(std::to_string(rec.iteration),
-                  {rec.loss, rec.metrics.at("fwd_transmission"),
-                   rec.metrics.at("bwd_transmission"), rec.metrics.at("contrast")});
     if (rec.iteration % 5 == 0 || rec.iteration + 1 == r.run.trajectory.size())
       std::printf("%-5zu %-10.4f %-12.4f %-12.5f %-12.5f\n", rec.iteration, rec.loss,
                   rec.metrics.at("fwd_transmission"), rec.metrics.at("bwd_transmission"),
@@ -46,7 +44,7 @@ int main() {
   std::printf("  bwd transmission: %.5f\n",
               r.postfab.metric_means.at("bwd_transmission"));
 
-  io::write_pgm("robust_isolator_mask.pgm", r.mask);
-  std::printf("\nTrajectory: robust_isolator_trajectory.csv; mask: robust_isolator_mask.pgm\n");
+  std::printf("\nArtifacts (summary.json, trajectory.csv, mask.pgm): %s\n",
+              result.artifact_dir.c_str());
   return 0;
 }

@@ -1,29 +1,41 @@
 // Variation sensitivity study: how a finished design behaves across the
 // fabrication / operation variation space.
 //
-// This is the downstream-user workflow: take a mask (here: a quickly
-// optimized bend), then sweep each variation axis in isolation —
+// This is the downstream-user workflow: design a bend through the session
+// façade with the spectral sweep and lithography process window directly in
+// the spec's evaluation plan, then sweep each variation axis in isolation —
 // lithography corner, temperature, global etch threshold — and sample the
 // spatially correlated etch field, reporting the figure of merit at every
-// point. It exercises the library's variation models directly, without the
-// optimizer in the loop.
+// point. The per-axis scans evaluate the library's variation models directly
+// on the problem `session::problem_for` rebuilds from the same spec.
 
 #include <cstdio>
 
-#include "core/evaluate.h"
-#include "core/methods.h"
+#include "api/session.h"
+#include "common/rng.h"
 #include "io/table.h"
 
 int main() {
   using namespace boson;
 
-  core::experiment_config cfg = core::default_config();
-  cfg.iterations = 20;  // a quick design is enough for the study
+  api::experiment_spec spec;
+  spec.name = "variation_study_bend";
+  spec.device = "bend";
+  spec.method = "boson";
+  spec.iterations = 20;  // a quick design is enough for the study
+  spec.evaluation = {
+      api::eval_step::sweep({1.50, 1.525, 1.55, 1.575, 1.60}),
+      api::eval_step::window({0.0, 0.08, 0.16}, {0.95, 1.0, 1.05}),
+  };
 
-  dev::device_spec device = dev::make_bend();
-  const core::method_result designed =
-      core::run_method(device, core::method_id::boson, cfg);
-  core::design_problem problem = core::make_problem(dev::make_bend(), true, cfg);
+  api::session_options options;
+  options.output_dir = "variation_out";
+  api::session session(options);
+  const api::experiment_result designed = session.run(spec);
+
+  // Per-axis scans need the design problem itself (the spec's device +
+  // parameterization + fabrication models).
+  core::design_problem problem = api::session::problem_for(spec);
 
   auto fom_at = [&](const robust::variation_corner& corner) {
     core::eval_options o;
@@ -31,7 +43,7 @@ int main() {
     o.hard_etch = true;
     o.compute_gradient = false;
     o.dense_objectives = false;
-    const auto ev = problem.evaluate_pattern(designed.mask, corner, o);
+    const auto ev = problem.evaluate_pattern(designed.method.mask, corner, o);
     return problem.fom_of(ev.metrics);
   };
 
@@ -76,10 +88,8 @@ int main() {
   table.print("Post-fabrication sensitivity of the optimized bend");
 
   // Spectral response: how the design behaves off the central wavelength.
-  const dvec lambdas{1.50, 1.525, 1.55, 1.575, 1.60};
-  const auto spectrum = core::wavelength_sweep(problem, designed.mask, lambdas);
   io::console_table spectral({"wavelength [um]", "transmission"});
-  for (const auto& pt : spectrum)
+  for (const auto& pt : designed.spectrum)
     spectral.add_row({io::console_table::num(pt.lambda_um, 3),
                       io::console_table::num(pt.fom, 4)});
   std::printf("\n");
@@ -88,14 +98,14 @@ int main() {
   // Lithography process window: transmission across the (defocus, dose)
   // plane — the classical fab-engineering view of the same robustness the
   // BOSON-1 corners optimize.
-  const auto window = core::litho_process_window(problem, designed.mask,
-                                                 dvec{0.0, 0.08, 0.16},
-                                                 dvec{0.95, 1.0, 1.05});
   io::console_table pw({"defocus [um]", "dose", "transmission"});
-  for (const auto& pt : window)
+  for (const auto& pt : designed.window)
     pw.add_row({io::console_table::num(pt.defocus_um, 2),
                 io::console_table::num(pt.dose, 2), io::console_table::num(pt.fom, 4)});
   std::printf("\n");
   pw.print("Lithography process window");
+
+  std::printf("\nArtifacts (summary.json, spectrum.csv, process_window.csv): %s\n",
+              designed.artifact_dir.c_str());
   return 0;
 }

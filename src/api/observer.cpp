@@ -1,0 +1,28 @@
+#include "api/observer.h"
+
+#include "common/log.h"
+
+namespace boson::api {
+
+void log_observer::on_event(const progress_event& event) {
+  switch (event.kind) {
+    case progress_event::phase::experiment_started:
+      log_info("session[", event.experiment, "]: started");
+      break;
+    case progress_event::phase::stage_started:
+      log_info("session[", event.experiment, "]: ", event.message);
+      break;
+    case progress_event::phase::iteration_finished:
+      log_debug("session[", event.experiment, "]: iteration ", event.iteration + 1, "/",
+                event.total_iterations, " loss=", event.loss);
+      break;
+    case progress_event::phase::artifact_written:
+      log_info("session[", event.experiment, "]: wrote ", event.message);
+      break;
+    case progress_event::phase::experiment_finished:
+      log_info("session[", event.experiment, "]: finished");
+      break;
+  }
+}
+
+}  // namespace boson::api

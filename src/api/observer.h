@@ -1,0 +1,51 @@
+/// \file observer.h
+/// Progress streaming for sessions: every lifecycle point of an executing
+/// experiment (start, pipeline stage, per-iteration record, artifact write,
+/// finish) is delivered to an `observer` as a `progress_event`. The default
+/// `log_observer` routes everything through common/log's serialized,
+/// timestamped stderr stream, replacing the ad-hoc printf reporting that
+/// interleaved garbage under concurrency.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace boson::api {
+
+/// One progress notification from a running session. Events are emitted from
+/// the session's driving thread only, never from corner/sample workers, so
+/// observers need no locking of their own.
+struct progress_event {
+  enum class phase {
+    experiment_started,   ///< message = experiment name
+    stage_started,        ///< message = stage ("optimize", "postfab_monte_carlo", ...)
+    iteration_finished,   ///< iteration / total_iterations / loss are valid
+    artifact_written,     ///< message = file path
+    experiment_finished,  ///< message = experiment name
+  };
+
+  phase kind = phase::experiment_started;
+  std::string experiment;           ///< display name of the spec being executed
+  std::string message;              ///< phase-dependent payload (see `phase`)
+  std::size_t iteration = 0;        ///< iteration_finished only
+  std::size_t total_iterations = 0; ///< iteration_finished only
+  double loss = 0.0;                ///< iteration_finished only
+};
+
+/// Receiver of session progress. Implementations must tolerate being called
+/// once per optimizer iteration (keep handlers cheap).
+class observer {
+ public:
+  virtual ~observer() = default;
+  virtual void on_event(const progress_event& event) = 0;
+};
+
+/// Default observer: lifecycle events at info level, per-iteration records
+/// at debug level, all through common/log.
+class log_observer : public observer {
+ public:
+  void on_event(const progress_event& event) override;
+};
+
+}  // namespace boson::api

@@ -1,0 +1,163 @@
+#include "api/registry.h"
+
+#include "common/error.h"
+
+namespace boson::api {
+
+namespace {
+
+std::string joined(const std::vector<std::string>& names) {
+  std::string out;
+  for (const auto& n : names) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
+}
+
+}  // namespace
+
+registry& registry::global() {
+  static registry* instance = [] {
+    auto* r = new registry();
+
+    r->register_device("bend", [](double res) { return dev::make_bend(res); },
+                       "90-degree waveguide bend (maximize TM1 transmission)");
+    r->register_device("crossing", [](double res) { return dev::make_crossing(res); },
+                       "waveguide crossing (maximize transmission, low crosstalk)");
+    r->register_device("isolator", [](double res) { return dev::make_isolator(res); },
+                       "magneto-optic isolator (minimize isolation contrast)");
+
+    using core::method_id;
+    r->register_method("density", method_id::density);
+    r->register_method("density_m", method_id::density_m);
+    r->register_method("ls", method_id::ls);
+    r->register_method("ls_m", method_id::ls_m);
+    r->register_method("invfabcor_1", method_id::invfabcor_1);
+    r->register_method("invfabcor_3", method_id::invfabcor_3);
+    r->register_method("invfabcor_m_1", method_id::invfabcor_m_1);
+    r->register_method("invfabcor_m_3", method_id::invfabcor_m_3);
+    r->register_method("invfabcor_m_3_eff", method_id::invfabcor_m_3_eff);
+    r->register_method("ls_ed", method_id::ls_ed);
+    r->register_method("boson", method_id::boson);
+    r->register_method("boson_no_reshape", method_id::boson_no_reshape);
+    r->register_method("boson_no_relax", method_id::boson_no_relax);
+    r->register_method("boson_exhaustive", method_id::boson_exhaustive);
+    r->register_method("boson_random_init", method_id::boson_random_init);
+
+    r->register_objective("device_default",
+                          {"", "the device's own objective (contrast for the isolator)"});
+    r->register_objective(
+        "fwd_transmission",
+        {"fwd_transmission",
+         "plain forward-transmission efficiency ('-eff'; ratio-objective devices only)"});
+    return r;
+  }();
+  return *instance;
+}
+
+// -------------------------------------------------------------- devices ----
+
+void registry::register_device(const std::string& name, device_factory factory,
+                               const std::string& description) {
+  require(!name.empty(), "registry: device name must not be empty");
+  require(factory != nullptr, "registry: device factory must not be null");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  devices_[name] = {std::move(factory), description};
+}
+
+bool registry::has_device(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return devices_.count(name) != 0;
+}
+
+dev::device_spec registry::make_device(const std::string& name, double resolution) const {
+  device_factory factory;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = devices_.find(name);
+    if (it != devices_.end()) factory = it->second.factory;
+  }
+  require(factory != nullptr,
+          "registry: unknown device '" + name + "' (known: " + joined(device_names()) + ")");
+  return factory(resolution);
+}
+
+std::vector<std::string> registry::device_names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(devices_.size());
+  for (const auto& [name, entry] : devices_) names.push_back(name);
+  return names;
+}
+
+std::string registry::device_description(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = devices_.find(name);
+  require(it != devices_.end(), "registry: unknown device '" + name + "'");
+  return it->second.description;
+}
+
+// -------------------------------------------------------------- methods ----
+
+void registry::register_method(const std::string& name, core::method_id id) {
+  require(!name.empty(), "registry: method name must not be empty");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  methods_[name] = id;
+}
+
+bool registry::has_method(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return methods_.count(name) != 0;
+}
+
+core::method_id registry::method(const std::string& name) const {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = methods_.find(name);
+    if (it != methods_.end()) return it->second;
+  }
+  throw bad_argument("registry: unknown method '" + name +
+                     "' (known: " + joined(method_names()) + ")");
+}
+
+std::vector<std::string> registry::method_names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(methods_.size());
+  for (const auto& [name, id] : methods_) names.push_back(name);
+  return names;
+}
+
+// ----------------------------------------------------------- objectives ----
+
+void registry::register_objective(const std::string& name, objective_entry entry) {
+  require(!name.empty(), "registry: objective name must not be empty");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  objectives_[name] = std::move(entry);
+}
+
+bool registry::has_objective(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return objectives_.count(name) != 0;
+}
+
+objective_entry registry::objective(const std::string& name) const {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = objectives_.find(name);
+    if (it != objectives_.end()) return it->second;
+  }
+  throw bad_argument("registry: unknown objective '" + name +
+                     "' (known: " + joined(objective_names()) + ")");
+}
+
+std::vector<std::string> registry::objective_names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(objectives_.size());
+  for (const auto& [name, entry] : objectives_) names.push_back(name);
+  return names;
+}
+
+}  // namespace boson::api

@@ -169,7 +169,7 @@ design_problem::solved_excitations design_problem::solve_excitations(
     const array2d<double>& eps, const eval_options& opts) const {
   const auto& g = spec_.grid;
   solved_excitations out;
-  out.engine = opts.use_operator_cache
+  out.engine = opts.use_operator_cache && sim::operator_cache_enabled()
                    ? sim::engine_cache::global().acquire(g, spec_.pml, spec_.k0, eps,
                                                          opts.engine)
                    : std::make_shared<const sim::simulation_engine>(g, spec_.pml, spec_.k0,

@@ -75,7 +75,8 @@ struct eval_options {
 
   /// Look up / insert the prepared operator in sim::engine_cache::global(),
   /// so evaluations that repeat an operator state (Monte-Carlo samples,
-  /// sweep points) skip re-assembly and re-factorization.
+  /// sweep points) skip re-assembly and re-factorization. Ignored when
+  /// BOSON_SIM_CACHE=0 disables caching globally.
   bool use_operator_cache = false;
 };
 

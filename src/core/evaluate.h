@@ -35,8 +35,9 @@ struct mc_stats {
 /// Carlo draws of (lithography corner, temperature, EOLE etch field), hard
 /// etch binarization, FoM per the device objective. Samples run concurrently.
 /// `use_operator_cache` routes the per-sample operators through the global
-/// engine cache (on by default; benchmarks switch it off to measure the
-/// uncached baseline). The statistics are identical either way.
+/// engine cache (on by default — the library-wide default; benchmarks switch
+/// it off to measure the uncached baseline, and BOSON_SIM_CACHE=0 disables
+/// caching globally). The statistics are identical either way.
 mc_stats postfab_monte_carlo(const design_problem& problem, const array2d<double>& mask,
                              std::size_t num_samples, std::uint64_t seed,
                              bool use_operator_cache = true);

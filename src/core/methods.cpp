@@ -210,12 +210,24 @@ method_recipe recipe_for(method_id id, const experiment_config& cfg) {
 
 }  // namespace
 
+bool method_uses_levelset(method_id id) {
+  return recipe_for(id, experiment_config{}).levelset;
+}
+
+std::string method_objective_override(method_id id) {
+  return recipe_for(id, experiment_config{}).objective_override;
+}
+
 method_result run_method(const dev::device_spec& spec, method_id id,
-                         const experiment_config& cfg) {
+                         const experiment_config& cfg, const method_hooks& hooks) {
   const method_recipe recipe = recipe_for(id, cfg);
-  require(recipe.objective_override.empty() ||
+  const std::string objective_override = recipe.objective_override.empty()
+                                             ? cfg.objective_override
+                                             : recipe.objective_override;
+  require(objective_override.empty() ||
               spec.objective.kind == dev::objective_kind::minimize_ratio,
-          "run_method: '-eff' override only applies to the isolator");
+          "run_method: the objective override only applies to ratio objectives "
+          "(the isolator)");
 
   design_problem problem = make_problem(spec, recipe.levelset, cfg, recipe.density_blur);
 
@@ -230,7 +242,11 @@ method_result run_method(const dev::device_spec& spec, method_id id,
   ro.erosion_dilation = recipe.erosion_dilation;
   if (!recipe.beta_ramp) ro.beta_end = ro.beta_start;
   ro.seed = cfg.seed;
-  ro.objective_override = recipe.objective_override;
+  ro.objective_override = objective_override;
+  ro.engine = cfg.engine;
+  ro.use_operator_cache = cfg.use_operator_cache;
+  ro.record_trajectory = cfg.record_trajectory;
+  ro.on_iteration = hooks.on_iteration;
 
   // Density-based topology optimization conventionally starts from a uniform
   // gray design; level-set methods (and BOSON-1) use the light-concentrated
@@ -242,17 +258,24 @@ method_result run_method(const dev::device_spec& spec, method_id id,
 
   log_info("run_method[", spec.name, "]: ", method_name(id), " (",
            ro.iterations, " iterations)");
+  const auto stage = [&](const char* name) {
+    if (hooks.on_stage) hooks.on_stage(name);
+  };
+
+  stage("optimize");
   method_result out;
   out.method = method_name(id);
   out.run = run_inverse_design(problem, theta0, ro);
 
   // The design produced by the optimizer (pre-fab pattern).
+  stage("prefab_eval");
   const array2d<double> design_binary = binarize(out.run.design_rho);
   out.prefab = prefab_metrics(problem, design_binary);
   out.prefab_fom = problem.fom_of(out.prefab);
 
   // The mask handed to fabrication.
   if (recipe.correction_corners > 0) {
+    stage("mask_correction");
     mask_correction_options mo;
     mo.litho_corners = recipe.correction_corners;
     mo.iterations = std::max<std::size_t>(20, cfg.scaled_iterations());
@@ -264,9 +287,13 @@ method_result run_method(const dev::device_spec& spec, method_id id,
     out.mask = design_binary;
   }
 
-  out.postfab = postfab_monte_carlo(problem, out.mask, cfg.scaled_samples(), cfg.seed + 3);
-  log_info("run_method[", spec.name, "]: ", method_name(id), " prefab FoM=",
-           out.prefab_fom, " postfab FoM=", out.postfab.fom_mean);
+  if (hooks.run_postfab_mc) {
+    stage("postfab_monte_carlo");
+    out.postfab = postfab_monte_carlo(problem, out.mask, cfg.scaled_samples(),
+                                      cfg.seed + 3, cfg.use_operator_cache);
+    log_info("run_method[", spec.name, "]: ", method_name(id), " prefab FoM=",
+             out.prefab_fom, " postfab FoM=", out.postfab.fom_mean);
+  }
   return out;
 }
 

@@ -44,6 +44,17 @@ enum class method_id {
 
 std::string method_name(method_id id);
 
+/// Whether the method's recipe uses the level-set parameterization (the
+/// density baselines are the only per-pixel methods). Exposed so callers
+/// building a `design_problem` to evaluate a finished mask can match the
+/// parameterization the method optimized with.
+bool method_uses_levelset(method_id id);
+
+/// The objective override baked into the method's recipe ("" for most;
+/// "fwd_transmission" for the '-eff' variant). Exposed so spec validation
+/// can reject device/method combinations run_method would refuse.
+std::string method_objective_override(method_id id);
+
 /// Shared experiment configuration. `scale` (usually BOSON_BENCH_SCALE)
 /// multiplies iteration counts and Monte-Carlo samples for quick runs.
 struct experiment_config {
@@ -57,6 +68,23 @@ struct experiment_config {
   fab::litho_settings litho;
   fab::eole_settings eole;
   robust::variation_space space;
+
+  /// Linear-backend selection for the optimization's FDFD solves (defaults
+  /// follow the BOSON_BACKEND environment variable).
+  sim::engine_settings engine;
+
+  /// Route repeated operators through the global engine cache (the
+  /// library-wide default; BOSON_SIM_CACHE=0 disables caching globally).
+  bool use_operator_cache = true;
+
+  /// Record the per-iteration trajectory in `run_result` (the Fig. 5
+  /// series); observers receive the records either way.
+  bool record_trajectory = true;
+
+  /// Objective override applied when the method recipe does not set one
+  /// (e.g. "fwd_transmission" turns the isolator contrast objective into
+  /// plain transmission efficiency). Only valid for ratio objectives.
+  std::string objective_override;
 
   std::size_t scaled_iterations() const;
   std::size_t scaled_samples() const;
@@ -91,10 +119,25 @@ dvec concentrated_init(const design_problem& problem);
 dvec gray_init(const design_problem& problem);
 dvec random_init(const design_problem& problem, std::uint64_t seed);
 
+/// Observer hooks and stage toggles for `run_method`. The callbacks replace
+/// printf progress reporting: `on_stage` fires when a pipeline stage starts
+/// ("optimize", "mask_correction", "prefab_eval", "postfab_monte_carlo") and
+/// `on_iteration` forwards the optimizer's per-iteration record.
+struct method_hooks {
+  iteration_callback on_iteration;
+  std::function<void(const std::string& stage)> on_stage;
+
+  /// Skip the built-in post-fab Monte Carlo (callers with their own
+  /// evaluation plan run it separately); `method_result::postfab` is then
+  /// left with zero samples.
+  bool run_postfab_mc = true;
+};
+
 /// Run one named method end to end: optimize, derive the mask, evaluate
 /// pre-fab metrics and the post-fab Monte Carlo.
 method_result run_method(const dev::device_spec& spec, method_id id,
-                         const experiment_config& cfg);
+                         const experiment_config& cfg,
+                         const method_hooks& hooks = {});
 
 /// Binarize a continuous pattern at 0.5 (the mask handed to fabrication).
 array2d<double> binarize(const array2d<double>& rho, double threshold = 0.5);

@@ -125,12 +125,13 @@ run_result run_inverse_design(design_problem& problem, const dvec& theta0,
       worst = robust::worst_case_info{evals[0].d_xi, evals[0].d_temperature};
     }
 
-    if (options.record_trajectory) {
+    if (options.record_trajectory || options.on_iteration) {
       iteration_record rec;
       rec.iteration = iter;
       rec.loss = loss;
       rec.metrics = evals[0].metrics;  // nominal-corner metrics (Fig. 5 series)
-      result.trajectory.push_back(std::move(rec));
+      if (options.on_iteration) options.on_iteration(rec, options.iterations);
+      if (options.record_trajectory) result.trajectory.push_back(std::move(rec));
     }
     result.final_loss = loss;
 

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -18,6 +19,19 @@
 #include "robust/sampler.h"
 
 namespace boson::core {
+
+/// Nominal-corner metrics per iteration (the series plotted in Fig. 5).
+struct iteration_record {
+  std::size_t iteration = 0;
+  double loss = 0.0;
+  std::map<std::string, double> metrics;
+};
+
+/// Per-iteration progress callback: the just-finished iteration's record and
+/// the total iteration count. Invoked from the driving thread (never from a
+/// corner worker), so observers need no synchronization of their own.
+using iteration_callback =
+    std::function<void(const iteration_record&, std::size_t total_iterations)>;
 
 /// Configuration of one inverse-design optimization run. The BOSON-1 recipe
 /// sets fab_aware + dense_objectives + relaxation + axial_plus_worst; the
@@ -61,15 +75,15 @@ struct run_options {
 
   /// Reuse prepared operators across corners via the global engine cache —
   /// duplicate corner states (e.g. the warmup worst-case slot, which repeats
-  /// the nominal corner) then skip re-assembly and re-factorization.
-  bool use_operator_cache = false;
-};
+  /// the nominal corner) then skip re-assembly and re-factorization. On by
+  /// default everywhere (the library-wide documented default); setting the
+  /// BOSON_SIM_CACHE environment variable to 0 disables caching globally
+  /// regardless of this flag.
+  bool use_operator_cache = true;
 
-/// Nominal-corner metrics per iteration (the series plotted in Fig. 5).
-struct iteration_record {
-  std::size_t iteration = 0;
-  double loss = 0.0;
-  std::map<std::string, double> metrics;
+  /// Observer hook called after every iteration with the nominal-corner
+  /// record; replaces ad-hoc printf progress reporting in drivers.
+  iteration_callback on_iteration;
 };
 
 struct run_result {

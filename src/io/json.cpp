@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <sstream>
 
 #include "common/error.h"
 
@@ -29,6 +31,338 @@ json_value json_value::from_map(const std::map<std::string, double>& m) {
   for (const auto& [k, v] : m) obj[k] = v;
   return obj;
 }
+
+const char* json_value::kind_name() const {
+  switch (kind_) {
+    case kind::null: return "null";
+    case kind::boolean: return "boolean";
+    case kind::number: return "number";
+    case kind::string: return "string";
+    case kind::object: return "object";
+    case kind::array: return "array";
+  }
+  return "?";
+}
+
+bool json_value::as_bool() const {
+  require(kind_ == kind::boolean,
+          std::string("json_value: expected a boolean, got ") + kind_name());
+  return bool_;
+}
+
+double json_value::as_number() const {
+  require(kind_ == kind::number,
+          std::string("json_value: expected a number, got ") + kind_name());
+  return number_;
+}
+
+const std::string& json_value::as_string() const {
+  require(kind_ == kind::string,
+          std::string("json_value: expected a string, got ") + kind_name());
+  return string_;
+}
+
+const json_value* json_value::find(const std::string& key) const {
+  require(kind_ == kind::object,
+          std::string("json_value: member lookup on a ") + kind_name());
+  for (const auto& [k, v] : members_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const json_value& json_value::at(const std::string& key) const {
+  const json_value* v = find(key);
+  require(v != nullptr, "json_value: missing key '" + key + "'");
+  return *v;
+}
+
+const std::vector<std::pair<std::string, json_value>>& json_value::members() const {
+  require(kind_ == kind::object,
+          std::string("json_value: members() on a ") + kind_name());
+  return members_;
+}
+
+const std::vector<json_value>& json_value::elements() const {
+  require(kind_ == kind::array,
+          std::string("json_value: elements() on a ") + kind_name());
+  return elements_;
+}
+
+std::size_t json_value::size() const {
+  if (kind_ == kind::object) return members_.size();
+  if (kind_ == kind::array) return elements_.size();
+  return 0;
+}
+
+// ---------------------------------------------------------------- parser ---
+
+namespace {
+
+/// Strict recursive-descent JSON parser tracking line/column for messages.
+class parser {
+ public:
+  explicit parser(const std::string& text) : text_(text) {}
+
+  json_value run() {
+    skip_whitespace();
+    json_value v = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after the document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw json_parse_error("json: " + std::to_string(line) + ":" + std::to_string(col) +
+                           ": " + message);
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  char next() {
+    if (eof()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void skip_whitespace() {
+    while (!eof()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') ++pos_;
+      else break;
+    }
+  }
+
+  void expect(char c, const char* context) {
+    if (eof() || peek() != c)
+      fail(std::string("expected '") + c + "' " + context +
+           (eof() ? " (end of input)" : std::string(", got '") + peek() + "'"));
+    ++pos_;
+  }
+
+  bool consume_literal(const char* word) {
+    const std::size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  json_value parse_value() {
+    if (eof()) fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return json_value(parse_string());
+      case 't':
+        if (consume_literal("true")) return json_value(true);
+        fail("invalid literal (expected 'true')");
+      case 'f':
+        if (consume_literal("false")) return json_value(false);
+        fail("invalid literal (expected 'false')");
+      case 'n':
+        if (consume_literal("null")) return json_value();
+        fail("invalid literal (expected 'null')");
+      default: return parse_number();
+    }
+  }
+
+  json_value parse_object() {
+    expect('{', "to open an object");
+    json_value obj = json_value::object();
+    skip_whitespace();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_whitespace();
+      if (eof() || peek() != '"') fail("expected a string object key");
+      const std::string key = parse_string();
+      if (obj.find(key) != nullptr) fail("duplicate object key '" + key + "'");
+      skip_whitespace();
+      expect(':', "after object key");
+      skip_whitespace();
+      obj[key] = parse_value();
+      skip_whitespace();
+      if (eof()) fail("unterminated object (expected ',' or '}')");
+      const char c = next();
+      if (c == '}') return obj;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  json_value parse_array() {
+    expect('[', "to open an array");
+    json_value arr = json_value::array();
+    skip_whitespace();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      skip_whitespace();
+      arr.push_back(parse_value());
+      skip_whitespace();
+      if (eof()) fail("unterminated array (expected ',' or ']')");
+      const char c = next();
+      if (c == ']') return arr;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  std::string parse_string() {
+    expect('"', "to open a string");
+    std::string out;
+    while (true) {
+      if (eof()) fail("unterminated string");
+      const char c = next();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (eof()) fail("unterminated escape sequence");
+      const char e = next();
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          const unsigned code = parse_hex4();
+          if (code >= 0xDC00 && code <= 0xDFFF)
+            fail("unpaired low surrogate in \\u escape");
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' || text_[pos_ + 1] != 'u')
+              fail("unpaired high surrogate in \\u escape");
+            pos_ += 2;
+            const unsigned low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF)
+              fail("invalid low surrogate in \\u escape");
+            append_utf8(out, 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00));
+          } else {
+            append_utf8(out, code);
+          }
+          break;
+        }
+        default: fail(std::string("invalid escape '\\") + e + "'");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (eof()) fail("truncated \\u escape");
+      const char c = next();
+      code <<= 4;
+      if (c >= '0' && c <= '9') code += static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') code += static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') code += static_cast<unsigned>(c - 'A' + 10);
+      else fail("invalid hex digit in \\u escape");
+    }
+    return code;
+  }
+
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  /// RFC 8259 number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+  /// — rejects the laxer forms strtod accepts ("01", "1.", ".5", "+1").
+  static bool is_json_number(const std::string& t) {
+    const auto digit = [&](std::size_t i) { return i < t.size() && t[i] >= '0' && t[i] <= '9'; };
+    std::size_t i = 0;
+    if (i < t.size() && t[i] == '-') ++i;
+    if (!digit(i)) return false;
+    if (t[i] == '0') ++i;
+    else while (digit(i)) ++i;
+    if (i < t.size() && t[i] == '.') {
+      ++i;
+      if (!digit(i)) return false;
+      while (digit(i)) ++i;
+    }
+    if (i < t.size() && (t[i] == 'e' || t[i] == 'E')) {
+      ++i;
+      if (i < t.size() && (t[i] == '+' || t[i] == '-')) ++i;
+      if (!digit(i)) return false;
+      while (digit(i)) ++i;
+    }
+    return i == t.size();
+  }
+
+  json_value parse_number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    while (!eof() && ((peek() >= '0' && peek() <= '9') || peek() == '.' || peek() == 'e' ||
+                      peek() == 'E' || peek() == '+' || peek() == '-'))
+      ++pos_;
+    const std::string token = text_.substr(start, pos_ - start);
+    if (token.empty()) fail(std::string("unexpected character '") + peek() + "'");
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (!is_json_number(token) || end == nullptr || *end != '\0' || !std::isfinite(v)) {
+      pos_ = start;
+      fail("invalid number '" + token + "'");
+    }
+    return json_value(v);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+json_value json_value::parse(const std::string& text) { return parser(text).run(); }
+
+json_value json_value::parse_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw io_error("json_value: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << f.rdbuf();
+  try {
+    return parse(buffer.str());
+  } catch (const json_parse_error& e) {
+    throw json_parse_error(path + ": " + e.what());
+  }
+}
+
+// ---------------------------------------------------------------- writer ---
 
 namespace {
 

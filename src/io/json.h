@@ -4,10 +4,20 @@
 #include <string>
 #include <vector>
 
+#include "common/error.h"
+
 namespace boson::io {
 
-/// Minimal JSON value/writer — enough to serialize experiment summaries
-/// (nested objects, arrays, numbers, strings, booleans). Not a parser.
+/// Malformed JSON text; the message carries line:column of the offending
+/// token (e.g. "json: 3:14: expected ':' after object key").
+class json_parse_error : public error {
+ public:
+  using error::error;
+};
+
+/// Minimal JSON document model: writer plus a strict parser, enough to
+/// round-trip experiment specs and summaries (nested objects, arrays,
+/// numbers, strings, booleans, null).
 class json_value {
  public:
   json_value() : kind_(kind::null) {}
@@ -30,6 +40,15 @@ class json_value {
     return v;
   }
 
+  /// Parse a complete JSON document. Throws `json_parse_error` with
+  /// line:column context on malformed input (including trailing garbage and
+  /// duplicate object keys).
+  static json_value parse(const std::string& text);
+
+  /// Parse a JSON file; throws `io_error` when unreadable, `json_parse_error`
+  /// (message prefixed with the path) when malformed.
+  static json_value parse_file(const std::string& path);
+
   /// Object member access (creates the member; value must be an object).
   json_value& operator[](const std::string& key);
 
@@ -39,8 +58,37 @@ class json_value {
   /// Convenience: object from a metric map.
   static json_value from_map(const std::map<std::string, double>& m);
 
+  bool is_null() const { return kind_ == kind::null; }
+  bool is_bool() const { return kind_ == kind::boolean; }
+  bool is_number() const { return kind_ == kind::number; }
+  bool is_string() const { return kind_ == kind::string; }
   bool is_object() const { return kind_ == kind::object; }
   bool is_array() const { return kind_ == kind::array; }
+
+  /// Human-readable name of the stored kind ("object", "number", ...).
+  const char* kind_name() const;
+
+  /// Checked readers; throw `bad_argument` naming the actual kind on
+  /// mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  /// Member lookup on an object: nullptr when absent (throws `bad_argument`
+  /// when this value is not an object).
+  const json_value* find(const std::string& key) const;
+
+  /// Member lookup that throws `bad_argument` when the key is missing.
+  const json_value& at(const std::string& key) const;
+
+  /// Object members in insertion order.
+  const std::vector<std::pair<std::string, json_value>>& members() const;
+
+  /// Array elements.
+  const std::vector<json_value>& elements() const;
+
+  /// Number of members (object) or elements (array); 0 for scalars.
+  std::size_t size() const;
 
   /// Serialize; `indent` < 0 emits compact JSON.
   std::string dump(int indent = 2) const;

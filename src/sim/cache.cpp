@@ -51,6 +51,8 @@ engine_cache::engine_cache(std::size_t capacity) : capacity_(capacity) {
   require(capacity >= 1, "engine_cache: capacity must be at least 1");
 }
 
+bool operator_cache_enabled() { return env_int("BOSON_SIM_CACHE", 4) != 0; }
+
 engine_cache& engine_cache::global() {
   static engine_cache cache(
       static_cast<std::size_t>(std::max(1L, env_int("BOSON_SIM_CACHE", 4))));

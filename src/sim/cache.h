@@ -22,6 +22,12 @@
 
 namespace boson::sim {
 
+/// Global operator-cache kill switch: false when the BOSON_SIM_CACHE
+/// environment variable is set to 0, true otherwise. Re-read on every call
+/// so drivers and tests can toggle caching at runtime; every
+/// `use_operator_cache` option in the library is gated on this.
+bool operator_cache_enabled();
+
 /// Thread-safe LRU cache of shared, immutable simulation engines.
 class engine_cache {
  public:

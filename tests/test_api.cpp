@@ -1,0 +1,563 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "api/registry.h"
+#include "api/session.h"
+#include "api/spec.h"
+#include "io/json.h"
+
+namespace boson {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// EXPECT that `fn` throws `Exception` whose message contains `fragment`.
+template <class Exception, class Fn>
+void expect_throw_with(Fn&& fn, const std::string& fragment) {
+  try {
+    fn();
+    FAIL() << "expected an exception containing \"" << fragment << "\"";
+  } catch (const Exception& e) {
+    EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
+// ------------------------------------------------------------ json parse ---
+
+TEST(json_parse, scalars) {
+  EXPECT_TRUE(io::json_value::parse("null").is_null());
+  EXPECT_TRUE(io::json_value::parse("true").as_bool());
+  EXPECT_FALSE(io::json_value::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(io::json_value::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(io::json_value::parse("-3.5e2").as_number(), -350.0);
+  EXPECT_DOUBLE_EQ(io::json_value::parse("0.125").as_number(), 0.125);
+  EXPECT_EQ(io::json_value::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(json_parse, string_escapes) {
+  EXPECT_EQ(io::json_value::parse(R"("a\nb\t\"q\"\\")").as_string(), "a\nb\t\"q\"\\");
+  EXPECT_EQ(io::json_value::parse(R"("Aé")").as_string(), "A\xC3\xA9");
+  // Surrogate pairs combine into one 4-byte UTF-8 code point.
+  EXPECT_EQ(io::json_value::parse(R"("😀")").as_string(),
+            "\xF0\x9F\x98\x80");
+  expect_throw_with<io::json_parse_error>(
+      [] { io::json_value::parse(R"("\ud83d oops")"); }, "unpaired high surrogate");
+  expect_throw_with<io::json_parse_error>(
+      [] { io::json_value::parse(R"("\ude00")"); }, "unpaired low surrogate");
+}
+
+TEST(json_parse, nested_structures) {
+  const auto v = io::json_value::parse(
+      R"({"a": [1, 2, {"b": true}], "c": {"d": null}, "e": "x"})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.size(), 3u);
+  const auto& a = v.at("a");
+  ASSERT_TRUE(a.is_array());
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a.elements()[1].as_number(), 2.0);
+  EXPECT_TRUE(a.elements()[2].at("b").as_bool());
+  EXPECT_TRUE(v.at("c").at("d").is_null());
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(json_parse, round_trips_through_dump) {
+  const std::string text =
+      R"({"name":"x","values":[1,2.5,-3],"nested":{"flag":false},"s":"a b"})";
+  const auto v = io::json_value::parse(text);
+  const auto again = io::json_value::parse(v.dump(2));
+  EXPECT_EQ(v.dump(-1), again.dump(-1));
+}
+
+TEST(json_parse, tolerates_whitespace) {
+  const auto v = io::json_value::parse("  {\n\t\"a\" :\r [ 1 , 2 ]\n}  ");
+  EXPECT_EQ(v.at("a").size(), 2u);
+}
+
+TEST(json_parse, truncated_input) {
+  expect_throw_with<io::json_parse_error>(
+      [] { io::json_value::parse(R"({"a": 1)"); }, "unterminated object");
+  expect_throw_with<io::json_parse_error>(
+      [] { io::json_value::parse(R"([1, 2)"); }, "unterminated array");
+  expect_throw_with<io::json_parse_error>(
+      [] { io::json_value::parse(R"("abc)"); }, "unterminated string");
+  expect_throw_with<io::json_parse_error>([] { io::json_value::parse(""); },
+                                          "unexpected end of input");
+}
+
+TEST(json_parse, malformed_input) {
+  expect_throw_with<io::json_parse_error>([] { io::json_value::parse("{} x"); },
+                                          "trailing characters");
+  expect_throw_with<io::json_parse_error>([] { io::json_value::parse("tru"); },
+                                          "expected 'true'");
+  expect_throw_with<io::json_parse_error>([] { io::json_value::parse("[1 2]"); },
+                                          "expected ',' or ']'");
+  expect_throw_with<io::json_parse_error>(
+      [] { io::json_value::parse(R"({"a" 1})"); }, "expected ':'");
+  expect_throw_with<io::json_parse_error>(
+      [] { io::json_value::parse(R"({"a": 1, "a": 2})"); }, "duplicate object key 'a'");
+  expect_throw_with<io::json_parse_error>([] { io::json_value::parse("1.2.3"); },
+                                          "invalid number");
+  // Laxer-than-JSON number forms strtod would accept are rejected.
+  for (const char* bad : {"01", "1.", ".5", "+1", "1e"})
+    expect_throw_with<io::json_parse_error>([&] { io::json_value::parse(bad); },
+                                            "invalid");
+  EXPECT_DOUBLE_EQ(io::json_value::parse("-0.5e+2").as_number(), -50.0);
+  expect_throw_with<io::json_parse_error>(
+      [] { io::json_value::parse(R"("bad \x escape")"); }, "invalid escape");
+}
+
+TEST(json_parse, reports_line_and_column) {
+  expect_throw_with<io::json_parse_error>(
+      [] { io::json_value::parse("{\n  \"a\": @\n}"); }, "2:8");
+}
+
+// -------------------------------------------------------------- registry ---
+
+TEST(api_registry, built_in_scenarios_are_registered) {
+  auto& reg = api::registry::global();
+  for (const char* device : {"bend", "crossing", "isolator"})
+    EXPECT_TRUE(reg.has_device(device)) << device;
+  EXPECT_GE(reg.method_names().size(), 15u);
+  EXPECT_EQ(reg.method("boson"), core::method_id::boson);
+  EXPECT_EQ(reg.method("boson_no_relax"), core::method_id::boson_no_relax);
+  EXPECT_TRUE(reg.has_objective("device_default"));
+  EXPECT_EQ(reg.objective("fwd_transmission").override_metric, "fwd_transmission");
+}
+
+TEST(api_registry, unknown_names_list_known_entries) {
+  auto& reg = api::registry::global();
+  expect_throw_with<bad_argument>([&] { reg.make_device("warp_core", 0.1); },
+                                  "unknown device 'warp_core'");
+  expect_throw_with<bad_argument>([&] { reg.make_device("warp_core", 0.1); }, "bend");
+  expect_throw_with<bad_argument>([&] { reg.method("sgd"); }, "unknown method 'sgd'");
+  expect_throw_with<bad_argument>([&] { reg.objective("q"); }, "unknown objective 'q'");
+}
+
+TEST(api_registry, custom_device_registration) {
+  api::registry reg;  // private registry: no built-ins
+  EXPECT_FALSE(reg.has_device("tiny"));
+  reg.register_device("tiny", [](double res) { return dev::make_bend(res); }, "test");
+  EXPECT_TRUE(reg.has_device("tiny"));
+  const auto spec = reg.make_device("tiny", 0.1);
+  EXPECT_FALSE(spec.name.empty());
+  EXPECT_EQ(reg.device_description("tiny"), "test");
+}
+
+// ------------------------------------------------------------------ spec ---
+
+api::experiment_spec full_plan_spec() {
+  api::experiment_spec spec;
+  spec.name = "roundtrip";
+  spec.device = "isolator";
+  spec.method = "invfabcor_m_3";
+  spec.resolution = 0.1;
+  spec.iterations = 12;
+  spec.relax_epochs = 3;
+  spec.seed = 99;
+  spec.backend = "gmres";
+  spec.use_operator_cache = false;
+  spec.evaluation = {
+      api::eval_step::monte_carlo(7),
+      api::eval_step::sweep({1.53, 1.55}),
+      api::eval_step::window({0.0, 0.08}, {0.95, 1.05}),
+  };
+  return spec;
+}
+
+TEST(experiment_spec, json_round_trip_is_identity) {
+  const api::experiment_spec spec = full_plan_spec();
+  const auto first = spec.to_json();
+  const api::experiment_spec parsed = api::experiment_spec::from_json(first);
+  const auto second = parsed.to_json();
+  EXPECT_EQ(first.dump(), second.dump());
+
+  EXPECT_EQ(parsed.device, "isolator");
+  EXPECT_EQ(parsed.method, "invfabcor_m_3");
+  EXPECT_EQ(parsed.backend, "gmres");
+  EXPECT_EQ(parsed.seed, 99u);
+  EXPECT_FALSE(parsed.use_operator_cache);
+  ASSERT_EQ(parsed.evaluation.size(), 3u);
+  EXPECT_EQ(parsed.evaluation[0].samples, 7u);
+  ASSERT_EQ(parsed.evaluation[1].wavelengths_um.size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.evaluation[1].wavelengths_um[1], 1.55);
+  ASSERT_EQ(parsed.evaluation[2].dose.size(), 2u);
+}
+
+TEST(experiment_spec, defaults_round_trip_and_derive_a_name) {
+  const api::experiment_spec spec;  // all defaults
+  EXPECT_EQ(spec.display_name(), "bend_boson");
+  const auto parsed = api::experiment_spec::from_json(spec.to_json());
+  EXPECT_EQ(parsed.name, "bend_boson");
+  EXPECT_EQ(parsed.to_json().dump(), spec.to_json().dump());
+}
+
+TEST(experiment_spec, rejects_unknown_registry_names) {
+  expect_throw_with<bad_argument>(
+      [] {
+        api::experiment_spec::from_json(io::json_value::parse(R"({"device": "warp"})"));
+      },
+      "unknown device 'warp'");
+  expect_throw_with<bad_argument>(
+      [] {
+        api::experiment_spec::from_json(io::json_value::parse(R"({"method": "sgd"})"));
+      },
+      "unknown method 'sgd'");
+  expect_throw_with<bad_argument>(
+      [] {
+        api::experiment_spec::from_json(io::json_value::parse(R"({"objective": "x"})"));
+      },
+      "unknown objective 'x'");
+}
+
+TEST(experiment_spec, rejects_unknown_keys) {
+  expect_throw_with<bad_argument>(
+      [] {
+        api::experiment_spec::from_json(io::json_value::parse(R"({"devcie": "bend"})"));
+      },
+      "unknown key 'devcie'");
+  expect_throw_with<bad_argument>(
+      [] {
+        api::experiment_spec::from_json(
+            io::json_value::parse(R"({"run": {"momentum": 0.9}})"));
+      },
+      "unknown key 'momentum' in run");
+  expect_throw_with<bad_argument>(
+      [] {
+        api::experiment_spec::from_json(io::json_value::parse(
+            R"({"evaluation": [{"type": "postfab_monte_carlo", "n": 3}]})"));
+      },
+      "unknown key 'n' in evaluation[0]");
+}
+
+TEST(experiment_spec, rejects_wrong_types) {
+  expect_throw_with<bad_argument>(
+      [] {
+        api::experiment_spec::from_json(
+            io::json_value::parse(R"({"run": {"iterations": "many"}})"));
+      },
+      "'run.iterations' must be a number, got string");
+  expect_throw_with<bad_argument>(
+      [] {
+        api::experiment_spec::from_json(
+            io::json_value::parse(R"({"run": {"iterations": 2.5}})"));
+      },
+      "non-negative integer");
+  expect_throw_with<bad_argument>(
+      [] {
+        api::experiment_spec::from_json(io::json_value::parse(R"({"name": 7})"));
+      },
+      "'name' must be a string, got number");
+  expect_throw_with<bad_argument>(
+      [] {
+        api::experiment_spec::from_json(io::json_value::parse(R"({"evaluation": {}})"));
+      },
+      "'evaluation' must be an array");
+}
+
+TEST(experiment_spec, rejects_out_of_range_values) {
+  expect_throw_with<bad_argument>(
+      [] {
+        api::experiment_spec::from_json(io::json_value::parse(R"({"resolution": 0})"));
+      },
+      "'resolution' must be in (0, 1]");
+  expect_throw_with<bad_argument>(
+      [] {
+        api::experiment_spec::from_json(
+            io::json_value::parse(R"({"run": {"iterations": 0}})"));
+      },
+      "'run.iterations' must be at least 1");
+  expect_throw_with<bad_argument>(
+      [] {
+        api::experiment_spec::from_json(io::json_value::parse(
+            R"({"evaluation": [{"type": "postfab_monte_carlo", "samples": 0}]})"));
+      },
+      "samples' must be at least 1");
+  expect_throw_with<bad_argument>(
+      [] {
+        api::experiment_spec::from_json(io::json_value::parse(
+            R"({"evaluation": [{"type": "wavelength_sweep", "wavelengths_um": []}]})"));
+      },
+      "must not be empty");
+  expect_throw_with<bad_argument>(
+      [] {
+        api::experiment_spec::from_json(
+            io::json_value::parse(R"({"run": {"backend": "cg"}})"));
+      },
+      "'run.backend' must be one of");
+  expect_throw_with<bad_argument>(
+      [] {
+        api::experiment_spec::from_json(io::json_value::parse(
+            R"({"evaluation": [{"type": "teleport"}]})"));
+      },
+      "'evaluation[0].type' must be one of");
+}
+
+TEST(experiment_spec, fab_model_fields_round_trip) {
+  api::experiment_spec spec;
+  spec.litho.wavelength = 0.248;
+  spec.litho.energy_capture = 0.95;
+  spec.eole.eta0 = 0.45;
+  const auto parsed = api::experiment_spec::from_json(spec.to_json());
+  EXPECT_DOUBLE_EQ(parsed.litho.wavelength, 0.248);
+  EXPECT_DOUBLE_EQ(parsed.litho.energy_capture, 0.95);
+  EXPECT_DOUBLE_EQ(parsed.eole.eta0, 0.45);
+  EXPECT_EQ(parsed.to_json().dump(), spec.to_json().dump());
+}
+
+TEST(experiment_spec, rejects_objective_override_on_non_ratio_devices) {
+  api::experiment_spec spec;
+  spec.device = "bend";
+  spec.objective = "fwd_transmission";
+  spec.resolution = 0.1;
+  expect_throw_with<bad_argument>([&] { api::validate(spec); },
+                                  "only applies to ratio-objective devices");
+  spec.device = "isolator";
+  EXPECT_NO_THROW(api::validate(spec));
+
+  // The '-eff' method bakes the same override into its recipe.
+  api::experiment_spec eff;
+  eff.device = "bend";
+  eff.method = "invfabcor_m_3_eff";
+  eff.resolution = 0.1;
+  expect_throw_with<bad_argument>([&] { api::validate(eff); },
+                                  "only applies to ratio-objective devices");
+}
+
+TEST(experiment_spec, rejects_seeds_that_cannot_round_trip) {
+  api::experiment_spec spec;
+  spec.seed = (std::uint64_t{1} << 53) + 2;
+  expect_throw_with<bad_argument>([&] { api::validate(spec); }, "exceeds 2^53");
+  expect_throw_with<bad_argument>(
+      [] {
+        api::experiment_spec::from_json(
+            io::json_value::parse(R"({"run": {"seed": 9007199254740994}})"));
+      },
+      "exceeds 2^53");
+}
+
+TEST(experiment_spec, rejects_duplicate_monte_carlo_steps) {
+  api::experiment_spec spec;
+  spec.evaluation = {api::eval_step::monte_carlo(2), api::eval_step::monte_carlo(3)};
+  expect_throw_with<bad_argument>([&] { api::validate(spec); },
+                                  "at most one postfab_monte_carlo");
+}
+
+TEST(experiment_spec, load_specs_handles_single_and_batch) {
+  const fs::path dir = fs::path(testing::TempDir()) / "boson_spec_io";
+  fs::create_directories(dir);
+
+  const fs::path single = dir / "single.json";
+  api::experiment_spec spec;
+  spec.to_json().write_file(single.string());
+  const auto one = api::load_specs(single.string());
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].device, "bend");
+
+  const fs::path batch = dir / "batch.json";
+  io::json_value arr = io::json_value::array();
+  arr.push_back(api::experiment_spec{}.to_json());
+  arr.push_back(full_plan_spec().to_json());
+  arr.write_file(batch.string());
+  const auto two = api::load_specs(batch.string());
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_EQ(two[1].name, "roundtrip");
+
+  expect_throw_with<io_error>([&] { api::load_specs((dir / "absent.json").string()); },
+                              "cannot open");
+
+  const fs::path bad = dir / "bad.json";
+  {
+    std::ofstream f(bad);
+    f << "{\"device\": ";
+  }
+  expect_throw_with<io::json_parse_error>([&] { api::load_specs(bad.string()); },
+                                          "bad.json");
+}
+
+// --------------------------------------------------------------- session ---
+
+/// Coarse, fast spec mirroring the core test configuration (100 nm pixels,
+/// small pupil, few SOCS kernels / EOLE terms).
+api::experiment_spec smoke_spec() {
+  api::experiment_spec spec;
+  spec.name = "api_smoke";
+  spec.device = "bend";
+  spec.method = "boson_no_relax";
+  spec.resolution = 0.1;
+  spec.iterations = 4;
+  spec.relax_epochs = 0;
+  spec.litho.na = 0.65;
+  spec.litho.sigma = 0.35;
+  spec.litho.kernel_half = 5;
+  spec.litho.max_kernels = 5;
+  spec.eole.anchors_x = 4;
+  spec.eole.anchors_y = 4;
+  spec.eole.num_terms = 5;
+  spec.evaluation = {api::eval_step::monte_carlo(2)};
+  return spec;
+}
+
+struct counting_observer : api::observer {
+  std::vector<api::progress_event> events;
+  void on_event(const api::progress_event& event) override { events.push_back(event); }
+
+  std::size_t count(api::progress_event::phase kind) const {
+    std::size_t n = 0;
+    for (const auto& e : events) n += e.kind == kind ? 1 : 0;
+    return n;
+  }
+};
+
+TEST(api_session, config_for_maps_spec_fields) {
+  api::experiment_spec spec = smoke_spec();
+  spec.backend = "gmres";
+  spec.use_operator_cache = false;
+  const core::experiment_config cfg = api::session::config_for(spec);
+  EXPECT_EQ(cfg.iterations, 4u);
+  EXPECT_EQ(cfg.mc_samples, 2u);
+  EXPECT_DOUBLE_EQ(cfg.resolution, 0.1);
+  EXPECT_EQ(cfg.engine.backend, sim::backend_kind::gmres);
+  EXPECT_FALSE(cfg.use_operator_cache);
+  EXPECT_EQ(cfg.litho.kernel_half, 5u);
+  EXPECT_EQ(cfg.eole.num_terms, 5u);
+}
+
+TEST(api_session, problem_for_builds_the_described_problem) {
+  const core::design_problem problem = api::session::problem_for(smoke_spec());
+  EXPECT_GT(problem.spec().design.nx, 0u);
+  EXPECT_GT(problem.parameterization().num_params(), 0u);
+}
+
+TEST(api_session, runs_a_spec_end_to_end_with_artifacts_and_events) {
+  const fs::path out = fs::path(testing::TempDir()) / "boson_api_session";
+  fs::remove_all(out);
+
+  counting_observer watcher;
+  api::session_options options;
+  options.output_dir = out.string();
+  options.watcher = &watcher;
+  api::session session(options);
+
+  const api::experiment_result result = session.run(smoke_spec());
+
+  EXPECT_EQ(result.spec.name, "api_smoke");
+  EXPECT_EQ(result.method.postfab.samples, 2u);
+  EXPECT_FALSE(result.method.run.trajectory.empty());
+  EXPECT_GT(result.seconds, 0.0);
+
+  const fs::path dir = out / "api_smoke";
+  EXPECT_EQ(result.artifact_dir, dir.string());
+  for (const char* file : {"summary.json", "trajectory.csv", "mask.pgm"})
+    EXPECT_TRUE(fs::exists(dir / file)) << file;
+
+  // The summary parses back and echoes the normalized spec.
+  const auto summary = io::json_value::parse_file((dir / "summary.json").string());
+  EXPECT_EQ(summary.at("spec").at("name").as_string(), "api_smoke");
+  EXPECT_TRUE(summary.at("results").at("postfab_monte_carlo").at("fom_mean").is_number());
+
+  using phase = api::progress_event::phase;
+  EXPECT_EQ(watcher.count(phase::experiment_started), 1u);
+  EXPECT_EQ(watcher.count(phase::experiment_finished), 1u);
+  EXPECT_EQ(watcher.count(phase::iteration_finished), 4u);
+  EXPECT_GE(watcher.count(phase::stage_started), 2u);
+  EXPECT_GE(watcher.count(phase::artifact_written), 3u);
+  for (const auto& e : watcher.events) EXPECT_EQ(e.experiment, "api_smoke");
+}
+
+TEST(api_session, batch_shares_a_session_and_writes_batch_summary) {
+  const fs::path out = fs::path(testing::TempDir()) / "boson_api_batch";
+  fs::remove_all(out);
+
+  api::session_options options;
+  options.output_dir = out.string();
+  api::session session(options);
+
+  api::experiment_spec second = smoke_spec();
+  second.name = "api_smoke_2";
+  second.record_trajectory = false;
+  const auto results = session.run_all({smoke_spec(), second});
+
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[1].method.run.trajectory.empty());
+  EXPECT_FALSE(fs::exists(out / "api_smoke_2" / "trajectory.csv"));
+  const auto batch = io::json_value::parse_file((out / "batch_summary.json").string());
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch.elements()[0].at("name").as_string(), "api_smoke");
+  EXPECT_EQ(batch.elements()[1].at("name").as_string(), "api_smoke_2");
+}
+
+TEST(api_session, dot_names_cannot_escape_the_output_directory) {
+  const fs::path out = fs::path(testing::TempDir()) / "boson_api_escape" / "root";
+  fs::remove_all(out.parent_path());
+
+  api::session_options options;
+  options.output_dir = out.string();
+  api::session session(options);
+
+  api::experiment_spec spec = smoke_spec();
+  spec.name = "..";
+  const auto result = session.run(spec);
+
+  EXPECT_EQ(result.artifact_dir, (out / "experiment").string());
+  EXPECT_TRUE(fs::exists(out / "experiment" / "summary.json"));
+  EXPECT_FALSE(fs::exists(out.parent_path() / "summary.json"));
+}
+
+TEST(api_session, rejects_batches_with_colliding_artifact_names) {
+  api::session session;
+  api::experiment_spec a = smoke_spec();
+  api::experiment_spec b = smoke_spec();
+  b.name = "api smoke";  // sanitizes to the same directory as "api_smoke"
+  expect_throw_with<bad_argument>([&] { session.run_all({a, b}); },
+                                  "same artifact directory");
+}
+
+TEST(api_session, no_artifacts_mode_writes_nothing) {
+  const fs::path out = fs::path(testing::TempDir()) / "boson_api_noart";
+  fs::remove_all(out);
+
+  api::session_options options;
+  options.output_dir = out.string();
+  options.write_artifacts = false;
+  api::session session(options);
+  const auto result = session.run(smoke_spec());
+  EXPECT_TRUE(result.artifact_dir.empty());
+  EXPECT_FALSE(fs::exists(out));
+}
+
+// ------------------------------------------------------- trajectory csv ----
+
+TEST(trajectory_csv, exports_iteration_loss_and_metric_columns) {
+  std::vector<core::iteration_record> trajectory(3);
+  for (std::size_t i = 0; i < trajectory.size(); ++i) {
+    trajectory[i].iteration = i;
+    trajectory[i].loss = 1.0 / static_cast<double>(i + 1);
+    trajectory[i].metrics = {{"transmission", 0.5 + 0.1 * static_cast<double>(i)},
+                             {"reflection", 0.1}};
+  }
+
+  const fs::path path = fs::path(testing::TempDir()) / "trajectory_test.csv";
+  api::write_trajectory_csv(path.string(), trajectory);
+
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "iteration,loss,reflection,transmission");
+  std::getline(f, line);
+  EXPECT_EQ(line.substr(0, 4), "0,1,");
+  std::size_t rows = 1;
+  while (std::getline(f, line) && !line.empty()) ++rows;
+  EXPECT_EQ(rows, 3u);
+
+  expect_throw_with<bad_argument>([&] { api::write_trajectory_csv(path.string(), {}); },
+                                  "empty trajectory");
+}
+
+}  // namespace
+}  // namespace boson

@@ -1,0 +1,165 @@
+// boson_cli — the declarative experiment driver of the BOSON-1 library.
+//
+// Experiments are JSON specs (see docs/API.md for the schema) executed
+// through the boson::api session façade:
+//
+//   boson_cli run <spec.json> [--out <dir>] [--no-artifacts]
+//   boson_cli validate <spec.json>
+//   boson_cli list devices|methods|objectives
+//
+// `run` accepts a single spec (JSON object) or a batch (JSON array) and
+// writes one artifact directory per experiment (summary.json,
+// trajectory.csv, mask.pgm, plus spectrum / process-window CSVs when those
+// evaluation steps are planned). Progress streams through common/log on
+// stderr; result tables go to stdout. BOSON_BENCH_SCALE, BOSON_THREADS,
+// BOSON_BACKEND and BOSON_SIM_CACHE apply as everywhere else.
+
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "api/registry.h"
+#include "api/session.h"
+#include "api/spec.h"
+#include "common/env.h"
+#include "common/log.h"
+#include "core/methods.h"
+#include "io/table.h"
+
+namespace {
+
+using namespace boson;
+
+int usage(std::FILE* out) {
+  std::fprintf(out,
+               "boson_cli — declarative experiment driver for the BOSON-1 library\n"
+               "\n"
+               "usage:\n"
+               "  boson_cli run <spec.json> [--out <dir>] [--no-artifacts]\n"
+               "  boson_cli validate <spec.json>\n"
+               "  boson_cli list devices|methods|objectives\n"
+               "\n"
+               "run       execute one spec (JSON object) or a batch (JSON array);\n"
+               "          artifacts land in --out (default: boson_out)\n"
+               "validate  parse + validate a spec file without running it\n"
+               "list      show the registered scenario names\n");
+  return out == stdout ? 0 : 2;
+}
+
+int cmd_list(const std::string& what) {
+  const api::registry& reg = api::registry::global();
+  if (what == "devices") {
+    io::console_table table({"device", "description"});
+    for (const auto& name : reg.device_names())
+      table.add_row({name, reg.device_description(name)});
+    table.print("Registered devices");
+    return 0;
+  }
+  if (what == "methods") {
+    io::console_table table({"method", "paper name"});
+    for (const auto& name : reg.method_names())
+      table.add_row({name, core::method_name(reg.method(name))});
+    table.print("Registered methods");
+    return 0;
+  }
+  if (what == "objectives") {
+    io::console_table table({"objective", "description"});
+    for (const auto& name : reg.objective_names())
+      table.add_row({name, reg.objective(name).description});
+    table.print("Registered objectives");
+    return 0;
+  }
+  std::fprintf(stderr,
+               "boson_cli: unknown list target '%s' (expected devices, methods or "
+               "objectives)\n",
+               what.c_str());
+  return 2;
+}
+
+int cmd_validate(const std::string& path) {
+  const std::vector<api::experiment_spec> specs = api::load_specs(path);
+  std::printf("%s: %zu valid spec%s\n", path.c_str(), specs.size(),
+              specs.size() == 1 ? "" : "s");
+  for (const auto& spec : specs)
+    std::printf("  %-24s %s x %s @ %g um\n", spec.display_name().c_str(),
+                spec.device.c_str(), spec.method.c_str(), spec.resolution);
+  return 0;
+}
+
+int cmd_run(const std::string& path, const api::session_options& options) {
+  const std::vector<api::experiment_spec> specs = api::load_specs(path);
+
+  api::session session(options);
+  const std::vector<api::experiment_result> results = session.run_all(specs);
+
+  io::console_table table(
+      {"experiment", "prefab FoM", "postfab FoM", "runtime [s]", "artifacts"});
+  for (const auto& r : results) {
+    const std::string postfab =
+        r.method.postfab.samples > 0
+            ? io::console_table::sci(r.method.postfab.fom_mean) + " +- " +
+                  io::console_table::sci(r.method.postfab.fom_std)
+            : "-";
+    table.add_row({r.spec.name, io::console_table::sci(r.method.prefab_fom), postfab,
+                   io::console_table::num(r.seconds, 1),
+                   r.artifact_dir.empty() ? "-" : r.artifact_dir});
+  }
+  std::printf("\n");
+  table.print("Executed " + std::to_string(results.size()) + " experiment" +
+              (results.size() == 1 ? "" : "s") + " from " + path);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace boson;
+
+  // Progress is the CLI's interface: default to info-level logging unless
+  // the user pinned a level via BOSON_LOG.
+  if (env_string("BOSON_LOG", "").empty()) set_log_level(log_level::info);
+
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty() || args[0] == "--help" || args[0] == "-h") {
+    return usage(args.empty() ? stderr : stdout);
+  }
+
+  try {
+    const std::string& command = args[0];
+    if (command == "list") {
+      if (args.size() != 2) return usage(stderr);
+      return cmd_list(args[1]);
+    }
+    if (command == "validate") {
+      if (args.size() != 2) return usage(stderr);
+      return cmd_validate(args[1]);
+    }
+    if (command == "run") {
+      std::string spec_path;
+      api::session_options options;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--out") {
+          if (i + 1 >= args.size()) return usage(stderr);
+          options.output_dir = args[++i];
+        } else if (args[i] == "--no-artifacts") {
+          options.write_artifacts = false;
+        } else if (!args[i].empty() && args[i][0] == '-') {
+          std::fprintf(stderr, "boson_cli: unknown option '%s'\n", args[i].c_str());
+          return 2;
+        } else if (spec_path.empty()) {
+          spec_path = args[i];
+        } else {
+          return usage(stderr);
+        }
+      }
+      if (spec_path.empty()) return usage(stderr);
+      return cmd_run(spec_path, options);
+    }
+    std::fprintf(stderr, "boson_cli: unknown command '%s'\n", command.c_str());
+    return usage(stderr);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "boson_cli: %s\n", e.what());
+    return 1;
+  }
+}
