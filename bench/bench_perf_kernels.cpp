@@ -13,6 +13,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 
 #include "common/env.h"
 #include "common/rng.h"
@@ -27,6 +28,10 @@
 #include "fft/conv2d.h"
 #include "io/json.h"
 #include "modes/slab.h"
+#include "runtime/campaign.h"
+#include "runtime/checkpoint.h"
+#include "runtime/journal.h"
+#include "runtime/scheduler.h"
 #include "sim/backend.h"
 #include "sim/cache.h"
 #include "sim/engine.h"
@@ -372,6 +377,131 @@ io::json_value time_solvers() {
   return report;
 }
 
+// ------------------------------------------- BENCH_runtime.json report ----
+
+/// Wall-clock the campaign runtime's overheads — scheduler dispatch
+/// throughput across worker counts (no-op executors isolate the machinery
+/// from the simulations), journal append/replay rates, and checkpoint
+/// save+load latency at a realistic state size — and write them to
+/// BENCH_runtime.json.
+io::json_value time_runtime() {
+  namespace fs = std::filesystem;
+  io::json_value report = io::json_value::object();
+  const fs::path root = fs::temp_directory_path() / "boson_bench_runtime";
+  fs::remove_all(root);
+
+  {  // scheduler throughput: dispatch + journal + store per no-op job.
+    runtime::campaign_spec spec;
+    spec.name = "throughput";
+    spec.devices = {"bend"};
+    spec.methods = {"density", "ls", "boson_no_relax", "boson"};
+    spec.seeds.clear();
+    for (std::uint64_t s = 1; s <= 16; ++s) spec.seeds.push_back(s);
+    spec.base.resolution = 0.1;
+    spec.scheduler.max_retries = 0;
+
+    io::json_value workers_json = io::json_value::object();
+    for (const std::size_t workers : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+      const fs::path dir = root / ("sched_w" + std::to_string(workers));
+      runtime::scheduler_options options;
+      options.campaign_dir = dir.string();
+      options.workers = workers;
+      options.executor = [](const runtime::campaign_job& job, const api::run_control&,
+                            api::observer*) {
+        api::experiment_result result;
+        result.spec = job.spec;
+        return result;
+      };
+      stopwatch sw;
+      const runtime::scheduler_report run = runtime::scheduler(spec, options).run();
+      const double seconds = sw.seconds();
+      const double rate = static_cast<double>(run.completed) / seconds;
+      io::json_value j = io::json_value::object();
+      j["jobs"] = run.completed;
+      j["seconds"] = seconds;
+      j["jobs_per_second"] = rate;
+      workers_json["w" + std::to_string(workers)] = std::move(j);
+      std::printf("scheduler (%zu no-op jobs, %zu workers): %.3f s => %.0f jobs/s\n",
+                  run.completed, workers, seconds, rate);
+    }
+    report["scheduler_throughput"] = std::move(workers_json);
+  }
+
+  {  // journal append + replay rates.
+    const fs::path dir = root / "journal";
+    fs::create_directories(dir);
+    const std::string path = (dir / "journal.jsonl").string();
+    constexpr std::size_t appends = 20000;
+    stopwatch sw;
+    {
+      runtime::journal log(path);
+      runtime::journal_entry e;
+      e.job_name = "bench_job";
+      e.state = runtime::job_state::checkpointed;
+      e.attempt = 1;
+      e.detail = "iteration 10/50";
+      for (std::size_t i = 0; i < appends; ++i) {
+        e.job_index = i;
+        log.append(e);
+      }
+    }
+    const double append_s = sw.seconds();
+    sw.reset();
+    const std::size_t replayed = runtime::journal::replay(path).size();
+    const double replay_s = sw.seconds();
+    io::json_value j = io::json_value::object();
+    j["appends"] = appends;
+    j["append_seconds"] = append_s;
+    j["appends_per_second"] = static_cast<double>(appends) / append_s;
+    j["replay_seconds"] = replay_s;
+    j["replayed"] = replayed;
+    report["journal"] = std::move(j);
+    std::printf("journal: %zu appends in %.3f s (%.0f/s), replay %.3f s\n", appends,
+                append_s, static_cast<double>(appends) / append_s, replay_s);
+  }
+
+  {  // checkpoint save + load latency at a realistic state size.
+    const fs::path dir = root / "checkpoint";
+    rng r(7);
+    core::run_checkpoint ck;
+    ck.next_iteration = 25;
+    ck.total_iterations = 50;
+    ck.theta = r.normal_vector(20000);
+    ck.optimizer.m = r.normal_vector(20000);
+    ck.optimizer.v = r.normal_vector(20000);
+    ck.optimizer.t = 25;
+    ck.rng_state = r.save_state();
+    ck.design_rho = array2d<double>(141, 141, 0.5);
+    for (std::size_t i = 0; i < 25; ++i) {
+      core::iteration_record rec;
+      rec.iteration = i;
+      rec.loss = r.normal();
+      rec.metrics["transmission"] = r.normal();
+      ck.trajectory.push_back(rec);
+    }
+    constexpr int reps = 20;
+    stopwatch sw;
+    for (int rep = 0; rep < reps; ++rep)
+      runtime::save_checkpoint(dir.string(), "bench_job", ck);
+    const double save_s = sw.seconds() / reps;
+    sw.reset();
+    for (int rep = 0; rep < reps; ++rep)
+      benchmark::DoNotOptimize(
+          runtime::load_checkpoint(runtime::checkpoint_path(dir.string())));
+    const double load_s = sw.seconds() / reps;
+    io::json_value j = io::json_value::object();
+    j["theta_size"] = ck.theta.size();
+    j["save_seconds"] = save_s;
+    j["load_seconds"] = load_s;
+    report["checkpoint"] = std::move(j);
+    std::printf("checkpoint (20k params): save %.3f ms, load %.3f ms\n", 1e3 * save_s,
+                1e3 * load_s);
+  }
+
+  fs::remove_all(root);
+  return report;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -386,5 +516,9 @@ int main(int argc, char** argv) {
   const io::json_value report = time_solvers();
   report.write_file("BENCH_solvers.json");
   std::printf("solver timings written to BENCH_solvers.json\n");
+
+  const io::json_value runtime_report = time_runtime();
+  runtime_report.write_file("BENCH_runtime.json");
+  std::printf("campaign-runtime timings written to BENCH_runtime.json\n");
   return 0;
 }

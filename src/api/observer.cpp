@@ -5,22 +5,25 @@
 namespace boson::api {
 
 void log_observer::on_event(const progress_event& event) {
+  // Each branch renders the whole line in one concat and hands it to the
+  // mutex-serialized log_line, so concurrent jobs cannot interleave mid-line.
+  const std::string& p = prefix_;
   switch (event.kind) {
     case progress_event::phase::experiment_started:
-      log_info("session[", event.experiment, "]: started");
+      log_info(p, "session[", event.experiment, "]: started");
       break;
     case progress_event::phase::stage_started:
-      log_info("session[", event.experiment, "]: ", event.message);
+      log_info(p, "session[", event.experiment, "]: ", event.message);
       break;
     case progress_event::phase::iteration_finished:
-      log_debug("session[", event.experiment, "]: iteration ", event.iteration + 1, "/",
+      log_debug(p, "session[", event.experiment, "]: iteration ", event.iteration + 1, "/",
                 event.total_iterations, " loss=", event.loss);
       break;
     case progress_event::phase::artifact_written:
-      log_info("session[", event.experiment, "]: wrote ", event.message);
+      log_info(p, "session[", event.experiment, "]: wrote ", event.message);
       break;
     case progress_event::phase::experiment_finished:
-      log_info("session[", event.experiment, "]: finished");
+      log_info(p, "session[", event.experiment, "]: finished");
       break;
   }
 }

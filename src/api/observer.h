@@ -10,12 +10,15 @@
 
 #include <cstddef>
 #include <string>
+#include <utility>
 
 namespace boson::api {
 
-/// One progress notification from a running session. Events are emitted from
-/// the session's driving thread only, never from corner/sample workers, so
-/// observers need no locking of their own.
+/// One progress notification from a running session. Within one session,
+/// events are emitted from that session's driving thread only, never from
+/// corner/sample workers. The campaign runtime, however, drives several
+/// sessions concurrently and may share one observer between them, so
+/// implementations installed there must be thread-safe (`log_observer` is).
 struct progress_event {
   enum class phase {
     experiment_started,   ///< message = experiment name
@@ -34,7 +37,9 @@ struct progress_event {
 };
 
 /// Receiver of session progress. Implementations must tolerate being called
-/// once per optimizer iteration (keep handlers cheap).
+/// once per optimizer iteration (keep handlers cheap). `on_event` may throw;
+/// the exception unwinds the experiment and surfaces to the session caller
+/// (the runtime scheduler uses this for cooperative cancellation).
 class observer {
  public:
   virtual ~observer() = default;
@@ -42,10 +47,21 @@ class observer {
 };
 
 /// Default observer: lifecycle events at info level, per-iteration records
-/// at debug level, all through common/log.
+/// at debug level, all through common/log. Stateless, so concurrent calls
+/// from several scheduler workers are safe; each event is rendered into a
+/// single string before the serialized `log_line` write, so lines from
+/// concurrent jobs never interleave mid-line. The optional `prefix` tags
+/// every line (the scheduler uses "shard/worker/job" tags to keep
+/// interleaved campaign output attributable).
 class log_observer : public observer {
  public:
+  log_observer() = default;
+  explicit log_observer(std::string prefix) : prefix_(std::move(prefix)) {}
+
   void on_event(const progress_event& event) override;
+
+ private:
+  const std::string prefix_;
 };
 
 }  // namespace boson::api

@@ -17,13 +17,11 @@
 
 namespace boson::api {
 
-namespace {
-
 /// Experiment names become directory names; keep them filesystem-safe. A
 /// name that is empty or all dots after sanitizing ("..") would escape the
 /// output directory, so it maps to a fixed placeholder instead.
-std::string sanitized(const std::string& name) {
-  std::string out = name;
+std::string artifact_name(const std::string& display_name) {
+  std::string out = display_name;
   for (char& c : out) {
     const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
                     (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
@@ -32,6 +30,8 @@ std::string sanitized(const std::string& name) {
   if (out.find_first_not_of('.') == std::string::npos) return "experiment";
   return out;
 }
+
+namespace {
 
 io::json_value stats_json(const core::mc_stats& stats) {
   io::json_value v = io::json_value::object();
@@ -84,7 +84,9 @@ core::design_problem session::problem_for(const experiment_spec& spec) {
                             core::method_uses_levelset(id), cfg);
 }
 
-experiment_result session::run(const experiment_spec& spec) {
+experiment_result session::run(const experiment_spec& spec) { return run(spec, {}); }
+
+experiment_result session::run(const experiment_spec& spec, const run_control& control) {
   const stopwatch sw;
 
   experiment_result out;
@@ -111,6 +113,9 @@ experiment_result session::run(const experiment_spec& spec) {
 
   core::method_hooks hooks;
   hooks.run_postfab_mc = wants_mc;
+  hooks.checkpoint_every = control.checkpoint_every;
+  hooks.on_checkpoint = control.on_checkpoint;
+  hooks.resume = control.resume;
   hooks.on_stage = [&](const std::string& stage) {
     progress_event e;
     e.kind = progress_event::phase::stage_started;
@@ -162,7 +167,7 @@ experiment_result session::run(const experiment_spec& spec) {
 
   if (options_.write_artifacts) {
     namespace fs = std::filesystem;
-    const fs::path dir = fs::path(options_.output_dir) / sanitized(label);
+    const fs::path dir = fs::path(options_.output_dir) / artifact_name(label);
     fs::create_directories(dir);
     out.artifact_dir = dir.string();
 
@@ -257,11 +262,18 @@ std::vector<experiment_result> session::run_all(const std::vector<experiment_spe
   std::map<std::string, std::string> dirs;
   for (const experiment_spec& spec : specs) {
     const std::string name = spec.display_name();
-    const auto [it, inserted] = dirs.emplace(sanitized(name), name);
+    const auto [it, inserted] = dirs.emplace(artifact_name(name), name);
     require(inserted, "session: batch entries '" + it->second + "' and '" + name +
                           "' resolve to the same artifact directory '" + it->first +
                           "' — give them distinct names");
   }
+
+  // One stopwatch and one engine-cache snapshot around the whole batch: the
+  // first experiment's cold misses are the shared warm-up every later
+  // experiment benefits from, so the batch — not each spec independently —
+  // is the meaningful accounting unit.
+  const stopwatch batch_sw;
+  const auto cache_before = sim::engine_cache::global().stats();
 
   std::vector<experiment_result> results;
   results.reserve(specs.size());
@@ -270,7 +282,9 @@ std::vector<experiment_result> session::run_all(const std::vector<experiment_spe
   if (options_.write_artifacts) {
     namespace fs = std::filesystem;
     fs::create_directories(options_.output_dir);
-    io::json_value batch = io::json_value::array();
+    io::json_value batch = io::json_value::object();
+    io::json_value& experiments = batch["experiments"] = io::json_value::array();
+    double total_seconds = 0.0;
     for (const experiment_result& r : results) {
       io::json_value e = io::json_value::object();
       e["name"] = r.spec.name;
@@ -280,8 +294,16 @@ std::vector<experiment_result> session::run_all(const std::vector<experiment_spe
       if (r.method.postfab.samples > 0) e["postfab_fom_mean"] = r.method.postfab.fom_mean;
       e["seconds"] = r.seconds;
       e["artifact_dir"] = r.artifact_dir;
-      batch.push_back(std::move(e));
+      experiments.push_back(std::move(e));
+      total_seconds += r.seconds;
     }
+    batch["total_seconds"] = total_seconds;
+    batch["wall_seconds"] = batch_sw.seconds();
+    const auto cache = sim::engine_cache::global().stats();
+    io::json_value& cj = batch["engine_cache"] = io::json_value::object();
+    cj["hits"] = cache.hits - cache_before.hits;
+    cj["misses"] = cache.misses - cache_before.misses;
+    cj["entries"] = cache.entries;
     const fs::path path = fs::path(options_.output_dir) / "batch_summary.json";
     batch.write_file(path.string());
     progress_event e;

@@ -9,6 +9,7 @@
 
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,20 @@ struct session_options {
   observer* watcher = nullptr;
 };
 
+/// Per-run durability control (the campaign runtime's hook into a session):
+/// forwarded to `core::method_hooks`, so the optimization loop emits
+/// resumable snapshots and/or restores one before the first iteration.
+struct run_control {
+  /// Emit a checkpoint every K optimizer iterations (0 disables).
+  std::size_t checkpoint_every = 0;
+
+  /// Checkpoint consumer; invoked from the thread driving this run.
+  core::checkpoint_callback on_checkpoint;
+
+  /// Snapshot to resume from (captured by an identical spec), or nullptr.
+  std::shared_ptr<const core::run_checkpoint> resume;
+};
+
 /// Everything one executed experiment produced.
 struct experiment_result {
   experiment_spec spec;        ///< normalized spec echo
@@ -46,13 +61,18 @@ class session {
  public:
   explicit session(session_options options = {});
 
-  /// Validate and execute one spec end to end.
+  /// Validate and execute one spec end to end. The `control` overload wires
+  /// checkpoint emission / resume into the optimization loop.
   experiment_result run(const experiment_spec& spec);
+  experiment_result run(const experiment_spec& spec, const run_control& control);
 
   /// Execute a batch sequentially (each spec's corners/samples already
-  /// saturate the worker pool). All specs share the process-global engine
-  /// cache, so batches that repeat devices/operators amortize preparation.
-  /// A batch summary JSON is written next to the per-experiment directories.
+  /// saturate the worker pool). Every spec goes through the same execution
+  /// path as `run`, sharing the process-global engine cache, so batches that
+  /// repeat devices/operators amortize the one warm-up. The batch summary
+  /// JSON written next to the per-experiment directories reports the
+  /// aggregate: per-experiment rows plus batch wall-clock, summed experiment
+  /// seconds, and the batch-level engine-cache traffic.
   std::vector<experiment_result> run_all(const std::vector<experiment_spec>& specs);
 
   /// The `experiment_config` a spec resolves to (BOSON_BENCH_SCALE and
@@ -76,5 +96,10 @@ class session {
 /// metric (the Fig. 5 series). Columns follow the first record's metric set.
 void write_trajectory_csv(const std::string& path,
                           const std::vector<core::iteration_record>& trajectory);
+
+/// The filesystem-safe directory name a session derives from an experiment's
+/// display name. Exposed so layers that place files next to session
+/// artifacts (the campaign runtime's checkpoints) resolve the same path.
+std::string artifact_name(const std::string& display_name);
 
 }  // namespace boson::api

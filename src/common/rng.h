@@ -2,6 +2,8 @@
 
 #include <cstdint>
 #include <random>
+#include <sstream>
+#include <string>
 
 #include "common/error.h"
 #include "common/types.h"
@@ -49,6 +51,22 @@ class rng {
     z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
     z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
     return rng(z ^ (z >> 31));
+  }
+
+  /// Serialize the full generator state (seed + engine stream position) for
+  /// checkpointing. `restore_state` brings a generator back to the exact
+  /// stream position, so a resumed run draws the same sequence an
+  /// uninterrupted run would have.
+  std::string save_state() const {
+    std::ostringstream os;
+    os << seed_ << ' ' << engine_;
+    return os.str();
+  }
+
+  void restore_state(const std::string& state) {
+    std::istringstream is(state);
+    is >> seed_ >> engine_;
+    require(!is.fail(), "rng::restore_state: malformed state string");
   }
 
   std::uint64_t seed() const { return seed_; }

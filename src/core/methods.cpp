@@ -247,6 +247,9 @@ method_result run_method(const dev::device_spec& spec, method_id id,
   ro.use_operator_cache = cfg.use_operator_cache;
   ro.record_trajectory = cfg.record_trajectory;
   ro.on_iteration = hooks.on_iteration;
+  ro.checkpoint_every = hooks.checkpoint_every;
+  ro.on_checkpoint = hooks.on_checkpoint;
+  ro.resume_state = hooks.resume;
 
   // Density-based topology optimization conventionally starts from a uniform
   // gray design; level-set methods (and BOSON-1) use the light-concentrated

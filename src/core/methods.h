@@ -131,6 +131,13 @@ struct method_hooks {
   /// evaluation plan run it separately); `method_result::postfab` is then
   /// left with zero samples.
   bool run_postfab_mc = true;
+
+  /// Durability plumbing (see `run_options`): emit a resumable snapshot every
+  /// `checkpoint_every` optimizer iterations, and/or restore one captured by
+  /// an identical configuration before the first iteration.
+  std::size_t checkpoint_every = 0;
+  checkpoint_callback on_checkpoint;
+  std::shared_ptr<const run_checkpoint> resume;
 };
 
 /// Run one named method end to end: optimize, derive the mask, evaluate

@@ -37,7 +37,28 @@ run_result run_inverse_design(design_problem& problem, const dvec& theta0,
   require(!(options.erosion_dilation && options.fab_aware),
           "run_inverse_design: erosion/dilation is a non-fab-aware baseline");
 
-  for (std::size_t iter = 0; iter < options.iterations; ++iter) {
+  std::size_t start_iteration = 0;
+  if (options.resume_state != nullptr) {
+    const run_checkpoint& ck = *options.resume_state;
+    require(ck.theta.size() == theta.size(),
+            "run_inverse_design: resume checkpoint theta size mismatch");
+    require(ck.next_iteration <= options.iterations,
+            "run_inverse_design: resume checkpoint is beyond this run's iteration count");
+    require(ck.total_iterations == options.iterations,
+            "run_inverse_design: resume checkpoint was captured for a different "
+            "iteration count (BOSON_BENCH_SCALE changed?)");
+    theta = ck.theta;
+    optimizer.restore(ck.optimizer);
+    r.restore_state(ck.rng_state);
+    if (ck.has_worst) worst = ck.worst;
+    if (options.record_trajectory) result.trajectory = ck.trajectory;
+    result.final_loss = ck.final_loss;
+    start_iteration = ck.next_iteration;
+    log_info("run_inverse_design: resuming at iteration ", start_iteration, "/",
+             options.iterations);
+  }
+
+  for (std::size_t iter = start_iteration; iter < options.iterations; ++iter) {
     problem.parameterization().set_sharpness(beta_schedule.at(iter));
 
     // One simulation job per variation corner; the erosion/dilation baseline
@@ -136,6 +157,25 @@ run_result run_inverse_design(design_problem& problem, const dvec& theta0,
     result.final_loss = loss;
 
     optimizer.step(theta, grad);
+
+    // Snapshot *after* the step: the checkpoint restores the state the next
+    // iteration would have seen. The final iteration is never checkpointed —
+    // its product is the run result itself.
+    if (options.checkpoint_every > 0 && options.on_checkpoint &&
+        (iter + 1) % options.checkpoint_every == 0 && iter + 1 < options.iterations) {
+      run_checkpoint ck;
+      ck.next_iteration = iter + 1;
+      ck.total_iterations = options.iterations;
+      ck.theta = theta;
+      ck.optimizer = optimizer.state();
+      ck.rng_state = r.save_state();
+      ck.has_worst = worst.has_value();
+      if (worst) ck.worst = *worst;
+      if (options.record_trajectory) ck.trajectory = result.trajectory;
+      ck.final_loss = result.final_loss;
+      problem.parameterization().forward(theta, ck.design_rho);
+      options.on_checkpoint(ck);
+    }
 
     log_debug("iter ", iter, ": loss=", loss, " jobs=", jobs.size());
   }

@@ -12,10 +12,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/design_problem.h"
+#include "optim/optimizer.h"
 #include "robust/sampler.h"
 
 namespace boson::core {
@@ -32,6 +34,28 @@ struct iteration_record {
 /// corner worker), so observers need no synchronization of their own.
 using iteration_callback =
     std::function<void(const iteration_record&, std::size_t total_iterations)>;
+
+/// Resumable snapshot of the optimization loop, captured between iterations.
+/// Restoring a checkpoint into a freshly-built problem continues the exact
+/// trajectory the original run would have produced: the latent variables,
+/// Adam moments, RNG stream position, the previous iteration's worst-case
+/// ascent directions, and the trajectory recorded so far are all carried.
+struct run_checkpoint {
+  std::size_t next_iteration = 0;  ///< first iteration still to execute
+  std::size_t total_iterations = 0;  ///< run length at capture time (sanity check)
+  dvec theta;                      ///< latent variables after `next_iteration` steps
+  opt::adam_state optimizer;
+  std::string rng_state;           ///< `rng::save_state` of the corner-sampling stream
+  bool has_worst = false;          ///< whether `worst` carries ascent directions
+  robust::worst_case_info worst;   ///< harvested on the last finished iteration
+  std::vector<iteration_record> trajectory;  ///< records up to the checkpoint
+  double final_loss = 0.0;
+  array2d<double> design_rho;  ///< pattern at `theta` (for preview artifacts; not restored)
+};
+
+/// Checkpoint consumer, invoked from the driving thread with a snapshot that
+/// is safe to serialize after the callback returns (all fields are copies).
+using checkpoint_callback = std::function<void(const run_checkpoint&)>;
 
 /// Configuration of one inverse-design optimization run. The BOSON-1 recipe
 /// sets fab_aware + dense_objectives + relaxation + axial_plus_worst; the
@@ -84,6 +108,18 @@ struct run_options {
   /// Observer hook called after every iteration with the nominal-corner
   /// record; replaces ad-hoc printf progress reporting in drivers.
   iteration_callback on_iteration;
+
+  /// Durability hooks (the campaign runtime's crash-recovery path). When
+  /// `checkpoint_every > 0`, `on_checkpoint` receives a `run_checkpoint`
+  /// after every K-th iteration (except the last, whose result is final).
+  std::size_t checkpoint_every = 0;
+  checkpoint_callback on_checkpoint;
+
+  /// Resume a previous run from a checkpoint captured with *identical*
+  /// options and problem: iterations [0, resume_state->next_iteration) are
+  /// skipped and the restored state reproduces the uninterrupted trajectory
+  /// bit for bit. The snapshot is only read during the call.
+  std::shared_ptr<const run_checkpoint> resume_state;
 };
 
 struct run_result {

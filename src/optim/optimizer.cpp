@@ -1,6 +1,7 @@
 #include "optim/optimizer.h"
 
 #include <cmath>
+#include <utility>
 
 #include "common/error.h"
 
@@ -35,6 +36,15 @@ void adam::reset() {
   m_.clear();
   v_.clear();
   t_ = 0;
+}
+
+adam_state adam::state() const { return adam_state{m_, v_, t_}; }
+
+void adam::restore(adam_state state) {
+  require(state.m.size() == state.v.size(), "adam::restore: moment size mismatch");
+  m_ = std::move(state.m);
+  v_ = std::move(state.v);
+  t_ = state.t;
 }
 
 sgd_momentum::sgd_momentum(double learning_rate, double momentum)

@@ -21,6 +21,15 @@ class optimizer {
   virtual void reset() = 0;
 };
 
+/// Snapshot of an Adam optimizer's mutable state (first/second moments and
+/// the bias-correction step counter), exposed so checkpointed optimization
+/// runs can resume with bit-identical update steps.
+struct adam_state {
+  dvec m;
+  dvec v;
+  std::size_t t = 0;
+};
+
 /// Adam (Kingma & Ba) — the default optimizer for inverse design here, as
 /// its per-parameter scaling tolerates the widely varying gradient magnitudes
 /// that adjoint fields produce across the design region.
@@ -31,6 +40,12 @@ class adam : public optimizer {
 
   void step(dvec& params, const dvec& grad) override;
   void reset() override;
+
+  /// Copy out / restore the moment vectors and step counter. Restoring a
+  /// state captured after step t continues the update sequence exactly as if
+  /// the optimizer had never been destroyed.
+  adam_state state() const;
+  void restore(adam_state state);
 
   double learning_rate() const { return lr_; }
   void set_learning_rate(double lr) { lr_ = lr; }

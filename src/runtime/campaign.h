@@ -1,0 +1,88 @@
+/// \file campaign.h
+/// The campaign layer's declarative input: a `campaign_spec` names a base
+/// `experiment_spec` plus axes (devices x methods x seeds x named overrides)
+/// and expands into the cross product of jobs with deterministic indices and
+/// names — the paper's "15 methods x 3 devices x variation corners" sweeps
+/// as one JSON file. `shard_range` partitions the expansion round-robin for
+/// multi-machine fan-out: shards of the same campaign are disjoint and
+/// together cover every job, whatever N is.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/spec.h"
+#include "io/json.h"
+
+namespace boson::runtime {
+
+/// Deterministic "i/N" partition of a campaign's job list. Job j belongs to
+/// shard i iff j % N == i, so shards are disjoint, cover every index, and do
+/// not depend on which jobs have already completed.
+struct shard_range {
+  std::size_t index = 0;
+  std::size_t count = 1;
+
+  bool contains(std::size_t job_index) const { return job_index % count == index; }
+
+  /// Parse the CLI form "i/N" (e.g. "0/2"); requires i < N and N >= 1.
+  static shard_range parse(const std::string& text);
+  std::string to_string() const;
+};
+
+/// One expanded job: its position in the deterministic expansion order, a
+/// unique filesystem-safe name, and the fully-resolved experiment spec.
+struct campaign_job {
+  std::size_t index = 0;
+  std::string name;
+  api::experiment_spec spec;
+};
+
+/// A named partial-spec patch forming the campaign's fourth axis (variation
+/// and lithography override studies). The patch is a JSON object deep-merged
+/// over the base spec; only spec-owned sections (run / litho / eole /
+/// resolution / objective / evaluation) may appear in it.
+struct campaign_override {
+  std::string name;      ///< suffixed onto job names; "" for the no-op axis
+  io::json_value patch;  ///< JSON object merged over the base spec
+};
+
+/// Scheduler knobs declared in campaign.json (CLI flags override them).
+struct scheduler_settings {
+  std::size_t workers = 2;           ///< concurrent jobs
+  std::size_t max_retries = 1;       ///< extra attempts after a job failure
+  std::size_t checkpoint_every = 0;  ///< optimizer iterations between snapshots
+};
+
+/// Declarative description of a whole campaign.
+struct campaign_spec {
+  std::string name = "campaign";
+  std::vector<std::string> devices;         ///< device-registry keys (required)
+  std::vector<std::string> methods;         ///< method-registry keys (required)
+  std::vector<std::uint64_t> seeds;         ///< defaults to {base.seed}
+  std::vector<campaign_override> overrides; ///< defaults to one no-op override
+  api::experiment_spec base;                ///< template every job starts from
+  scheduler_settings scheduler;
+
+  /// Jobs in the deterministic expansion order (device-major, then method,
+  /// seed, override). Every job spec is validated against the registries;
+  /// the first invalid combination throws `bad_argument` naming the job.
+  std::vector<campaign_job> expand() const;
+
+  /// devices x methods x seeds x overrides, without building the specs.
+  std::size_t job_count() const;
+
+  io::json_value to_json() const;
+
+  /// Strict parse mirroring `experiment_spec::from_json`: unknown keys,
+  /// wrong types, empty axes and axis-owned keys inside `base` all produce
+  /// precise `bad_argument` messages.
+  static campaign_spec from_json(const io::json_value& v);
+
+  /// Parse a campaign.json file.
+  static campaign_spec load(const std::string& path);
+};
+
+}  // namespace boson::runtime

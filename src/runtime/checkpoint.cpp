@@ -1,0 +1,158 @@
+#include "runtime/checkpoint.h"
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "common/error.h"
+#include "io/json.h"
+#include "io/pgm.h"
+
+namespace boson::runtime {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+std::uint64_t bits_of(double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value), "IEEE-754 binary64 expected");
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+double double_of(std::uint64_t bits) {
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+}  // namespace
+
+std::string encode_double(double value) {
+  const std::uint64_t bits = bits_of(value);
+  std::string out(16, '0');
+  for (int i = 0; i < 16; ++i)
+    out[static_cast<std::size_t>(i)] = kHexDigits[(bits >> (60 - 4 * i)) & 0xF];
+  return out;
+}
+
+double decode_double(const std::string& hex) {
+  require(hex.size() == 16, "checkpoint: hex double must be 16 characters, got '" +
+                                hex + "'");
+  std::uint64_t bits = 0;
+  for (const char c : hex) {
+    bits <<= 4;
+    if (c >= '0' && c <= '9') bits |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') bits |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') bits |= static_cast<std::uint64_t>(c - 'A' + 10);
+    else throw bad_argument("checkpoint: invalid hex double '" + hex + "'");
+  }
+  return double_of(bits);
+}
+
+std::string encode_dvec(const dvec& values) {
+  std::string out;
+  out.reserve(values.size() * 17);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out.push_back(' ');
+    out += encode_double(values[i]);
+  }
+  return out;
+}
+
+dvec decode_dvec(const std::string& text) {
+  dvec out;
+  out.reserve(text.size() / 17 + 1);
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t space = text.find(' ', pos);
+    const std::size_t end = space == std::string::npos ? text.size() : space;
+    out.push_back(decode_double(text.substr(pos, end - pos)));
+    pos = end + 1;
+  }
+  return out;
+}
+
+std::string checkpoint_path(const std::string& dir) {
+  return (std::filesystem::path(dir) / "checkpoint.json").string();
+}
+
+void save_checkpoint(const std::string& dir, const std::string& job,
+                     const core::run_checkpoint& state) {
+  namespace fs = std::filesystem;
+  fs::create_directories(dir);
+
+  io::json_value v = io::json_value::object();
+  v["job"] = job;
+  v["next_iteration"] = state.next_iteration;
+  v["total_iterations"] = state.total_iterations;
+  v["theta"] = encode_dvec(state.theta);
+
+  io::json_value& adam = v["adam"] = io::json_value::object();
+  adam["m"] = encode_dvec(state.optimizer.m);
+  adam["v"] = encode_dvec(state.optimizer.v);
+  adam["t"] = state.optimizer.t;
+
+  v["rng"] = state.rng_state;
+
+  if (state.has_worst) {
+    io::json_value& worst = v["worst"] = io::json_value::object();
+    worst["d_xi"] = encode_dvec(state.worst.d_xi);
+    worst["d_temperature"] = encode_double(state.worst.d_temperature);
+  }
+
+  v["final_loss"] = encode_double(state.final_loss);
+
+  io::json_value& traj = v["trajectory"] = io::json_value::array();
+  for (const core::iteration_record& rec : state.trajectory) {
+    io::json_value r = io::json_value::object();
+    r["iteration"] = rec.iteration;
+    r["loss"] = encode_double(rec.loss);
+    io::json_value& metrics = r["metrics"] = io::json_value::object();
+    for (const auto& [key, value] : rec.metrics) metrics[key] = encode_double(value);
+    traj.push_back(std::move(r));
+  }
+
+  // Write-then-rename: the previous snapshot stays intact if this one dies
+  // mid-write, so resume always finds a complete checkpoint.
+  const fs::path final_path = fs::path(dir) / "checkpoint.json";
+  const fs::path tmp_path = fs::path(dir) / "checkpoint.json.tmp";
+  v.write_file(tmp_path.string(), -1);
+  fs::rename(tmp_path, final_path);
+
+  if (state.design_rho.size() > 0)
+    io::write_pgm((fs::path(dir) / "checkpoint.pgm").string(), state.design_rho);
+}
+
+checkpoint_file load_checkpoint(const std::string& path) {
+  const io::json_value v = io::json_value::parse_file(path);
+  checkpoint_file out;
+  out.job = v.at("job").as_string();
+  core::run_checkpoint& ck = out.state;
+  ck.next_iteration = static_cast<std::size_t>(v.at("next_iteration").as_number());
+  ck.total_iterations = static_cast<std::size_t>(v.at("total_iterations").as_number());
+  ck.theta = decode_dvec(v.at("theta").as_string());
+  ck.optimizer.m = decode_dvec(v.at("adam").at("m").as_string());
+  ck.optimizer.v = decode_dvec(v.at("adam").at("v").as_string());
+  ck.optimizer.t = static_cast<std::size_t>(v.at("adam").at("t").as_number());
+  ck.rng_state = v.at("rng").as_string();
+  if (const io::json_value* worst = v.find("worst")) {
+    ck.has_worst = true;
+    ck.worst.d_xi = decode_dvec(worst->at("d_xi").as_string());
+    ck.worst.d_temperature = decode_double(worst->at("d_temperature").as_string());
+  }
+  ck.final_loss = decode_double(v.at("final_loss").as_string());
+  for (const io::json_value& r : v.at("trajectory").elements()) {
+    core::iteration_record rec;
+    rec.iteration = static_cast<std::size_t>(r.at("iteration").as_number());
+    rec.loss = decode_double(r.at("loss").as_string());
+    for (const auto& [key, value] : r.at("metrics").members())
+      rec.metrics[key] = decode_double(value.as_string());
+    ck.trajectory.push_back(std::move(rec));
+  }
+  return out;
+}
+
+}  // namespace boson::runtime

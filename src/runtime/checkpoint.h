@@ -1,0 +1,47 @@
+/// \file checkpoint.h
+/// Durable serialization of `core::run_checkpoint`: `<dir>/checkpoint.json`
+/// carries the optimizer state (latent variables, Adam moments, RNG stream,
+/// worst-case ascent directions, trajectory) with every double hex-encoded
+/// bit for bit — the JSON number formatter rounds through "%.12g", which
+/// would silently perturb a resumed trajectory — plus `<dir>/checkpoint.pgm`,
+/// a human-inspectable preview of the in-flight density. Writes go through a
+/// temp-file + rename so a crash mid-write never corrupts the previous
+/// snapshot.
+
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+#include "core/run.h"
+
+namespace boson::runtime {
+
+/// Bit-exact double <-> fixed-width (16 char) lowercase hex of the IEEE-754
+/// pattern. Round-trips NaNs, infinities, -0.0 and denormals unchanged.
+std::string encode_double(double value);
+double decode_double(const std::string& hex);
+
+/// Vector forms: space-separated hex words.
+std::string encode_dvec(const dvec& values);
+dvec decode_dvec(const std::string& text);
+
+/// A checkpoint file: which job wrote it plus the resumable state.
+struct checkpoint_file {
+  std::string job;  ///< job/experiment name the snapshot belongs to
+  core::run_checkpoint state;
+};
+
+/// Write `<dir>/checkpoint.json` (atomically, via rename) and — when the
+/// snapshot carries a density preview — `<dir>/checkpoint.pgm`.
+void save_checkpoint(const std::string& dir, const std::string& job,
+                     const core::run_checkpoint& state);
+
+/// Load a checkpoint written by `save_checkpoint`; throws `io_error` /
+/// `bad_argument` on unreadable or malformed files.
+checkpoint_file load_checkpoint(const std::string& path);
+
+/// The canonical path `save_checkpoint` writes inside `dir`.
+std::string checkpoint_path(const std::string& dir);
+
+}  // namespace boson::runtime

@@ -1,0 +1,73 @@
+#include "runtime/journal.h"
+
+#include <fstream>
+#include <utility>
+
+#include "common/error.h"
+
+namespace boson::runtime {
+
+const char* to_string(job_state state) {
+  switch (state) {
+    case job_state::scheduled: return "scheduled";
+    case job_state::running: return "running";
+    case job_state::checkpointed: return "checkpointed";
+    case job_state::completed: return "completed";
+    case job_state::failed: return "failed";
+    case job_state::cancelled: return "cancelled";
+  }
+  return "?";
+}
+
+job_state job_state_from_string(const std::string& text) {
+  if (text == "scheduled") return job_state::scheduled;
+  if (text == "running") return job_state::running;
+  if (text == "checkpointed") return job_state::checkpointed;
+  if (text == "completed") return job_state::completed;
+  if (text == "failed") return job_state::failed;
+  if (text == "cancelled") return job_state::cancelled;
+  throw bad_argument("journal: unknown job state '" + text + "'");
+}
+
+io::json_value journal_entry::to_json() const {
+  io::json_value v = io::json_value::object();
+  v["job"] = job_index;
+  v["name"] = job_name;
+  v["state"] = to_string(state);
+  v["attempt"] = attempt;
+  if (!detail.empty()) v["detail"] = detail;
+  if (seconds > 0.0) v["seconds"] = seconds;
+  return v;
+}
+
+journal_entry journal_entry::from_json(const io::json_value& v) {
+  journal_entry e;
+  e.job_index = static_cast<std::size_t>(v.at("job").as_number());
+  e.job_name = v.at("name").as_string();
+  e.state = job_state_from_string(v.at("state").as_string());
+  e.attempt = static_cast<std::size_t>(v.at("attempt").as_number());
+  if (const io::json_value* d = v.find("detail")) e.detail = d->as_string();
+  if (const io::json_value* s = v.find("seconds")) e.seconds = s->as_number();
+  return e;
+}
+
+journal::journal(std::string path) : out_(std::move(path), "journal") {}
+
+void journal::append(const journal_entry& entry) { out_.append(entry.to_json()); }
+
+std::vector<journal_entry> journal::replay(const std::string& path) {
+  std::vector<journal_entry> entries;
+  replay_jsonl(path, "journal", [&entries](const io::json_value& record) {
+    entries.push_back(journal_entry::from_json(record));
+  });
+  return entries;
+}
+
+std::map<std::size_t, journal_entry> journal::latest_states(
+    const std::vector<journal_entry>& entries) {
+  std::map<std::size_t, journal_entry> latest;
+  for (const journal_entry& e : entries) latest[e.job_index] = e;
+  return latest;
+}
+
+}  // namespace boson::runtime

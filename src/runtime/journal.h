@@ -1,0 +1,75 @@
+/// \file journal.h
+/// Append-only durability log of a campaign: every job state transition
+/// (started, checkpointed, completed, failed, cancelled) is one JSON line in
+/// `journal.jsonl`. Appends are mutex-serialized within a process and
+/// line-buffered into a single O_APPEND write, so concurrent shard processes
+/// sharing one campaign directory interleave whole lines only. Replay
+/// reconstructs the latest state per job — the scheduler's crash-recovery
+/// source of truth — and tolerates a torn (crash-truncated) final line.
+
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "io/json.h"
+#include "runtime/jsonl.h"
+
+namespace boson::runtime {
+
+/// Lifecycle states a job moves through in the journal.
+enum class job_state {
+  scheduled,     ///< admitted to this scheduler run's queue
+  running,       ///< an attempt started
+  checkpointed,  ///< a mid-run snapshot was persisted (detail = next iteration)
+  completed,     ///< finished; results are in the store
+  failed,        ///< an attempt threw (detail = error message)
+  cancelled,     ///< interrupted by cooperative cancellation
+};
+
+const char* to_string(job_state state);
+job_state job_state_from_string(const std::string& text);
+
+/// One journal record.
+struct journal_entry {
+  std::size_t job_index = 0;
+  std::string job_name;
+  job_state state = job_state::scheduled;
+  std::size_t attempt = 0;   ///< 1-based attempt number; 0 for scheduled
+  std::string detail;        ///< state-dependent payload (error, iteration, ...)
+  double seconds = 0.0;      ///< wall-clock of the attempt (completed/failed)
+
+  io::json_value to_json() const;
+  static journal_entry from_json(const io::json_value& v);
+};
+
+/// Append-only JSONL writer + replayer.
+class journal {
+ public:
+  /// Opens `path` for appending (creating it if needed), healing any
+  /// crash-torn trailing fragment first (see `jsonl_appender`).
+  explicit journal(std::string path);
+
+  /// Append one record; thread-safe, flushed before returning so a crash
+  /// after `append` never loses the record.
+  void append(const journal_entry& entry);
+
+  const std::string& path() const { return out_.path(); }
+
+  /// Parse every complete line of a journal file, in order. A torn trailing
+  /// line (the single-line tail a crash mid-write can leave) is ignored; a
+  /// malformed line anywhere else throws `io_error` naming the line number.
+  /// A missing file replays to an empty history.
+  static std::vector<journal_entry> replay(const std::string& path);
+
+  /// Reduce a replayed history to the latest entry per job index.
+  static std::map<std::size_t, journal_entry> latest_states(
+      const std::vector<journal_entry>& entries);
+
+ private:
+  jsonl_appender out_;
+};
+
+}  // namespace boson::runtime

@@ -1,0 +1,177 @@
+#include "runtime/result_store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "common/error.h"
+#include "io/table.h"
+
+namespace boson::runtime {
+
+io::json_value job_result_row::to_json() const {
+  io::json_value v = io::json_value::object();
+  v["job"] = job_index;
+  v["name"] = name;
+  v["device"] = device;
+  v["method"] = method;
+  v["seed"] = static_cast<double>(seed);
+  v["prefab_fom"] = prefab_fom;
+  if (postfab_samples > 0) {
+    io::json_value& mc = v["postfab"] = io::json_value::object();
+    mc["samples"] = postfab_samples;
+    mc["mean"] = postfab_mean;
+    mc["std"] = postfab_std;
+    mc["min"] = postfab_min;
+    mc["max"] = postfab_max;
+  }
+  v["seconds"] = seconds;
+  v["attempt"] = attempt;
+  if (!artifact_dir.empty()) v["artifact_dir"] = artifact_dir;
+  return v;
+}
+
+job_result_row job_result_row::from_json(const io::json_value& v) {
+  job_result_row row;
+  row.job_index = static_cast<std::size_t>(v.at("job").as_number());
+  row.name = v.at("name").as_string();
+  row.device = v.at("device").as_string();
+  row.method = v.at("method").as_string();
+  row.seed = static_cast<std::uint64_t>(v.at("seed").as_number());
+  row.prefab_fom = v.at("prefab_fom").as_number();
+  if (const io::json_value* mc = v.find("postfab")) {
+    row.postfab_samples = static_cast<std::size_t>(mc->at("samples").as_number());
+    row.postfab_mean = mc->at("mean").as_number();
+    row.postfab_std = mc->at("std").as_number();
+    row.postfab_min = mc->at("min").as_number();
+    row.postfab_max = mc->at("max").as_number();
+  }
+  row.seconds = v.at("seconds").as_number();
+  row.attempt = static_cast<std::size_t>(v.at("attempt").as_number());
+  if (const io::json_value* d = v.find("artifact_dir")) row.artifact_dir = d->as_string();
+  return row;
+}
+
+std::string result_store::store_path(const std::string& campaign_dir) {
+  return (std::filesystem::path(campaign_dir) / "results.jsonl").string();
+}
+
+namespace {
+
+std::string prepared_store_path(const std::string& campaign_dir) {
+  std::filesystem::create_directories(campaign_dir);
+  return result_store::store_path(campaign_dir);
+}
+
+}  // namespace
+
+result_store::result_store(const std::string& campaign_dir)
+    : out_(prepared_store_path(campaign_dir), "result_store") {}
+
+void result_store::append(const job_result_row& row) { out_.append(row.to_json()); }
+
+std::vector<job_result_row> result_store::load(const std::string& campaign_dir) {
+  std::map<std::size_t, job_result_row> latest;
+  replay_jsonl(store_path(campaign_dir), "result_store",
+               [&latest](const io::json_value& record) {
+                 job_result_row row = job_result_row::from_json(record);
+                 const std::size_t index = row.job_index;
+                 latest.insert_or_assign(index, std::move(row));
+               });
+  std::vector<job_result_row> rows;
+  rows.reserve(latest.size());
+  for (auto& [index, row] : latest) {
+    (void)index;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+// ------------------------------------------------------------------ report --
+
+namespace {
+
+struct aggregate {
+  std::size_t n = 0;
+  double prefab_sum = 0.0;
+  double postfab_sum = 0.0;
+  double postfab_std_sum = 0.0;
+  std::size_t postfab_n = 0;
+
+  void add(const job_result_row& row) {
+    ++n;
+    prefab_sum += row.prefab_fom;
+    if (row.postfab_samples > 0) {
+      ++postfab_n;
+      postfab_sum += row.postfab_mean;
+      postfab_std_sum += row.postfab_std;
+    }
+  }
+
+  std::string cell() const {
+    if (n == 0) return "-";
+    if (postfab_n == 0) return io::console_table::sci(prefab_sum / static_cast<double>(n));
+    return io::console_table::sci(postfab_sum / static_cast<double>(postfab_n)) + " +- " +
+           io::console_table::sci(postfab_std_sum / static_cast<double>(postfab_n));
+  }
+};
+
+}  // namespace
+
+std::string render_report(const campaign_spec& spec,
+                          const std::vector<job_result_row>& rows) {
+  std::ostringstream out;
+  const std::size_t total = spec.job_count();
+  out << "campaign '" << spec.name << "': " << rows.size() << "/" << total
+      << " jobs in the result store\n\n";
+
+  // Table 1/3 layout: methods down, devices across, each cell the post-fab
+  // FoM mean +- std aggregated over the seed/override axes (falling back to
+  // the prefab FoM when no Monte Carlo was planned).
+  std::map<std::string, std::map<std::string, aggregate>> grid;  // method -> device
+  for (const job_result_row& row : rows) grid[row.method][row.device].add(row);
+
+  std::vector<std::string> header{"method"};
+  for (const std::string& device : spec.devices) header.push_back(device);
+  io::console_table table(header);
+  for (const std::string& method : spec.methods) {
+    std::vector<std::string> cells{method};
+    for (const std::string& device : spec.devices) cells.push_back(grid[method][device].cell());
+    table.add_row(cells);
+  }
+  out << table.render("Post-fab FoM (mean +- std over seeds)") << "\n";
+
+  // Per-device detail: the Table 2-style per-job statistics.
+  for (const std::string& device : spec.devices) {
+    io::console_table detail(
+        {"method", "seed", "prefab FoM", "postfab mean", "postfab std", "worst", "s"});
+    bool any = false;
+    for (const job_result_row& row : rows) {
+      if (row.device != device) continue;
+      any = true;
+      const bool mc = row.postfab_samples > 0;
+      // "worst" is the Monte-Carlo extreme on the bad side; the FoM direction
+      // is device-specific, so report the wider |deviation| from the mean.
+      const double worst =
+          mc ? (std::abs(row.postfab_max - row.postfab_mean) >
+                        std::abs(row.postfab_mean - row.postfab_min)
+                    ? row.postfab_max
+                    : row.postfab_min)
+             : 0.0;
+      detail.add_row({row.method, std::to_string(row.seed),
+                      io::console_table::sci(row.prefab_fom),
+                      mc ? io::console_table::sci(row.postfab_mean) : "-",
+                      mc ? io::console_table::sci(row.postfab_std) : "-",
+                      mc ? io::console_table::sci(worst) : "-",
+                      io::console_table::num(row.seconds, 1)});
+    }
+    if (any) out << "\n" << detail.render("Device: " + device);
+  }
+  return out.str();
+}
+
+}  // namespace boson::runtime

@@ -1,0 +1,304 @@
+#include "runtime/scheduler.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <system_error>
+#include <thread>
+#include <utility>
+
+#include "common/log.h"
+#include "common/timer.h"
+#include "runtime/checkpoint.h"
+#include "runtime/journal.h"
+
+namespace boson::runtime {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Observer each job runs under: forwards to the worker's inner observer and
+/// turns a cancel request into a `cancelled_error` at the next iteration or
+/// stage boundary — never after the work already finished, so a cancel that
+/// lands during final artifact writes does not discard a completed job.
+class cancel_guard : public api::observer {
+ public:
+  cancel_guard(api::observer* inner, const std::atomic<bool>& flag)
+      : inner_(inner), flag_(flag) {}
+
+  void on_event(const api::progress_event& event) override {
+    using phase = api::progress_event::phase;
+    if (flag_.load() && (event.kind == phase::iteration_finished ||
+                         event.kind == phase::stage_started))
+      throw cancelled_error("job '" + event.experiment + "' cancelled");
+    if (inner_ != nullptr) inner_->on_event(event);
+  }
+
+ private:
+  api::observer* inner_;
+  const std::atomic<bool>& flag_;
+};
+
+job_result_row make_row(const campaign_job& job, const api::experiment_result& result,
+                        std::size_t attempt, double seconds) {
+  job_result_row row;
+  row.job_index = job.index;
+  row.name = job.name;
+  row.device = job.spec.device;
+  row.method = job.spec.method;
+  row.seed = job.spec.seed;
+  row.prefab_fom = result.method.prefab_fom;
+  row.postfab_samples = result.method.postfab.samples;
+  row.postfab_mean = result.method.postfab.fom_mean;
+  row.postfab_std = result.method.postfab.fom_std;
+  row.postfab_min = result.method.postfab.fom_min;
+  row.postfab_max = result.method.postfab.fom_max;
+  row.seconds = seconds;
+  row.attempt = attempt;
+  row.artifact_dir = result.artifact_dir;
+  return row;
+}
+
+}  // namespace
+
+std::string journal_path(const std::string& campaign_dir) {
+  return (fs::path(campaign_dir) / "journal.jsonl").string();
+}
+
+std::string campaign_spec_path(const std::string& campaign_dir) {
+  return (fs::path(campaign_dir) / "campaign.json").string();
+}
+
+std::string job_directory(const std::string& campaign_dir, const std::string& job_name) {
+  // api::artifact_name is the session's own sanitizer, so checkpoints land
+  // in the exact directory the session writes the job's artifacts into.
+  return (fs::path(campaign_dir) / "jobs" / api::artifact_name(job_name)).string();
+}
+
+scheduler::scheduler(campaign_spec spec, scheduler_options options)
+    : spec_(std::move(spec)), options_(std::move(options)) {}
+
+scheduler_settings scheduler::effective_settings() const {
+  scheduler_settings settings = spec_.scheduler;
+  if (options_.workers) settings.workers = *options_.workers;
+  if (options_.max_retries) settings.max_retries = *options_.max_retries;
+  if (options_.checkpoint_every) settings.checkpoint_every = *options_.checkpoint_every;
+  settings.workers = std::max<std::size_t>(1, settings.workers);
+  return settings;
+}
+
+scheduler_report scheduler::run() {
+  const stopwatch sw;
+  // Each run starts un-cancelled: the documented re-run contract gives
+  // previously cancelled jobs a fresh chance (cancel() during this run
+  // still stops it).
+  cancel_.store(false);
+  const scheduler_settings settings = effective_settings();
+  fs::create_directories(fs::path(options_.campaign_dir) / "jobs");
+
+  const std::vector<campaign_job> all_jobs = spec_.expand();
+  const auto latest =
+      journal::latest_states(journal::replay(journal_path(options_.campaign_dir)));
+
+  // This shard's slice, minus everything the journal already proved done.
+  scheduler_report report;
+  std::vector<const campaign_job*> pending;
+  for (const campaign_job& job : all_jobs) {
+    if (!options_.shard.contains(job.index)) continue;
+    ++report.shard_jobs;
+    const auto it = latest.find(job.index);
+    if (it != latest.end() && it->second.state == job_state::completed) {
+      ++report.skipped;
+      continue;
+    }
+    pending.push_back(&job);
+  }
+
+  if (pending.empty()) {
+    report.wall_seconds = sw.seconds();
+    return report;
+  }
+
+  journal log(journal_path(options_.campaign_dir));
+  result_store store(options_.campaign_dir);
+
+  const auto journal_event = [&log](const campaign_job& job, job_state state,
+                                    std::size_t attempt, const std::string& detail = "",
+                                    double seconds = 0.0) {
+    journal_entry e;
+    e.job_index = job.index;
+    e.job_name = job.name;
+    e.state = state;
+    e.attempt = attempt;
+    e.detail = detail;
+    e.seconds = seconds;
+    log.append(e);
+  };
+
+  for (const campaign_job* job : pending)
+    journal_event(*job, job_state::scheduled, 0, "shard " + options_.shard.to_string());
+
+  std::mutex report_mutex;
+  std::atomic<std::size_t> next{0};
+
+  const auto execute_job = [&](const campaign_job& job, api::observer* watcher) {
+    const auto it = latest.find(job.index);
+    const std::size_t prior_attempts = it != latest.end() ? it->second.attempt : 0;
+    const std::string dir = job_directory(options_.campaign_dir, job.name);
+
+    // A fresh retry budget per scheduler run: resuming a crashed campaign
+    // must not inherit exhausted budgets from the previous process.
+    bool counted_resume = false;
+    for (std::size_t try_index = 0; try_index <= settings.max_retries; ++try_index) {
+      const std::size_t attempt = prior_attempts + try_index + 1;
+
+      api::run_control control;
+      if (settings.checkpoint_every > 0) {
+        control.checkpoint_every = settings.checkpoint_every;
+        control.on_checkpoint = [&journal_event, &job, dir,
+                                 attempt](const core::run_checkpoint& ck) {
+          save_checkpoint(dir, job.name, ck);
+          journal_event(job, job_state::checkpointed, attempt,
+                        "iteration " + std::to_string(ck.next_iteration) + "/" +
+                            std::to_string(ck.total_iterations));
+        };
+      }
+
+      // Restore any persisted snapshot — also when checkpointing is now
+      // disabled, so `campaign resume` picks up mid-flight work regardless.
+      std::string resume_note;
+      const std::string snapshot = checkpoint_path(dir);
+      if (fs::exists(snapshot)) {
+        try {
+          checkpoint_file file = load_checkpoint(snapshot);
+          require(file.job == job.name,
+                  "checkpoint belongs to job '" + file.job + "'");
+          // A snapshot from a different effective run length (changed
+          // BOSON_BENCH_SCALE, edited campaign) would be rejected by the
+          // optimizer on every retry; discard it here so the job runs fresh
+          // instead of burning its whole budget on the same dead state.
+          const std::size_t expected =
+              api::session::config_for(job.spec).scaled_iterations();
+          require(file.state.total_iterations == expected,
+                  "checkpoint captured for " +
+                      std::to_string(file.state.total_iterations) +
+                      " iterations, the run expects " + std::to_string(expected));
+          resume_note =
+              "resume from iteration " + std::to_string(file.state.next_iteration);
+          control.resume =
+              std::make_shared<const core::run_checkpoint>(std::move(file.state));
+        } catch (const std::exception& e) {
+          log_warn("scheduler: discarding unusable checkpoint '", snapshot,
+                   "': ", e.what());
+          std::error_code ec;
+          fs::remove(snapshot, ec);
+        }
+      }
+
+      journal_event(job, job_state::running, attempt, resume_note);
+      if (!resume_note.empty() && !counted_resume) {
+        counted_resume = true;
+        const std::lock_guard<std::mutex> lock(report_mutex);
+        ++report.resumed;
+      }
+
+      const stopwatch job_sw;
+      try {
+        const api::experiment_result result =
+            options_.executor ? options_.executor(job, control, watcher)
+                              : execute_with_session(job, control, watcher);
+        const job_result_row row = make_row(job, result, attempt, job_sw.seconds());
+        store.append(row);  // row first, then the journal: "completed" implies stored
+        journal_event(job, job_state::completed, attempt, "", row.seconds);
+        std::error_code ec;
+        fs::remove(snapshot, ec);
+        fs::remove(fs::path(dir) / "checkpoint.pgm", ec);
+        const std::lock_guard<std::mutex> lock(report_mutex);
+        ++report.completed;
+        report.rows.push_back(row);
+        return;
+      } catch (const cancelled_error& e) {
+        journal_event(job, job_state::cancelled, attempt, e.what(), job_sw.seconds());
+        const std::lock_guard<std::mutex> lock(report_mutex);
+        ++report.cancelled;
+        return;  // cancellation is not a failure: no retry
+      } catch (const io_error&) {
+        // Durability (journal/store/checkpoint) or artifact IO died — disk
+        // full, permissions. Re-running the simulation cannot fix that and
+        // its outcome could not be made durable anyway: escalate so
+        // worker_main stops the whole campaign instead of burning
+        // retries x simulation time per job.
+        throw;
+      } catch (const std::exception& e) {
+        // A checkpoint the optimizer itself refused (e.g. the spec changed
+        // between runs in a way the proactive validation above misses) is
+        // unusable: drop it so the retry — or a later resume — runs fresh.
+        if (control.resume != nullptr && dynamic_cast<const bad_argument*>(&e) != nullptr &&
+            std::string(e.what()).find("resume checkpoint") != std::string::npos) {
+          log_warn("scheduler: discarding checkpoint the optimizer refused ('",
+                   e.what(), "')");
+          std::error_code ec;
+          fs::remove(snapshot, ec);
+        }
+        journal_event(job, job_state::failed, attempt, e.what(), job_sw.seconds());
+        if (try_index == settings.max_retries) {
+          const std::lock_guard<std::mutex> lock(report_mutex);
+          ++report.failed;
+          report.errors.push_back(job.name + ": " + e.what());
+        } else {
+          log_warn("scheduler: job '", job.name, "' attempt ", attempt, " failed (",
+                   e.what(), "); retrying");
+        }
+      }
+    }
+  };
+
+  const auto worker_main = [&](std::size_t worker_id) {
+    api::log_observer tagged("[" + options_.shard.to_string() + ".w" +
+                             std::to_string(worker_id) + "] ");
+    api::observer* inner = options_.watcher != nullptr ? options_.watcher : &tagged;
+    cancel_guard guard(inner, cancel_);
+
+    while (!cancel_.load()) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= pending.size()) break;
+      try {
+        execute_job(*pending[i], &guard);
+      } catch (const std::exception& e) {
+        // Journal/store IO died: stop the campaign rather than run jobs
+        // whose outcomes cannot be made durable.
+        cancel_.store(true);
+        const std::lock_guard<std::mutex> lock(report_mutex);
+        report.errors.push_back(std::string("scheduler worker: ") + e.what());
+      }
+    }
+  };
+
+  const std::size_t worker_count = std::min(settings.workers, pending.size());
+  std::vector<std::thread> workers;
+  workers.reserve(worker_count);
+  for (std::size_t w = 0; w < worker_count; ++w) workers.emplace_back(worker_main, w);
+  for (std::thread& t : workers) t.join();
+
+  report.wall_seconds = sw.seconds();
+  log_info("scheduler[", spec_.name, " ", options_.shard.to_string(), "]: ",
+           report.completed, " completed, ", report.skipped, " skipped, ",
+           report.failed, " failed, ", report.cancelled, " cancelled in ",
+           report.wall_seconds, " s");
+  return report;
+}
+
+api::experiment_result scheduler::execute_with_session(const campaign_job& job,
+                                                       const api::run_control& control,
+                                                       api::observer* watcher) {
+  api::session_options so;
+  so.output_dir = (fs::path(options_.campaign_dir) / "jobs").string();
+  so.write_artifacts = options_.write_artifacts;
+  so.watcher = watcher;
+  api::session session(so);
+  return session.run(job.spec, control);
+}
+
+}  // namespace boson::runtime

@@ -1,0 +1,116 @@
+/// \file scheduler.h
+/// The campaign execution engine: expands a `campaign_spec`, filters the
+/// job list to this process's `--shard i/N` slice, and runs the remaining
+/// jobs across a bounded pool of worker threads with per-job retry,
+/// cooperative cancellation, and durability. Every state transition lands in
+/// the append-only journal and every completed job in the result store, so a
+/// killed scheduler resumes by replaying the journal: completed jobs are
+/// skipped outright and mid-flight jobs restart from their last persisted
+/// checkpoint instead of iteration zero.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/observer.h"
+#include "api/session.h"
+#include "common/error.h"
+#include "runtime/campaign.h"
+#include "runtime/result_store.h"
+
+namespace boson::runtime {
+
+/// Thrown through a job when `scheduler::cancel` interrupts it at an
+/// iteration/stage boundary. The job's last checkpoint stays on disk, so a
+/// later `resume` continues where the cancellation struck.
+class cancelled_error : public error {
+ public:
+  using error::error;
+};
+
+/// Pluggable job execution: the default runs the spec through an
+/// `api::session` into `<campaign_dir>/jobs/<name>/`; tests and benchmarks
+/// substitute synthetic executors to exercise the scheduling machinery
+/// without simulations. `watcher` is the scheduler's per-job observer (it
+/// enforces cancellation — executors should forward progress through it).
+using job_executor = std::function<api::experiment_result(
+    const campaign_job& job, const api::run_control& control, api::observer* watcher)>;
+
+struct scheduler_options {
+  /// Campaign working directory: journal, result store, and job artifacts.
+  std::string campaign_dir = "boson_campaign";
+
+  /// This process's slice of the job list (default: everything).
+  shard_range shard;
+
+  /// Overrides of the campaign's scheduler settings (unset: use the spec's).
+  std::optional<std::size_t> workers;
+  std::optional<std::size_t> max_retries;
+  std::optional<std::size_t> checkpoint_every;
+
+  bool write_artifacts = true;
+
+  /// Shared progress receiver; must be thread-safe (see `api::observer`).
+  /// nullptr: each worker logs through a shard/worker-prefixed
+  /// `log_observer`.
+  api::observer* watcher = nullptr;
+
+  /// Execution override for tests/benchmarks (empty: the api::session path).
+  job_executor executor;
+};
+
+/// What one `scheduler::run` call did to its shard.
+struct scheduler_report {
+  std::size_t shard_jobs = 0;  ///< jobs in this shard
+  std::size_t completed = 0;   ///< finished during this run
+  std::size_t skipped = 0;     ///< already completed per the journal
+  std::size_t failed = 0;      ///< exhausted their retry budget
+  std::size_t cancelled = 0;   ///< interrupted by `cancel`
+  std::size_t resumed = 0;     ///< restarted from a mid-flight checkpoint
+  double wall_seconds = 0.0;
+  std::vector<job_result_row> rows;    ///< result-store rows appended this run
+  std::vector<std::string> errors;     ///< messages of permanently-failed jobs
+};
+
+/// Sharded, journaled, resumable campaign runner.
+class scheduler {
+ public:
+  scheduler(campaign_spec spec, scheduler_options options);
+
+  /// Execute this shard's pending jobs; blocks until done (or cancelled).
+  /// Safe to call again on the same campaign directory — completed jobs are
+  /// skipped, failed/cancelled jobs get a fresh retry budget.
+  scheduler_report run();
+
+  /// Cooperative cancellation, callable from any thread (or from a job's
+  /// observer callback): no new jobs are dispatched and running jobs stop at
+  /// their next iteration/stage boundary, leaving their checkpoints behind.
+  void cancel() { cancel_.store(true); }
+  bool cancel_requested() const { return cancel_.load(); }
+
+  const campaign_spec& spec() const { return spec_; }
+
+  /// Effective settings after applying option overrides to the spec.
+  scheduler_settings effective_settings() const;
+
+ private:
+  api::experiment_result execute_with_session(const campaign_job& job,
+                                              const api::run_control& control,
+                                              api::observer* watcher);
+
+  campaign_spec spec_;
+  scheduler_options options_;
+  std::atomic<bool> cancel_{false};
+};
+
+/// Path helpers shared by the scheduler and the CLI.
+std::string journal_path(const std::string& campaign_dir);
+std::string campaign_spec_path(const std::string& campaign_dir);
+std::string job_directory(const std::string& campaign_dir, const std::string& job_name);
+
+}  // namespace boson::runtime

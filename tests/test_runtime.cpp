@@ -1,0 +1,848 @@
+// Tests of the campaign runtime: shard partitioning, campaign expansion,
+// the append-only journal, bit-exact checkpoint serialization, checkpoint /
+// resume determinism of the optimization loop, and the sharded scheduler
+// (synthetic executors for the machinery, one real end-to-end resume).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "api/registry.h"
+#include "api/session.h"
+#include "api/spec.h"
+#include "common/rng.h"
+#include "core/methods.h"
+#include "optim/optimizer.h"
+#include "runtime/campaign.h"
+#include "runtime/checkpoint.h"
+#include "runtime/journal.h"
+#include "runtime/result_store.h"
+#include "runtime/scheduler.h"
+
+namespace boson {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// EXPECT that `fn` throws `Exception` whose message contains `fragment`.
+template <class Exception, class Fn>
+void expect_throw_with(Fn&& fn, const std::string& fragment) {
+  try {
+    fn();
+    FAIL() << "expected an exception containing \"" << fragment << "\"";
+  } catch (const Exception& e) {
+    EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// Coarse, fast base spec (mirrors the api/core smoke configuration).
+api::experiment_spec smoke_base() {
+  api::experiment_spec spec;
+  spec.resolution = 0.1;
+  spec.iterations = 6;
+  spec.relax_epochs = 0;
+  spec.litho.na = 0.65;
+  spec.litho.sigma = 0.35;
+  spec.litho.kernel_half = 5;
+  spec.litho.max_kernels = 5;
+  spec.eole.anchors_x = 4;
+  spec.eole.anchors_y = 4;
+  spec.eole.num_terms = 5;
+  spec.evaluation = {api::eval_step::monte_carlo(2)};
+  return spec;
+}
+
+/// 1 device x 3 methods x 2 seeds x 2 overrides = 12 cheap-to-expand jobs.
+runtime::campaign_spec synthetic_campaign() {
+  runtime::campaign_spec spec;
+  spec.name = "synthetic";
+  spec.devices = {"bend"};
+  spec.methods = {"density", "ls", "boson_no_relax"};
+  spec.seeds = {1, 2};
+  runtime::campaign_override nominal;
+  nominal.name = "nom";
+  runtime::campaign_override hot;
+  hot.name = "hot";
+  hot.patch = io::json_value::parse(R"({"litho": {"corner_defocus": 0.08}})");
+  spec.overrides = {nominal, hot};
+  spec.base = smoke_base();
+  spec.scheduler.workers = 3;
+  spec.scheduler.max_retries = 0;
+  return spec;
+}
+
+/// Executor that fabricates a result without running any simulation.
+runtime::job_executor counting_executor(std::atomic<std::size_t>& executed) {
+  return [&executed](const runtime::campaign_job& job, const api::run_control&,
+                     api::observer*) {
+    ++executed;
+    api::experiment_result result;
+    result.spec = job.spec;
+    result.method.prefab_fom = static_cast<double>(job.index);
+    result.method.postfab.samples = 2;
+    result.method.postfab.fom_mean = static_cast<double>(job.index) * 0.5;
+    result.seconds = 0.001;
+    return result;
+  };
+}
+
+// -------------------------------------------------------------- sharding ---
+
+TEST(shard_range, parses_the_cli_form) {
+  const runtime::shard_range shard = runtime::shard_range::parse("2/5");
+  EXPECT_EQ(shard.index, 2u);
+  EXPECT_EQ(shard.count, 5u);
+  EXPECT_EQ(shard.to_string(), "2/5");
+}
+
+TEST(shard_range, rejects_malformed_and_out_of_range) {
+  // "-2" must not wrap through std::stoul into a 2^64-scale shard count.
+  for (const char* bad : {"", "3", "/2", "1/", "a/2", "1/b", "1/2/3", "2/2", "5/3",
+                          "1/-2", "-1/2", "+1/2", " 1/2", "1/2 "})
+    EXPECT_THROW((void)runtime::shard_range::parse(bad), bad_argument) << bad;
+}
+
+TEST(shard_range, shards_partition_every_job_list) {
+  // Disjointness and coverage for several N over an awkward job count.
+  const std::size_t jobs = 13;
+  for (std::size_t count : {1u, 2u, 3u, 5u}) {
+    std::vector<std::size_t> owners(jobs, std::numeric_limits<std::size_t>::max());
+    for (std::size_t index = 0; index < count; ++index) {
+      const runtime::shard_range shard{index, count};
+      for (std::size_t j = 0; j < jobs; ++j) {
+        if (!shard.contains(j)) continue;
+        EXPECT_EQ(owners[j], std::numeric_limits<std::size_t>::max())
+            << "job " << j << " claimed twice with N=" << count;
+        owners[j] = index;
+      }
+    }
+    for (std::size_t j = 0; j < jobs; ++j)
+      EXPECT_NE(owners[j], std::numeric_limits<std::size_t>::max())
+          << "job " << j << " unclaimed with N=" << count;
+  }
+}
+
+// ------------------------------------------------------------- campaigns ---
+
+TEST(campaign_spec, expands_the_cross_product_deterministically) {
+  const runtime::campaign_spec spec = synthetic_campaign();
+  EXPECT_EQ(spec.job_count(), 12u);
+  const std::vector<runtime::campaign_job> jobs = spec.expand();
+  ASSERT_EQ(jobs.size(), 12u);
+  EXPECT_EQ(jobs[0].name, "bend_density_s1_nom");
+  EXPECT_EQ(jobs[1].name, "bend_density_s1_hot");
+  EXPECT_EQ(jobs[2].name, "bend_density_s2_nom");
+  EXPECT_EQ(jobs[11].name, "bend_boson_no_relax_s2_hot");
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].index, i);
+    names.insert(jobs[i].name);
+    EXPECT_EQ(jobs[i].spec.name, jobs[i].name);
+  }
+  EXPECT_EQ(names.size(), jobs.size());
+
+  // The override axis patches the expanded specs.
+  EXPECT_DOUBLE_EQ(jobs[0].spec.litho.corner_defocus,
+                   smoke_base().litho.corner_defocus);
+  EXPECT_DOUBLE_EQ(jobs[1].spec.litho.corner_defocus, 0.08);
+  // Seeds land in the specs.
+  EXPECT_EQ(jobs[0].spec.seed, 1u);
+  EXPECT_EQ(jobs[2].spec.seed, 2u);
+}
+
+TEST(campaign_spec, json_round_trip_preserves_the_expansion) {
+  const runtime::campaign_spec spec = synthetic_campaign();
+  const runtime::campaign_spec parsed =
+      runtime::campaign_spec::from_json(spec.to_json());
+  EXPECT_EQ(parsed.name, spec.name);
+  EXPECT_EQ(parsed.job_count(), spec.job_count());
+  const auto a = spec.expand();
+  const auto b = parsed.expand();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].spec.to_json().dump(), b[i].spec.to_json().dump()) << a[i].name;
+  }
+}
+
+TEST(campaign_spec, strict_parsing_rejects_precisely) {
+  expect_throw_with<bad_argument>(
+      [] {
+        (void)runtime::campaign_spec::from_json(
+            io::json_value::parse(R"({"axes": {"devices": ["bend"], "methods": ["ls"]},
+                                      "frobnicate": 1})"));
+      },
+      "unknown key 'frobnicate'");
+  expect_throw_with<bad_argument>(
+      [] {
+        (void)runtime::campaign_spec::from_json(
+            io::json_value::parse(R"({"axes": {"methods": ["ls"]}})"));
+      },
+      "'axes.devices' must not be empty");
+  expect_throw_with<bad_argument>(
+      [] {
+        (void)runtime::campaign_spec::from_json(io::json_value::parse(
+            R"({"axes": {"devices": ["bend"], "methods": ["ls"]},
+                "base": {"device": "bend"}})"));
+      },
+      "'base.device' is campaign-owned");
+  expect_throw_with<bad_argument>(
+      [] {
+        (void)runtime::campaign_spec::from_json(io::json_value::parse(
+            R"({"axes": {"devices": ["bend"], "methods": ["ls"]},
+                "overrides": [{"name": "x", "device": "bend"}]})"));
+      },
+      "unknown key 'device' in overrides[0]");
+  expect_throw_with<bad_argument>(
+      [] {
+        runtime::campaign_spec spec = synthetic_campaign();
+        spec.methods = {"no_such_method"};
+        (void)spec.expand();
+      },
+      "unknown method");
+  // Override names that only differ in characters the artifact sanitizer
+  // folds would share one job directory: rejected at expansion.
+  expect_throw_with<bad_argument>(
+      [] {
+        runtime::campaign_spec spec = synthetic_campaign();
+        spec.overrides[0].name = "hot+1";
+        spec.overrides[1].name = "hot(1";
+        spec.overrides[1].patch = io::json_value();
+        (void)spec.expand();
+      },
+      "same artifact directory");
+}
+
+// --------------------------------------------------------------- journal ---
+
+TEST(journal, append_replay_and_latest_state) {
+  const fs::path dir = fresh_dir("boson_runtime_journal");
+  const std::string path = (dir / "journal.jsonl").string();
+
+  {
+    runtime::journal log(path);
+    runtime::journal_entry e;
+    e.job_index = 3;
+    e.job_name = "job3";
+    e.state = runtime::job_state::running;
+    e.attempt = 1;
+    log.append(e);
+    e.state = runtime::job_state::checkpointed;
+    e.detail = "iteration 2/6";
+    log.append(e);
+    e.state = runtime::job_state::completed;
+    e.detail = "";
+    e.seconds = 1.25;
+    log.append(e);
+    runtime::journal_entry other;
+    other.job_index = 4;
+    other.job_name = "job4";
+    other.state = runtime::job_state::failed;
+    other.attempt = 2;
+    other.detail = "solver diverged";
+    log.append(other);
+  }
+
+  const auto entries = runtime::journal::replay(path);
+  ASSERT_EQ(entries.size(), 4u);
+  EXPECT_EQ(entries[1].detail, "iteration 2/6");
+
+  const auto latest = runtime::journal::latest_states(entries);
+  ASSERT_EQ(latest.size(), 2u);
+  EXPECT_EQ(latest.at(3).state, runtime::job_state::completed);
+  EXPECT_DOUBLE_EQ(latest.at(3).seconds, 1.25);
+  EXPECT_EQ(latest.at(4).state, runtime::job_state::failed);
+  EXPECT_EQ(latest.at(4).detail, "solver diverged");
+}
+
+TEST(journal, replay_tolerates_a_torn_tail_but_not_mid_file_corruption) {
+  const fs::path dir = fresh_dir("boson_runtime_journal_torn");
+  const std::string path = (dir / "journal.jsonl").string();
+  {
+    runtime::journal log(path);
+    runtime::journal_entry e;
+    e.job_index = 0;
+    e.job_name = "job0";
+    e.state = runtime::job_state::completed;
+    e.attempt = 1;
+    log.append(e);
+  }
+  // A crash mid-append leaves a truncated final line: ignored on replay.
+  {
+    std::ofstream out(path, std::ios::app);
+    out << R"({"job":1,"name":"job1","sta)";
+  }
+  const auto entries = runtime::journal::replay(path);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].job_name, "job0");
+
+  // Re-opening the journal for appending (a resume after the crash) heals
+  // the torn tail: the fragment is dropped, the new record does not merge
+  // into it, and the history stays replayable.
+  {
+    runtime::journal log(path);
+    runtime::journal_entry e;
+    e.job_index = 1;
+    e.job_name = "job1";
+    e.state = runtime::job_state::running;
+    e.attempt = 1;
+    log.append(e);
+  }
+  const auto healed = runtime::journal::replay(path);
+  ASSERT_EQ(healed.size(), 2u);
+  EXPECT_EQ(healed[0].job_name, "job0");
+  EXPECT_EQ(healed[1].job_name, "job1");
+
+  // Complete garbage mid-file (followed by a good record) is corruption.
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "not json\n"
+        << R"({"job":2,"name":"job2","state":"completed","attempt":1})" << "\n";
+  }
+  expect_throw_with<io_error>([&] { (void)runtime::journal::replay(path); }, "line 3");
+}
+
+TEST(journal, replaying_a_missing_file_is_an_empty_history) {
+  EXPECT_TRUE(runtime::journal::replay("/nonexistent/journal.jsonl").empty());
+}
+
+// ------------------------------------------------------------ checkpoint ---
+
+TEST(checkpoint, hex_encoding_is_bit_exact) {
+  const double denormal = std::numeric_limits<double>::denorm_min();
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0 / 3.0,
+                           -1.234e-300,
+                           denormal,
+                           std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::max()};
+  for (const double v : values) {
+    const std::string hex = runtime::encode_double(v);
+    EXPECT_EQ(hex.size(), 16u);
+    const double back = runtime::decode_double(hex);
+    EXPECT_EQ(std::memcmp(&v, &back, sizeof v), 0) << hex;
+  }
+  // NaN round-trips its exact bit pattern too.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double back = runtime::decode_double(runtime::encode_double(nan));
+  EXPECT_EQ(std::memcmp(&nan, &back, sizeof nan), 0);
+
+  const dvec vec{0.1, 0.2, -0.3, 1e-17};
+  const dvec round = runtime::decode_dvec(runtime::encode_dvec(vec));
+  ASSERT_EQ(round.size(), vec.size());
+  for (std::size_t i = 0; i < vec.size(); ++i) EXPECT_EQ(round[i], vec[i]);
+
+  expect_throw_with<bad_argument>([] { (void)runtime::decode_double("xyz"); },
+                                  "16 characters");
+}
+
+TEST(checkpoint, file_round_trip_restores_every_field) {
+  const fs::path dir = fresh_dir("boson_runtime_checkpoint");
+
+  core::run_checkpoint ck;
+  ck.next_iteration = 4;
+  ck.total_iterations = 10;
+  ck.theta = {0.5, -0.25, 1.0 / 3.0};
+  ck.optimizer.m = {1e-3, -2e-3, 3e-3};
+  ck.optimizer.v = {1e-6, 2e-6, 3e-6};
+  ck.optimizer.t = 4;
+  ck.rng_state = rng(42).save_state();
+  ck.has_worst = true;
+  ck.worst.d_xi = {0.1, -0.2};
+  ck.worst.d_temperature = -0.125;
+  ck.final_loss = 0.875;
+  core::iteration_record rec;
+  rec.iteration = 3;
+  rec.loss = 1.0 / 7.0;
+  rec.metrics["transmission"] = 0.625;
+  ck.trajectory.push_back(rec);
+  ck.design_rho = array2d<double>(4, 3, 0.5);
+
+  runtime::save_checkpoint(dir.string(), "jobX", ck);
+  EXPECT_TRUE(fs::exists(dir / "checkpoint.json"));
+  EXPECT_TRUE(fs::exists(dir / "checkpoint.pgm"));
+  EXPECT_FALSE(fs::exists(dir / "checkpoint.json.tmp"));
+
+  const runtime::checkpoint_file file =
+      runtime::load_checkpoint(runtime::checkpoint_path(dir.string()));
+  EXPECT_EQ(file.job, "jobX");
+  const core::run_checkpoint& back = file.state;
+  EXPECT_EQ(back.next_iteration, ck.next_iteration);
+  EXPECT_EQ(back.total_iterations, ck.total_iterations);
+  EXPECT_EQ(back.theta, ck.theta);
+  EXPECT_EQ(back.optimizer.m, ck.optimizer.m);
+  EXPECT_EQ(back.optimizer.v, ck.optimizer.v);
+  EXPECT_EQ(back.optimizer.t, ck.optimizer.t);
+  EXPECT_EQ(back.rng_state, ck.rng_state);
+  ASSERT_TRUE(back.has_worst);
+  EXPECT_EQ(back.worst.d_xi, ck.worst.d_xi);
+  EXPECT_EQ(back.worst.d_temperature, ck.worst.d_temperature);
+  EXPECT_EQ(back.final_loss, ck.final_loss);
+  ASSERT_EQ(back.trajectory.size(), 1u);
+  EXPECT_EQ(back.trajectory[0].iteration, 3u);
+  EXPECT_EQ(back.trajectory[0].loss, rec.loss);
+  EXPECT_EQ(back.trajectory[0].metrics.at("transmission"), 0.625);
+}
+
+TEST(checkpoint, rng_save_restore_resumes_the_exact_stream) {
+  rng a(123);
+  (void)a.normal();
+  (void)a.uniform(0.0, 1.0);
+  const std::string state = a.save_state();
+  dvec expected;
+  for (int i = 0; i < 8; ++i) expected.push_back(a.normal());
+
+  rng b(999);  // different seed; state restore overrides everything
+  b.restore_state(state);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(b.normal(), expected[static_cast<std::size_t>(i)]);
+
+  expect_throw_with<bad_argument>([] { rng r; r.restore_state("not a state"); },
+                                  "malformed state");
+}
+
+TEST(checkpoint, adam_state_restore_continues_bit_identically) {
+  opt::adam a(0.05);
+  dvec xa{1.0, -2.0, 0.5};
+  const dvec g1{0.1, 0.2, -0.3};
+  const dvec g2{-0.2, 0.1, 0.4};
+  a.step(xa, g1);
+  a.step(xa, g2);
+  const opt::adam_state snapshot = a.state();
+  dvec xb = xa;  // same params at the snapshot point
+  a.step(xa, g1);
+
+  opt::adam b(0.05);
+  b.restore(snapshot);
+  b.step(xb, g1);
+  EXPECT_EQ(xa, xb);
+}
+
+// The headline determinism property: run J iterations, checkpoint, resume in
+// a fresh problem/optimizer/rng, and the remaining trajectory, final theta
+// and density are bit-identical to the uninterrupted run — including the
+// BOSON-1 recipe's stateful pieces (corner sampling RNG, worst-case ascent
+// carry-over, Adam moments).
+TEST(checkpoint, resumed_run_is_bit_identical_to_uninterrupted) {
+  api::experiment_spec spec = smoke_base();
+  spec.name = "resume_smoke";
+  spec.device = "bend";
+  spec.method = "boson";  // axial_plus_worst sampling + relaxation warmup
+  spec.relax_epochs = 2;
+
+  const core::experiment_config cfg = api::session::config_for(spec);
+  const core::method_id id = api::registry::global().method(spec.method);
+  const dev::device_spec device =
+      api::registry::global().make_device(spec.device, spec.resolution);
+
+  core::method_hooks plain;
+  plain.run_postfab_mc = false;
+  const core::method_result uninterrupted = core::run_method(device, id, cfg, plain);
+
+  // Same run, capturing a mid-flight checkpoint every 2 iterations.
+  std::shared_ptr<core::run_checkpoint> mid;
+  core::method_hooks capturing;
+  capturing.run_postfab_mc = false;
+  capturing.checkpoint_every = 2;
+  capturing.on_checkpoint = [&mid](const core::run_checkpoint& ck) {
+    if (ck.next_iteration == 2) mid = std::make_shared<core::run_checkpoint>(ck);
+  };
+  const core::method_result checkpointed = core::run_method(device, id, cfg, capturing);
+  ASSERT_NE(mid, nullptr);
+  EXPECT_EQ(mid->total_iterations, cfg.scaled_iterations());
+
+  // Emitting checkpoints must not perturb the run itself.
+  EXPECT_EQ(checkpointed.run.theta, uninterrupted.run.theta);
+
+  // Round-trip the snapshot through its serialized form, then resume.
+  const fs::path dir = fresh_dir("boson_runtime_resume");
+  runtime::save_checkpoint(dir.string(), spec.name, *mid);
+  const runtime::checkpoint_file loaded =
+      runtime::load_checkpoint(runtime::checkpoint_path(dir.string()));
+
+  core::method_hooks resuming;
+  resuming.run_postfab_mc = false;
+  resuming.resume = std::make_shared<core::run_checkpoint>(loaded.state);
+  const core::method_result resumed = core::run_method(device, id, cfg, resuming);
+
+  EXPECT_EQ(resumed.run.theta, uninterrupted.run.theta);
+  EXPECT_EQ(resumed.run.final_loss, uninterrupted.run.final_loss);
+  ASSERT_EQ(resumed.run.trajectory.size(), uninterrupted.run.trajectory.size());
+  for (std::size_t i = 0; i < resumed.run.trajectory.size(); ++i) {
+    EXPECT_EQ(resumed.run.trajectory[i].loss, uninterrupted.run.trajectory[i].loss) << i;
+    EXPECT_EQ(resumed.run.trajectory[i].metrics, uninterrupted.run.trajectory[i].metrics) << i;
+  }
+  EXPECT_EQ(resumed.prefab_fom, uninterrupted.prefab_fom);
+  ASSERT_EQ(resumed.mask.size(), uninterrupted.mask.size());
+  for (std::size_t i = 0; i < resumed.mask.size(); ++i)
+    ASSERT_EQ(resumed.mask.data()[i], uninterrupted.mask.data()[i]) << i;
+}
+
+// ----------------------------------------------------------- result store --
+
+TEST(result_store, append_load_and_latest_attempt_wins) {
+  const fs::path dir = fresh_dir("boson_runtime_store");
+  {
+    runtime::result_store store(dir.string());
+    runtime::job_result_row row;
+    row.job_index = 1;
+    row.name = "job1";
+    row.device = "bend";
+    row.method = "ls";
+    row.seed = 7;
+    row.prefab_fom = 0.5;
+    row.attempt = 1;
+    store.append(row);
+    row.prefab_fom = 0.75;  // retry overwrote the result
+    row.attempt = 2;
+    store.append(row);
+    runtime::job_result_row other;
+    other.job_index = 0;
+    other.name = "job0";
+    other.device = "bend";
+    other.method = "density";
+    other.seed = 7;
+    other.prefab_fom = 0.25;
+    other.postfab_samples = 2;
+    other.postfab_mean = 0.2;
+    other.postfab_std = 0.05;
+    other.postfab_min = 0.15;
+    other.postfab_max = 0.25;
+    store.append(other);
+  }
+  const auto rows = runtime::result_store::load(dir.string());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].job_index, 0u);
+  EXPECT_EQ(rows[0].postfab_samples, 2u);
+  EXPECT_DOUBLE_EQ(rows[0].postfab_max, 0.25);
+  EXPECT_EQ(rows[1].attempt, 2u);
+  EXPECT_DOUBLE_EQ(rows[1].prefab_fom, 0.75);
+}
+
+TEST(result_store, report_covers_the_method_device_grid) {
+  runtime::campaign_spec spec = synthetic_campaign();
+  std::vector<runtime::job_result_row> rows;
+  for (const runtime::campaign_job& job : spec.expand()) {
+    runtime::job_result_row row;
+    row.job_index = job.index;
+    row.name = job.name;
+    row.device = job.spec.device;
+    row.method = job.spec.method;
+    row.seed = job.spec.seed;
+    row.prefab_fom = 0.5;
+    row.postfab_samples = 2;
+    row.postfab_mean = 0.4;
+    row.postfab_std = 0.01;
+    rows.push_back(row);
+  }
+  const std::string report = runtime::render_report(spec, rows);
+  EXPECT_NE(report.find("12/12 jobs"), std::string::npos);
+  for (const std::string& method : spec.methods)
+    EXPECT_NE(report.find(method), std::string::npos) << method;
+  EXPECT_NE(report.find("Device: bend"), std::string::npos);
+}
+
+// -------------------------------------------------------------- scheduler --
+
+TEST(scheduler, runs_every_job_and_journals_the_lifecycle) {
+  const fs::path dir = fresh_dir("boson_runtime_sched");
+  std::atomic<std::size_t> executed{0};
+
+  runtime::scheduler_options options;
+  options.campaign_dir = dir.string();
+  options.executor = counting_executor(executed);
+  runtime::scheduler scheduler(synthetic_campaign(), options);
+  const runtime::scheduler_report report = scheduler.run();
+
+  EXPECT_EQ(executed.load(), 12u);
+  EXPECT_EQ(report.shard_jobs, 12u);
+  EXPECT_EQ(report.completed, 12u);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(report.rows.size(), 12u);
+
+  const auto latest = runtime::journal::latest_states(
+      runtime::journal::replay(runtime::journal_path(dir.string())));
+  ASSERT_EQ(latest.size(), 12u);
+  for (const auto& [index, entry] : latest) {
+    (void)index;
+    EXPECT_EQ(entry.state, runtime::job_state::completed);
+    EXPECT_EQ(entry.attempt, 1u);
+  }
+  EXPECT_EQ(runtime::result_store::load(dir.string()).size(), 12u);
+}
+
+TEST(scheduler, rerunning_a_finished_campaign_executes_nothing) {
+  const fs::path dir = fresh_dir("boson_runtime_sched_rerun");
+  std::atomic<std::size_t> executed{0};
+
+  runtime::scheduler_options options;
+  options.campaign_dir = dir.string();
+  options.executor = counting_executor(executed);
+  (void)runtime::scheduler(synthetic_campaign(), options).run();
+  ASSERT_EQ(executed.load(), 12u);
+
+  const runtime::scheduler_report second =
+      runtime::scheduler(synthetic_campaign(), options).run();
+  EXPECT_EQ(executed.load(), 12u);  // nothing re-ran
+  EXPECT_EQ(second.skipped, 12u);
+  EXPECT_EQ(second.completed, 0u);
+}
+
+TEST(scheduler, shards_are_disjoint_and_cover_the_campaign) {
+  const fs::path dir = fresh_dir("boson_runtime_sched_shards");
+  std::mutex mutex;
+  std::vector<std::size_t> executed_jobs;
+
+  runtime::scheduler_options options;
+  options.campaign_dir = dir.string();
+  options.executor = [&](const runtime::campaign_job& job, const api::run_control&,
+                         api::observer*) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      executed_jobs.push_back(job.index);
+    }
+    api::experiment_result result;
+    result.spec = job.spec;
+    return result;
+  };
+
+  std::size_t shard_jobs_total = 0;
+  for (std::size_t index = 0; index < 3; ++index) {
+    options.shard = runtime::shard_range{index, 3};
+    const auto report = runtime::scheduler(synthetic_campaign(), options).run();
+    shard_jobs_total += report.shard_jobs;
+    EXPECT_EQ(report.completed, report.shard_jobs);
+  }
+  EXPECT_EQ(shard_jobs_total, 12u);
+  std::set<std::size_t> unique(executed_jobs.begin(), executed_jobs.end());
+  EXPECT_EQ(executed_jobs.size(), 12u);  // no job ran twice
+  EXPECT_EQ(unique.size(), 12u);         // every job ran somewhere
+  EXPECT_EQ(runtime::result_store::load(dir.string()).size(), 12u);
+}
+
+TEST(scheduler, retries_until_the_budget_is_exhausted) {
+  const fs::path dir = fresh_dir("boson_runtime_sched_retry");
+  std::atomic<std::size_t> attempts{0};
+
+  runtime::campaign_spec spec = synthetic_campaign();
+  spec.methods = {"ls"};
+  spec.seeds = {1};
+  spec.overrides.clear();
+  spec.scheduler.max_retries = 2;
+  spec.scheduler.workers = 1;
+
+  runtime::scheduler_options options;
+  options.campaign_dir = dir.string();
+  options.executor = [&](const runtime::campaign_job& job, const api::run_control&,
+                         api::observer*) -> api::experiment_result {
+    if (attempts.fetch_add(1) < 2) throw numeric_error("transient solver failure");
+    api::experiment_result result;
+    result.spec = job.spec;
+    return result;
+  };
+
+  const auto report = runtime::scheduler(spec, options).run();
+  EXPECT_EQ(attempts.load(), 3u);  // two failures + one success
+  EXPECT_EQ(report.completed, 1u);
+  EXPECT_EQ(report.failed, 0u);
+
+  const auto rows = runtime::result_store::load(dir.string());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].attempt, 3u);
+
+  // A permanently-failing job exhausts the budget and reports the error.
+  const fs::path dir2 = fresh_dir("boson_runtime_sched_fail");
+  options.campaign_dir = dir2.string();
+  options.executor = [](const runtime::campaign_job&, const api::run_control&,
+                        api::observer*) -> api::experiment_result {
+    throw numeric_error("permanent failure");
+  };
+  const auto failed = runtime::scheduler(spec, options).run();
+  EXPECT_EQ(failed.completed, 0u);
+  EXPECT_EQ(failed.failed, 1u);
+  ASSERT_EQ(failed.errors.size(), 1u);
+  EXPECT_NE(failed.errors[0].find("permanent failure"), std::string::npos);
+  const auto latest = runtime::journal::latest_states(
+      runtime::journal::replay(runtime::journal_path(dir2.string())));
+  EXPECT_EQ(latest.at(0).state, runtime::job_state::failed);
+  EXPECT_EQ(latest.at(0).attempt, 3u);
+}
+
+TEST(scheduler, cancel_stops_dispatch_of_queued_jobs) {
+  const fs::path dir = fresh_dir("boson_runtime_sched_cancel");
+  std::atomic<std::size_t> executed{0};
+
+  runtime::campaign_spec spec = synthetic_campaign();
+  spec.scheduler.workers = 1;  // deterministic dispatch order
+
+  runtime::scheduler* target = nullptr;
+  runtime::scheduler_options options;
+  options.campaign_dir = dir.string();
+  options.executor = [&](const runtime::campaign_job& job, const api::run_control&,
+                         api::observer*) {
+    ++executed;
+    target->cancel();  // the first job pulls the plug on the campaign
+    api::experiment_result result;
+    result.spec = job.spec;
+    return result;
+  };
+  runtime::scheduler scheduler(spec, options);
+  target = &scheduler;
+  const auto report = scheduler.run();
+
+  // The in-flight job still completed (cancellation is cooperative and only
+  // fires at iteration/stage boundaries); nothing else was dispatched.
+  EXPECT_EQ(executed.load(), 1u);
+  EXPECT_EQ(report.completed, 1u);
+  EXPECT_TRUE(scheduler.cancel_requested());
+
+  std::size_t completed = 0;
+  const auto latest = runtime::journal::latest_states(
+      runtime::journal::replay(runtime::journal_path(dir.string())));
+  for (const auto& [index, entry] : latest) {
+    (void)index;
+    completed += entry.state == runtime::job_state::completed ? 1 : 0;
+  }
+  EXPECT_EQ(completed, 1u);
+}
+
+TEST(scheduler, discards_a_stale_checkpoint_instead_of_burning_retries) {
+  // A checkpoint captured under a different effective run length (changed
+  // BOSON_BENCH_SCALE, edited campaign) must be discarded up front so the
+  // job runs fresh, not retried against the same dead snapshot.
+  const fs::path dir = fresh_dir("boson_runtime_sched_stale");
+
+  runtime::campaign_spec spec;
+  spec.name = "stale_ck";
+  spec.devices = {"bend"};
+  spec.methods = {"ls"};
+  spec.base = smoke_base();
+  spec.base.iterations = 4;
+  spec.scheduler.workers = 1;
+  spec.scheduler.max_retries = 0;  // no budget to burn
+
+  const std::string job_dir = runtime::job_directory(dir.string(), "bend_ls_s7");
+  core::run_checkpoint stale;
+  stale.next_iteration = 500;
+  stale.total_iterations = 999;  // never matches a 4-iteration run
+  stale.theta = {0.0};
+  stale.rng_state = rng(1).save_state();
+  runtime::save_checkpoint(job_dir, "bend_ls_s7", stale);
+
+  runtime::scheduler_options options;
+  options.campaign_dir = dir.string();
+  const auto report = runtime::scheduler(spec, options).run();
+  EXPECT_EQ(report.completed, 1u);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(report.resumed, 0u);  // ran fresh, not from the stale snapshot
+  EXPECT_FALSE(fs::exists(runtime::checkpoint_path(job_dir)));
+}
+
+TEST(scheduler, cancellation_via_observer_interrupts_and_resume_completes) {
+  // A campaign of two real jobs, workers=1, checkpoint every 2 iterations.
+  // An external watcher cancels the scheduler mid-way through job 1 (the
+  // second job); the scheduler stops at the next iteration boundary leaving
+  // job 1's checkpoint behind, and a second scheduler pass resumes it to
+  // produce exactly what an uninterrupted campaign produces.
+  runtime::campaign_spec spec;
+  spec.name = "resume_e2e";
+  spec.devices = {"bend"};
+  spec.methods = {"boson_no_relax"};
+  spec.seeds = {7, 8};
+  spec.base = smoke_base();
+  spec.scheduler.workers = 1;
+  spec.scheduler.max_retries = 0;
+  spec.scheduler.checkpoint_every = 2;
+
+  // Reference: uninterrupted campaign.
+  const fs::path ref_dir = fresh_dir("boson_runtime_e2e_ref");
+  runtime::scheduler_options ref_options;
+  ref_options.campaign_dir = ref_dir.string();
+  const auto ref_report = runtime::scheduler(spec, ref_options).run();
+  ASSERT_EQ(ref_report.completed, 2u);
+
+  // Interrupted: cancel when the second job reaches iteration 3.
+  const fs::path dir = fresh_dir("boson_runtime_e2e");
+
+  struct cancelling_watcher : api::observer {
+    runtime::scheduler* target = nullptr;
+    std::string trigger_job;
+    void on_event(const api::progress_event& event) override {
+      if (event.kind == api::progress_event::phase::iteration_finished &&
+          event.experiment == trigger_job && event.iteration >= 3)
+        target->cancel();
+    }
+  };
+  cancelling_watcher watcher;
+  watcher.trigger_job = "bend_boson_no_relax_s8";
+
+  runtime::scheduler_options options;
+  options.campaign_dir = dir.string();
+  options.watcher = &watcher;
+  runtime::scheduler first_pass(spec, options);
+  watcher.target = &first_pass;
+  const auto report1 = first_pass.run();
+  EXPECT_EQ(report1.completed, 1u);
+  EXPECT_EQ(report1.cancelled, 1u);
+  EXPECT_TRUE(
+      fs::exists(runtime::checkpoint_path(runtime::job_directory(
+          dir.string(), "bend_boson_no_relax_s8"))));
+
+  // Resume without the watcher: the cancelled job restarts from iteration 4.
+  runtime::scheduler_options resume_options;
+  resume_options.campaign_dir = dir.string();
+  runtime::scheduler second_pass(spec, resume_options);
+  const auto report2 = second_pass.run();
+  EXPECT_EQ(report2.skipped, 1u);
+  EXPECT_EQ(report2.completed, 1u);
+  EXPECT_EQ(report2.resumed, 1u);
+
+  // Job-level results match the uninterrupted campaign exactly.
+  const auto ref_rows = runtime::result_store::load(ref_dir.string());
+  const auto rows = runtime::result_store::load(dir.string());
+  ASSERT_EQ(ref_rows.size(), 2u);
+  ASSERT_EQ(rows.size(), 2u);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].name, ref_rows[i].name);
+    EXPECT_EQ(rows[i].prefab_fom, ref_rows[i].prefab_fom) << rows[i].name;
+    EXPECT_EQ(rows[i].postfab_mean, ref_rows[i].postfab_mean) << rows[i].name;
+    EXPECT_EQ(rows[i].postfab_std, ref_rows[i].postfab_std) << rows[i].name;
+  }
+
+  // And the resumed job's trajectory artifact is byte-identical to the
+  // uninterrupted one: the checkpointed early iterations and the post-resume
+  // iterations fuse into the exact same series.
+  const auto read = [](const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  };
+  const std::string ref_csv =
+      read(fs::path(ref_dir) / "jobs" / "bend_boson_no_relax_s8" / "trajectory.csv");
+  const std::string csv =
+      read(fs::path(dir) / "jobs" / "bend_boson_no_relax_s8" / "trajectory.csv");
+  ASSERT_FALSE(ref_csv.empty());
+  EXPECT_EQ(csv, ref_csv);
+}
+
+}  // namespace
+}  // namespace boson

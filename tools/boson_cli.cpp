@@ -7,6 +7,15 @@
 //   boson_cli validate <spec.json>
 //   boson_cli list devices|methods|objectives
 //
+// Campaigns (see docs/RUNTIME.md) are whole experiment matrices executed by
+// the boson::runtime scheduler — sharded, journaled, and resumable:
+//
+//   boson_cli campaign run <campaign.json> [--out <dir>] [--shard i/N]
+//                          [--workers N] [--no-artifacts]
+//   boson_cli campaign resume <dir> [--shard i/N] [--workers N]
+//   boson_cli campaign status <dir>
+//   boson_cli campaign report <dir>
+//
 // `run` accepts a single spec (JSON object) or a batch (JSON array) and
 // writes one artifact directory per experiment (summary.json,
 // trajectory.csv, mask.pgm, plus spectrum / process-window CSVs when those
@@ -16,6 +25,10 @@
 
 #include <cstdio>
 #include <exception>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -26,6 +39,10 @@
 #include "common/log.h"
 #include "core/methods.h"
 #include "io/table.h"
+#include "runtime/campaign.h"
+#include "runtime/journal.h"
+#include "runtime/result_store.h"
+#include "runtime/scheduler.h"
 
 namespace {
 
@@ -39,11 +56,22 @@ int usage(std::FILE* out) {
                "  boson_cli run <spec.json> [--out <dir>] [--no-artifacts]\n"
                "  boson_cli validate <spec.json>\n"
                "  boson_cli list devices|methods|objectives\n"
+               "  boson_cli campaign run <campaign.json> [--out <dir>] [--shard i/N]\n"
+               "                         [--workers N] [--no-artifacts]\n"
+               "  boson_cli campaign resume <dir> [--shard i/N] [--workers N]\n"
+               "  boson_cli campaign status <dir>\n"
+               "  boson_cli campaign report <dir>\n"
                "\n"
                "run       execute one spec (JSON object) or a batch (JSON array);\n"
                "          artifacts land in --out (default: boson_out)\n"
                "validate  parse + validate a spec file without running it\n"
-               "list      show the registered scenario names\n");
+               "list      show the registered scenario names\n"
+               "campaign  sharded, journaled, resumable execution of a whole\n"
+               "          experiment matrix (see docs/RUNTIME.md):\n"
+               "            run     expand + execute this shard's jobs\n"
+               "            resume  continue a killed/partial campaign directory\n"
+               "            status  replay the journal into a per-job state table\n"
+               "            report  render the paper-style tables from the store\n");
   return out == stdout ? 0 : 2;
 }
 
@@ -111,6 +139,154 @@ int cmd_run(const std::string& path, const api::session_options& options) {
   return 0;
 }
 
+// ----------------------------------------------------------- campaigns ----
+
+/// Execute one scheduler pass over a campaign directory and print the
+/// outcome. Returns a process exit code (failures -> 1).
+int run_campaign(const runtime::campaign_spec& spec, runtime::scheduler_options options) {
+  runtime::scheduler scheduler(spec, options);
+  const runtime::scheduler_report report = scheduler.run();
+
+  io::console_table table({"shard jobs", "completed", "skipped", "resumed", "failed",
+                           "cancelled", "wall [s]"});
+  table.add_row({std::to_string(report.shard_jobs), std::to_string(report.completed),
+                 std::to_string(report.skipped), std::to_string(report.resumed),
+                 std::to_string(report.failed), std::to_string(report.cancelled),
+                 io::console_table::num(report.wall_seconds, 1)});
+  std::printf("\n");
+  table.print("Campaign '" + spec.name + "' shard " + options.shard.to_string());
+  for (const std::string& message : report.errors)
+    std::fprintf(stderr, "boson_cli: job failed: %s\n", message.c_str());
+  return report.failed == 0 && report.errors.empty() ? 0 : 1;
+}
+
+int cmd_campaign_run(const std::string& spec_path, runtime::scheduler_options options) {
+  const runtime::campaign_spec spec = runtime::campaign_spec::load(spec_path);
+  std::filesystem::create_directories(options.campaign_dir);
+  // Persist the canonical spec next to the journal so status/resume/report
+  // need only the directory. Shards of one campaign write identical bytes —
+  // but a *different* campaign aimed at a used directory would inherit a
+  // journal/store keyed by the old expansion (wrongly-skipped jobs, reports
+  // mixing stale rows), so that is refused outright.
+  const std::string canonical_path = runtime::campaign_spec_path(options.campaign_dir);
+  if (std::filesystem::exists(canonical_path)) {
+    if (io::json_value::parse_file(canonical_path).dump() != spec.to_json().dump()) {
+      std::fprintf(stderr,
+                   "boson_cli: '%s' already holds a different campaign; use a fresh "
+                   "--out directory, or 'campaign resume %s' to continue the "
+                   "existing one\n",
+                   options.campaign_dir.c_str(), options.campaign_dir.c_str());
+      return 2;
+    }
+  } else {
+    spec.to_json().write_file(canonical_path);
+  }
+  return run_campaign(spec, std::move(options));
+}
+
+int cmd_campaign_resume(runtime::scheduler_options options) {
+  const std::string path = runtime::campaign_spec_path(options.campaign_dir);
+  if (!std::filesystem::exists(path)) {
+    std::fprintf(stderr, "boson_cli: '%s' is not a campaign directory (no campaign.json)\n",
+                 options.campaign_dir.c_str());
+    return 2;
+  }
+  return run_campaign(runtime::campaign_spec::load(path), std::move(options));
+}
+
+int cmd_campaign_status(const std::string& dir) {
+  const runtime::campaign_spec spec =
+      runtime::campaign_spec::load(runtime::campaign_spec_path(dir));
+  const auto entries = runtime::journal::replay(runtime::journal_path(dir));
+  const auto latest = runtime::journal::latest_states(entries);
+
+  std::map<std::string, std::size_t> counts;
+  io::console_table table({"#", "job", "state", "attempt", "detail"});
+  for (const runtime::campaign_job& job : spec.expand()) {
+    const auto it = latest.find(job.index);
+    const std::string state =
+        it != latest.end() ? runtime::to_string(it->second.state) : "pending";
+    ++counts[state];
+    table.add_row({std::to_string(job.index), job.name, state,
+                   it != latest.end() ? std::to_string(it->second.attempt) : "-",
+                   it != latest.end() ? it->second.detail : ""});
+  }
+  table.print("Campaign '" + spec.name + "' (" + std::to_string(spec.job_count()) +
+              " jobs, journal: " + std::to_string(entries.size()) + " events)");
+  std::string summary;
+  for (const auto& [state, n] : counts)
+    summary += (summary.empty() ? "" : ", ") + std::to_string(n) + " " + state;
+  std::printf("\n%s\n", summary.c_str());
+  return 0;
+}
+
+int cmd_campaign_report(const std::string& dir) {
+  const runtime::campaign_spec spec =
+      runtime::campaign_spec::load(runtime::campaign_spec_path(dir));
+  const std::vector<runtime::job_result_row> rows = runtime::result_store::load(dir);
+  const std::string report = runtime::render_report(spec, rows);
+  std::fputs(report.c_str(), stdout);
+
+  const std::string report_path = (std::filesystem::path(dir) / "report.txt").string();
+  std::ofstream out(report_path);
+  out << report;
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "boson_cli: failed to write %s\n", report_path.c_str());
+    return 1;
+  }
+  std::printf("\nreport written to %s\n", report_path.c_str());
+  return 0;
+}
+
+int cmd_campaign(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage(stderr);
+  const std::string& action = args[0];
+
+  if (action == "status" || action == "report") {
+    if (args.size() != 2) return usage(stderr);
+    return action == "status" ? cmd_campaign_status(args[1]) : cmd_campaign_report(args[1]);
+  }
+  if (action != "run" && action != "resume") {
+    std::fprintf(stderr, "boson_cli: unknown campaign action '%s'\n", action.c_str());
+    return usage(stderr);
+  }
+
+  std::string target;
+  runtime::scheduler_options options;
+  bool saw_out = false;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--out") {
+      if (i + 1 >= args.size()) return usage(stderr);
+      options.campaign_dir = args[++i];
+      saw_out = true;
+    } else if (args[i] == "--shard") {
+      if (i + 1 >= args.size()) return usage(stderr);
+      options.shard = runtime::shard_range::parse(args[++i]);
+    } else if (args[i] == "--workers") {
+      if (i + 1 >= args.size()) return usage(stderr);
+      options.workers = static_cast<std::size_t>(std::stoul(args[++i]));
+    } else if (args[i] == "--no-artifacts") {
+      options.write_artifacts = false;
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      std::fprintf(stderr, "boson_cli: unknown option '%s'\n", args[i].c_str());
+      return 2;
+    } else if (target.empty()) {
+      target = args[i];
+    } else {
+      return usage(stderr);
+    }
+  }
+  if (target.empty()) return usage(stderr);
+
+  if (action == "resume") {
+    if (saw_out) return usage(stderr);  // resume takes the directory directly
+    options.campaign_dir = target;
+    return cmd_campaign_resume(std::move(options));
+  }
+  return cmd_campaign_run(target, std::move(options));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -130,6 +306,9 @@ int main(int argc, char** argv) {
     if (command == "list") {
       if (args.size() != 2) return usage(stderr);
       return cmd_list(args[1]);
+    }
+    if (command == "campaign") {
+      return cmd_campaign({args.begin() + 1, args.end()});
     }
     if (command == "validate") {
       if (args.size() != 2) return usage(stderr);
