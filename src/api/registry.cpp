@@ -1,21 +1,9 @@
 #include "api/registry.h"
 
 #include "common/error.h"
+#include "common/text.h"
 
 namespace boson::api {
-
-namespace {
-
-std::string joined(const std::vector<std::string>& names) {
-  std::string out;
-  for (const auto& n : names) {
-    if (!out.empty()) out += ", ";
-    out += n;
-  }
-  return out;
-}
-
-}  // namespace
 
 registry& registry::global() {
   static registry* instance = [] {
@@ -78,8 +66,10 @@ dev::device_spec registry::make_device(const std::string& name, double resolutio
     const auto it = devices_.find(name);
     if (it != devices_.end()) factory = it->second.factory;
   }
-  require(factory != nullptr,
-          "registry: unknown device '" + name + "' (known: " + joined(device_names()) + ")");
+  if (factory == nullptr)
+    throw bad_argument("registry: unknown device '" + name +
+                       "' (known: " + join_names(device_names()) +
+                       did_you_mean(name, device_names()) + ")");
   return factory(resolution);
 }
 
@@ -100,10 +90,15 @@ std::string registry::device_description(const std::string& name) const {
 
 // -------------------------------------------------------------- methods ----
 
-void registry::register_method(const std::string& name, core::method_id id) {
+void registry::register_method(const std::string& name, core::method_recipe recipe) {
   require(!name.empty(), "registry: method name must not be empty");
+  core::validate_recipe(recipe);
   const std::lock_guard<std::mutex> lock(mutex_);
-  methods_[name] = id;
+  methods_[name] = std::move(recipe);
+}
+
+void registry::register_method(const std::string& name, core::method_id id) {
+  register_method(name, core::preset_recipe(id));
 }
 
 bool registry::has_method(const std::string& name) const {
@@ -111,14 +106,15 @@ bool registry::has_method(const std::string& name) const {
   return methods_.count(name) != 0;
 }
 
-core::method_id registry::method(const std::string& name) const {
+core::method_recipe registry::method(const std::string& name) const {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     const auto it = methods_.find(name);
     if (it != methods_.end()) return it->second;
   }
   throw bad_argument("registry: unknown method '" + name +
-                     "' (known: " + joined(method_names()) + ")");
+                     "' (known: " + join_names(method_names()) +
+                     did_you_mean(name, method_names()) + ")");
 }
 
 std::vector<std::string> registry::method_names() const {
@@ -149,7 +145,8 @@ objective_entry registry::objective(const std::string& name) const {
     if (it != objectives_.end()) return it->second;
   }
   throw bad_argument("registry: unknown objective '" + name +
-                     "' (known: " + joined(objective_names()) + ")");
+                     "' (known: " + join_names(objective_names()) +
+                     did_you_mean(name, objective_names()) + ")");
 }
 
 std::vector<std::string> registry::objective_names() const {

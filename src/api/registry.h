@@ -2,9 +2,11 @@
 /// String-keyed registries for the declarative experiment API: devices,
 /// methods, and objectives are named as data (e.g. "bend", "boson_no_relax")
 /// so serialized specs can reference any built-in or user-registered
-/// scenario. The global registry is pre-populated with the paper's three
-/// benchmark devices, all fifteen methods/ablations, and the standard
-/// objective overrides.
+/// scenario. Methods register as `core::method_recipe` values — the global
+/// registry is pre-populated with the paper's three benchmark devices, the
+/// fifteen preset recipes, and the standard objective overrides. Unknown
+/// names throw `bad_argument` listing the known keys plus a did-you-mean
+/// suggestion.
 
 #pragma once
 
@@ -51,10 +53,15 @@ class registry {
   std::string device_description(const std::string& name) const;
 
   // ----------------------------------------------------------- methods ----
+  /// Register (or replace) a method recipe under `name`. The recipe is
+  /// validated against the policy tables first.
+  void register_method(const std::string& name, core::method_recipe recipe);
+  /// Deprecated alias: registers the preset recipe the enum id resolves to.
   void register_method(const std::string& name, core::method_id id);
   bool has_method(const std::string& name) const;
-  /// Resolve a method key; throws `bad_argument` listing the known names.
-  core::method_id method(const std::string& name) const;
+  /// Resolve a method key to its recipe; throws `bad_argument` listing the
+  /// known names.
+  core::method_recipe method(const std::string& name) const;
   std::vector<std::string> method_names() const;
 
   // -------------------------------------------------------- objectives ----
@@ -72,7 +79,7 @@ class registry {
 
   mutable std::mutex mutex_;
   std::map<std::string, device_entry> devices_;
-  std::map<std::string, core::method_id> methods_;
+  std::map<std::string, core::method_recipe> methods_;
   std::map<std::string, objective_entry> objectives_;
 };
 

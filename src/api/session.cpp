@@ -79,9 +79,8 @@ core::experiment_config session::config_for(const experiment_spec& spec) {
 
 core::design_problem session::problem_for(const experiment_spec& spec) {
   const core::experiment_config cfg = config_for(spec);
-  const core::method_id id = registry::global().method(spec.method);
   return core::make_problem(registry::global().make_device(spec.device, spec.resolution),
-                            core::method_uses_levelset(id), cfg);
+                            resolved_recipe(spec), cfg);
 }
 
 experiment_result session::run(const experiment_spec& spec) { return run(spec, {}); }
@@ -95,7 +94,7 @@ experiment_result session::run(const experiment_spec& spec, const run_control& c
   const std::string& label = out.spec.name;
 
   const core::experiment_config cfg = config_for(out.spec);  // validates
-  const core::method_id id = registry::global().method(out.spec.method);
+  const core::method_recipe recipe = resolved_recipe(out.spec);
   const dev::device_spec device =
       registry::global().make_device(out.spec.device, out.spec.resolution);
 
@@ -132,7 +131,7 @@ experiment_result session::run(const experiment_spec& spec, const run_control& c
     e.loss = rec.loss;
     emit(e);
   };
-  out.method = core::run_method(device, id, cfg, hooks);
+  out.method = core::run_method(device, recipe, cfg, hooks);
 
   // The remaining evaluation plan runs on a problem matching the method's
   // parameterization (one extra reference solve; shared by all steps).
@@ -181,6 +180,11 @@ experiment_result session::run(const experiment_spec& spec, const run_control& c
 
     io::json_value summary = io::json_value::object();
     summary["spec"] = out.spec.to_json();
+    // Recipe provenance: the fully-resolved recipe this run executed, also
+    // when the spec only named a preset — reports and replication need the
+    // composition, not just the key.
+    summary["resolved_recipe"] = recipe_to_json(recipe);
+    summary["recipe_signature"] = recipe.signature();
     io::json_value& res = summary["results"] = io::json_value::object();
     res["prefab_metrics"] = io::json_value::from_map(out.method.prefab);
     res["prefab_fom"] = out.method.prefab_fom;

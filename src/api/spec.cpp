@@ -4,6 +4,7 @@
 
 #include "api/registry.h"
 #include "common/error.h"
+#include "common/text.h"
 #include "sim/backend.h"
 
 namespace boson::api {
@@ -50,6 +51,7 @@ io::json_value experiment_spec::to_json() const {
   v["name"] = display_name();
   v["device"] = device;
   v["method"] = method;
+  if (recipe) v["recipe"] = recipe_to_json(*recipe);
   v["objective"] = objective;
   v["resolution"] = resolution;
 
@@ -193,14 +195,113 @@ eval_step step_from_json(const io::json_value& v, const std::string& path) {
 
 }  // namespace
 
+// -------------------------------------------------------------- recipes ----
+
+io::json_value recipe_to_json(const core::method_recipe& recipe) {
+  io::json_value v = io::json_value::object();
+  v["label"] = recipe.label;
+  v["parameterization"] = recipe.parameterization;
+  if (recipe.density_blur_mfs)
+    v["density_blur"] = "mfs";
+  else
+    v["density_blur"] = recipe.density_blur_cells;
+  v["mfs_blur"] = recipe.mfs_blur;
+  v["corners"] = recipe.corners;
+  v["ed_radius_cells"] = recipe.ed_radius_cells;
+  v["relaxation"] = recipe.relaxation;
+  v["reshaping"] = recipe.reshaping;
+  v["tv_weight"] = recipe.tv_weight;
+  v["initialization"] = recipe.initialization;
+  v["mask_correction"] = recipe.mask_correction;
+  v["beta_schedule"] = recipe.beta_schedule;
+  v["beta_start"] = recipe.beta_start;
+  v["beta_end"] = recipe.beta_end;
+  if (recipe.iterations > 0) v["iterations"] = recipe.iterations;
+  if (recipe.learning_rate > 0.0) v["learning_rate"] = recipe.learning_rate;
+  if (!recipe.objective_override.empty())
+    v["objective_override"] = recipe.objective_override;
+  return v;
+}
+
+namespace {
+
+/// Every key `recipe_from_json` dispatches on, in schema order — the single
+/// source for its unknown-key suggestions. A key added to the dispatch chain
+/// must be added here (the unit tests exercise suggestions against it).
+const std::vector<std::string> kRecipeKeys = {
+    "label",          "parameterization", "density_blur",  "mfs_blur",
+    "corners",        "ed_radius_cells",  "relaxation",    "reshaping",
+    "tv_weight",      "initialization",   "mask_correction", "beta_schedule",
+    "beta_start",     "beta_end",         "iterations",    "learning_rate",
+    "objective_override"};
+
+}  // namespace
+
+core::method_recipe recipe_from_json(const io::json_value& v, const std::string& path) {
+  expect_object(v, path);
+  core::method_recipe recipe;
+  for (const auto& [key, value] : v.members()) {
+    const std::string key_path = path + "." + key;
+    if (key == "label") recipe.label = read_string(value, key_path);
+    else if (key == "parameterization") recipe.parameterization = read_string(value, key_path);
+    else if (key == "density_blur") {
+      // "mfs" resolves to the ~80 nm blur radius at run time; a number is a
+      // fixed radius in design cells.
+      if (value.is_string()) {
+        if (value.as_string() != "mfs")
+          spec_fail("'" + key_path + "' must be \"mfs\" or a cell radius, got '" +
+                    value.as_string() + "'");
+        recipe.density_blur_mfs = true;
+        recipe.density_blur_cells = 0.0;
+      } else {
+        recipe.density_blur_mfs = false;
+        recipe.density_blur_cells = read_number(value, key_path);
+      }
+    }
+    else if (key == "mfs_blur") recipe.mfs_blur = read_bool(value, key_path);
+    else if (key == "corners") recipe.corners = read_string(value, key_path);
+    else if (key == "ed_radius_cells") recipe.ed_radius_cells = read_number(value, key_path);
+    else if (key == "relaxation") recipe.relaxation = read_string(value, key_path);
+    else if (key == "reshaping") recipe.reshaping = read_string(value, key_path);
+    else if (key == "tv_weight") recipe.tv_weight = read_number(value, key_path);
+    else if (key == "initialization") recipe.initialization = read_string(value, key_path);
+    else if (key == "mask_correction") recipe.mask_correction = read_string(value, key_path);
+    else if (key == "beta_schedule") recipe.beta_schedule = read_string(value, key_path);
+    else if (key == "beta_start") recipe.beta_start = read_number(value, key_path);
+    else if (key == "beta_end") recipe.beta_end = read_number(value, key_path);
+    else if (key == "iterations") recipe.iterations = read_count(value, key_path);
+    else if (key == "learning_rate") recipe.learning_rate = read_number(value, key_path);
+    else if (key == "objective_override")
+      recipe.objective_override = read_string(value, key_path);
+    else
+      spec_fail("unknown key '" + key + "' in " + path + did_you_mean(key, kRecipeKeys));
+  }
+  try {
+    core::validate_recipe(recipe);
+  } catch (const bad_argument& e) {
+    throw bad_argument("experiment_spec: '" + path + "': " + e.what());
+  }
+  return recipe;
+}
+
+core::method_recipe resolved_recipe(const experiment_spec& spec) {
+  if (spec.recipe) return *spec.recipe;
+  return registry::global().method(spec.method);
+}
+
 experiment_spec experiment_spec::from_json(const io::json_value& v) {
   expect_object(v, "spec");
   experiment_spec spec;
+  bool saw_method = false;
 
   for (const auto& [key, value] : v.members()) {
     if (key == "name") spec.name = read_string(value, "name");
     else if (key == "device") spec.device = read_string(value, "device");
-    else if (key == "method") spec.method = read_string(value, "method");
+    else if (key == "method") {
+      spec.method = read_string(value, "method");
+      saw_method = true;
+    }
+    else if (key == "recipe") spec.recipe = recipe_from_json(value, "recipe");
     else if (key == "objective") spec.objective = read_string(value, "objective");
     else if (key == "resolution") spec.resolution = read_number(value, "resolution");
     else if (key == "run") {
@@ -253,6 +354,10 @@ experiment_spec experiment_spec::from_json(const io::json_value& v) {
     }
   }
 
+  // An inline recipe without an explicit method key gets a neutral label
+  // instead of the registry default ("boson" would misattribute the hybrid).
+  if (spec.recipe && !saw_method) spec.method = "custom";
+
   validate(spec);
   return spec;
 }
@@ -262,10 +367,13 @@ experiment_spec experiment_spec::from_json(const io::json_value& v) {
 void validate(const experiment_spec& spec) {
   const registry& reg = registry::global();
   // Unknown names: the registry lookups throw the canonical
-  // "unknown X '...' (known: ...)" messages. make_device is only reached
-  // when the name is absent, so nothing is built here.
+  // "unknown X '...' (known: ...; did you mean ...?)" messages. make_device
+  // is only reached when the name is absent, so nothing is built here. An
+  // inline recipe replaces the method lookup (the policy keys are validated
+  // instead; `method` is then only a label).
   if (!reg.has_device(spec.device)) (void)reg.make_device(spec.device, 0.1);
-  (void)reg.method(spec.method);
+  const core::method_recipe recipe = resolved_recipe(spec);  // throws on unknown method
+  core::validate_recipe(recipe);
   (void)reg.objective(spec.objective);
 
   if (!(spec.resolution > 0.0) || spec.resolution > 1.0)
@@ -335,11 +443,9 @@ void validate(const experiment_spec& spec) {
   // the method's recipe (the '-eff' variant) — only apply to ratio
   // objectives; reject the mismatch here so `boson_cli validate` catches it
   // instead of a mid-run throw.
-  const std::string recipe_override =
-      core::method_objective_override(reg.method(spec.method));
-  const std::string effective_override = recipe_override.empty()
+  const std::string effective_override = recipe.objective_override.empty()
                                              ? reg.objective(spec.objective).override_metric
-                                             : recipe_override;
+                                             : recipe.objective_override;
   if (!effective_override.empty() &&
       reg.make_device(spec.device, spec.resolution).objective.kind !=
           dev::objective_kind::minimize_ratio)

@@ -11,10 +11,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/types.h"
+#include "core/recipe.h"
 #include "fab/eole.h"
 #include "fab/litho.h"
 #include "io/json.h"
@@ -50,9 +52,16 @@ const char* to_string(eval_step::step_kind kind);
 struct experiment_spec {
   std::string name;                ///< artifact label; "<device>_<method>" when empty
   std::string device = "bend";     ///< device-registry key
-  std::string method = "boson";    ///< method-registry key
+  std::string method = "boson";    ///< method-registry key (a plain label when
+                                   ///< an inline `recipe` is set)
   std::string objective = "device_default";  ///< objective-registry key
   double resolution = 0.05;        ///< grid pitch [um]
+
+  /// Inline method recipe. When set it wins over the `method` registry key
+  /// (`method` then only labels the experiment), so a spec can describe a
+  /// never-registered hybrid purely as data — the JSON form is the spec's
+  /// `"recipe": {...}` object.
+  std::optional<core::method_recipe> recipe;
 
   // Optimization-run settings.
   std::size_t iterations = 50;
@@ -88,6 +97,20 @@ struct experiment_spec {
 /// Registry and range validation shared by `from_json` and the session
 /// (programmatically-built specs get the same precise errors).
 void validate(const experiment_spec& spec);
+
+/// The method recipe a spec executes: the inline `recipe` when present,
+/// otherwise the registry entry `method` names. Does not validate ranges.
+core::method_recipe resolved_recipe(const experiment_spec& spec);
+
+/// Serialize a recipe to its canonical JSON form (all policy fields
+/// explicit; `density_blur` is "mfs" or the cell radius).
+io::json_value recipe_to_json(const core::method_recipe& recipe);
+
+/// Parse and validate a recipe object. Throws `bad_argument` naming the
+/// offending key/value under `path` (e.g. "recipe.corners"); policy-key
+/// errors carry a did-you-mean suggestion.
+core::method_recipe recipe_from_json(const io::json_value& v,
+                                     const std::string& path = "recipe");
 
 /// Load one spec (JSON object) or a batch (JSON array of objects) from a
 /// file.

@@ -1,0 +1,32 @@
+/// \file text.h
+/// Small string utilities shared by the registries and the recipe policy
+/// tables: Levenshtein edit distance and the "did you mean" suggestion every
+/// unknown-name error message appends.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace boson {
+
+/// Classic Levenshtein edit distance (insert/delete/substitute, each cost 1).
+std::size_t edit_distance(const std::string& a, const std::string& b);
+
+/// The candidate closest to `name` by edit distance, or "" when no candidate
+/// is plausibly a typo (distance must not exceed `max_distance` nor half of
+/// `name`'s length, so "xyz" never suggests an unrelated key).
+std::string closest_match(const std::string& name,
+                          const std::vector<std::string>& candidates,
+                          std::size_t max_distance = 3);
+
+/// "; did you mean 'X'?" when a plausible candidate exists, "" otherwise —
+/// appended verbatim to unknown-name `bad_argument` messages.
+std::string did_you_mean(const std::string& name,
+                         const std::vector<std::string>& candidates);
+
+/// Comma-join ("a, b, c") — the "(known: ...)" list of unknown-name errors.
+std::string join_names(const std::vector<std::string>& names);
+
+}  // namespace boson

@@ -1,8 +1,12 @@
 /// \file methods.h
-/// Registry of every design methodology compared in the paper's tables
-/// (density baselines, LS-ED, InvFabCor two-stage correction, BOSON-1 and
-/// its Table II ablations) plus the shared experiment configuration with
-/// BOSON_BENCH_SCALE / BOSON_SEED environment overrides.
+/// The method layer: `run_method` drives one `core::method_recipe` end to
+/// end (optimize, derive the mask, evaluate pre-fab metrics, post-fab Monte
+/// Carlo). The fifteen methodologies compared in the paper's tables (density
+/// baselines, LS-ED, InvFabCor two-stage correction, BOSON-1 and its Table
+/// II ablations) are built-in *presets* expressed as recipes via
+/// `preset_recipe`; the `method_id` enum survives only as a deprecated alias
+/// for them. Shared experiment configuration lives in `experiment_config`
+/// with BOSON_BENCH_SCALE / BOSON_SEED environment overrides.
 
 #pragma once
 
@@ -11,6 +15,7 @@
 
 #include "core/design_problem.h"
 #include "core/evaluate.h"
+#include "core/recipe.h"
 #include "core/run.h"
 #include "devices/builders.h"
 #include "fab/eole.h"
@@ -19,11 +24,12 @@
 
 namespace boson::core {
 
-/// Every design methodology compared in the paper's tables. Naming follows
-/// the paper: '-M' adds minimum-feature-size blur, '-#' is the number of
-/// lithography corners matched during mask correction, '-eff' switches the
-/// isolator objective to plain transmission efficiency. The boson_* variants
-/// are the Table II ablations.
+/// Deprecated closed enumeration of the paper's methods; kept as an alias
+/// layer only — each id resolves to a preset recipe via `preset_recipe`.
+/// Naming follows the paper: '-M' adds minimum-feature-size blur, '-#' is
+/// the number of lithography corners matched during mask correction, '-eff'
+/// switches the isolator objective to plain transmission efficiency. The
+/// boson_* variants are the Table II ablations.
 enum class method_id {
   density,
   density_m,
@@ -41,6 +47,12 @@ enum class method_id {
   boson_exhaustive,    ///< exhaustive corner sweeping instead of adaptive
   boson_random_init,   ///< random instead of light-concentrated init
 };
+
+/// The preset recipe a paper method resolves to (label = the paper name).
+method_recipe preset_recipe(method_id id);
+
+/// All fifteen preset ids in enum order (the paper's table order).
+const std::vector<method_id>& all_method_ids();
 
 std::string method_name(method_id id);
 
@@ -112,12 +124,25 @@ struct method_result {
 design_problem make_problem(const dev::device_spec& spec, bool use_levelset,
                             const experiment_config& cfg, double density_blur_cells = 0.0);
 
+/// Build the design problem a recipe describes: the parameterization policy
+/// resolves against `recipe_policies::global()`, the fabrication context
+/// comes from the config (the problem every stage of `run_method` shares).
+design_problem make_problem(const dev::device_spec& spec, const method_recipe& recipe,
+                            const experiment_config& cfg);
+
 /// Initial latent variables: light-concentrated (device heuristic), the
 /// conventional uniform-gray start of density-based topology optimization,
-/// or random.
+/// or random. (These are the built-in initialization policies.)
 dvec concentrated_init(const design_problem& problem);
 dvec gray_init(const design_problem& problem);
 dvec random_init(const design_problem& problem, std::uint64_t seed);
+
+/// The `run_options` a recipe resolves to under a config: every policy
+/// looked up, iteration/learning-rate overrides and the objective override
+/// merged. Exposed so tests can golden-check preset resolution and
+/// `boson_cli describe` can show the effective optimization settings;
+/// `run_method` uses exactly this mapping (observer hooks are wired on top).
+run_options resolved_run_options(const method_recipe& recipe, const experiment_config& cfg);
 
 /// Observer hooks and stage toggles for `run_method`. The callbacks replace
 /// printf progress reporting: `on_stage` fires when a pipeline stage starts
@@ -140,8 +165,15 @@ struct method_hooks {
   std::shared_ptr<const run_checkpoint> resume;
 };
 
-/// Run one named method end to end: optimize, derive the mask, evaluate
-/// pre-fab metrics and the post-fab Monte Carlo.
+/// Run one recipe end to end: optimize, derive the mask (through the
+/// recipe's mask-correction stage when set), evaluate pre-fab metrics and
+/// the post-fab Monte Carlo. Validates the recipe first.
+method_result run_method(const dev::device_spec& spec, const method_recipe& recipe,
+                         const experiment_config& cfg,
+                         const method_hooks& hooks = {});
+
+/// Deprecated alias: run a paper preset by enum id (exactly
+/// `run_method(spec, preset_recipe(id), cfg, hooks)`).
 method_result run_method(const dev::device_spec& spec, method_id id,
                          const experiment_config& cfg,
                          const method_hooks& hooks = {});

@@ -1,11 +1,14 @@
 #include "runtime/campaign.h"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <utility>
 
+#include "api/registry.h"
 #include "api/session.h"
 #include "common/error.h"
+#include "common/text.h"
 
 namespace boson::runtime {
 
@@ -124,8 +127,39 @@ std::vector<campaign_job> campaign_spec::expand() const {
   require(!devices.empty(), "campaign_spec: 'axes.devices' must not be empty");
   require(!methods.empty(), "campaign_spec: 'axes.methods' must not be empty");
 
+  // Resolve the method axis up front: every entry must be a campaign-local
+  // recipe or a registry key, and every campaign-local recipe must be swept —
+  // a declared-but-unlisted recipe is almost certainly an axis typo, and
+  // silently running the campaign without it would be worse than failing.
+  for (const std::string& method : methods) {
+    const bool is_recipe = std::any_of(recipes.begin(), recipes.end(),
+                                       [&](const campaign_recipe& cr) {
+                                         return cr.name == method;
+                                       });
+    if (is_recipe || api::registry::global().has_method(method)) continue;
+    std::vector<std::string> known = api::registry::global().method_names();
+    for (const campaign_recipe& cr : recipes) known.push_back(cr.name);
+    throw bad_argument("campaign_spec: unknown method '" + method + "' in axes.methods"
+                       " (known: " + join_names(known) + did_you_mean(method, known) +
+                       ")");
+  }
+  for (const campaign_recipe& cr : recipes)
+    if (std::find(methods.begin(), methods.end(), cr.name) == methods.end())
+      throw bad_argument("campaign_spec: recipe '" + cr.name +
+                         "' is not listed in axes.methods (declared recipes "
+                         "must be swept)");
+
   const std::vector<std::uint64_t> seed_axis = effective_seeds(*this);
   const std::vector<campaign_override> override_axis = effective_overrides(*this);
+
+  // The method axis owns the recipe; a base- or override-carried recipe
+  // would misattribute every job it touches. from_json rejects both forms,
+  // so this only guards programmatically-built specs — loudly, not by
+  // silently dropping the recipe.
+  if (base.recipe)
+    throw bad_argument(
+        "campaign_spec: 'base' must not carry a recipe; declare it under "
+        "'recipes' and list its name in axes.methods");
 
   // One strict re-parse per override (not per job): the patch merges over the
   // canonical base JSON, so unknown keys and out-of-range values inside a
@@ -144,6 +178,9 @@ std::vector<campaign_job> campaign_spec::expand() const {
     } catch (const bad_argument& e) {
       throw bad_argument("campaign_spec: override '" + ov.name + "': " + e.what());
     }
+    if (patched.back().recipe)
+      throw bad_argument("campaign_spec: override '" + ov.name +
+                         "' must not patch 'recipe'; the method axis owns recipes");
   }
 
   std::vector<campaign_job> jobs;
@@ -161,6 +198,18 @@ std::vector<campaign_job> campaign_spec::expand() const {
           job.spec.name = job.name;
           job.spec.device = device;
           job.spec.method = method;
+          // Campaign-local recipes shadow the registry for their axis entry;
+          // every other name resolves against the registry (checked above).
+          // Unlabeled recipes take the axis name here — not only in
+          // from_json — so programmatic campaigns report hybrids by name
+          // instead of as "custom".
+          for (const campaign_recipe& cr : recipes)
+            if (cr.name == method) {
+              job.spec.recipe = cr.recipe;
+              if (job.spec.recipe->label == core::method_recipe{}.label)
+                job.spec.recipe->label = cr.name;
+              break;
+            }
           job.spec.seed = seed;
           try {
             api::validate(job.spec);
@@ -210,12 +259,23 @@ io::json_value campaign_spec::to_json() const {
     }
   }
 
+  if (!recipes.empty()) {
+    io::json_value& rv = v["recipes"] = io::json_value::array();
+    for (const campaign_recipe& r : recipes) {
+      io::json_value e = io::json_value::object();
+      e["name"] = r.name;
+      e["recipe"] = api::recipe_to_json(r.recipe);
+      rv.push_back(std::move(e));
+    }
+  }
+
   // The base is a template, not an experiment: the identity keys the axes
   // own (and from_json rejects) are stripped from the canonical form.
   const io::json_value base_json = base.to_json();
   io::json_value& b = v["base"] = io::json_value::object();
   for (const auto& [key, value] : base_json.members())
-    if (key != "name" && key != "device" && key != "method") b[key] = value;
+    if (key != "name" && key != "device" && key != "method" && key != "recipe")
+      b[key] = value;
 
   io::json_value& sch = v["scheduler"] = io::json_value::object();
   sch["workers"] = scheduler.workers;
@@ -258,11 +318,47 @@ campaign_spec campaign_spec::from_json(const io::json_value& v) {
         (void)bv;
         if (bk == "name" || bk == "device" || bk == "method")
           campaign_fail("'base." + bk + "' is campaign-owned; use the axes instead");
+        if (bk == "recipe")
+          campaign_fail("'base.recipe' is campaign-owned; declare it under "
+                        "'recipes' and list its name in axes.methods");
       }
       try {
         spec.base = api::experiment_spec::from_json(value);
       } catch (const bad_argument& e) {
         throw bad_argument("campaign_spec: base: " + std::string(e.what()));
+      }
+    } else if (key == "recipes") {
+      if (!value.is_array())
+        campaign_fail("'recipes' must be an array, got " + std::string(value.kind_name()));
+      for (std::size_t i = 0; i < value.elements().size(); ++i) {
+        const std::string path = "recipes[" + std::to_string(i) + "]";
+        const io::json_value& entry = value.elements()[i];
+        if (!entry.is_object())
+          campaign_fail("'" + path + "' must be an object, got " +
+                        std::string(entry.kind_name()));
+        campaign_recipe cr;
+        bool has_recipe = false;
+        for (const auto& [rk, rvalue] : entry.members()) {
+          if (rk == "name") {
+            cr.name = read_string(rvalue, path + ".name");
+          } else if (rk == "recipe") {
+            try {
+              cr.recipe = api::recipe_from_json(rvalue, path + ".recipe");
+            } catch (const bad_argument& e) {
+              throw bad_argument("campaign_spec: " + std::string(e.what()));
+            }
+            has_recipe = true;
+          } else {
+            campaign_fail("unknown key '" + rk + "' in " + path +
+                          " (expected 'name' and 'recipe')");
+          }
+        }
+        if (cr.name.empty()) campaign_fail("'" + path + "' needs a non-empty 'name'");
+        if (!has_recipe) campaign_fail("'" + path + "' is missing the 'recipe' object");
+        // An unlabeled recipe would report as "custom" in every summary and
+        // log line; the axis name is the natural display label.
+        if (cr.recipe.label == core::method_recipe{}.label) cr.recipe.label = cr.name;
+        spec.recipes.push_back(std::move(cr));
       }
     } else if (key == "overrides") {
       if (!value.is_array())
@@ -317,6 +413,12 @@ campaign_spec campaign_spec::from_json(const io::json_value& v) {
     for (const campaign_override& ov : spec.overrides)
       if (!names.emplace(ov.name, true).second)
         campaign_fail("duplicate override name '" + ov.name + "'");
+  }
+  {
+    std::map<std::string, bool> names;
+    for (const campaign_recipe& cr : spec.recipes)
+      if (!names.emplace(cr.name, true).second)
+        campaign_fail("duplicate recipe name '" + cr.name + "'");
   }
   return spec;
 }

@@ -49,6 +49,14 @@ struct campaign_override {
   io::json_value patch;  ///< JSON object merged over the base spec
 };
 
+/// A campaign-local named recipe. `axes.methods` entries resolve against
+/// these *before* the method registry, so one campaign.json can sweep
+/// never-registered hybrid recipes next to the built-in presets.
+struct campaign_recipe {
+  std::string name;            ///< the axes.methods key this recipe answers to
+  core::method_recipe recipe;  ///< attached to every job the axis entry expands
+};
+
 /// Scheduler knobs declared in campaign.json (CLI flags override them).
 struct scheduler_settings {
   std::size_t workers = 2;           ///< concurrent jobs
@@ -63,6 +71,7 @@ struct campaign_spec {
   std::vector<std::string> methods;         ///< method-registry keys (required)
   std::vector<std::uint64_t> seeds;         ///< defaults to {base.seed}
   std::vector<campaign_override> overrides; ///< defaults to one no-op override
+  std::vector<campaign_recipe> recipes;     ///< campaign-local method recipes
   api::experiment_spec base;                ///< template every job starts from
   scheduler_settings scheduler;
 

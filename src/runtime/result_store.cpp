@@ -32,6 +32,7 @@ io::json_value job_result_row::to_json() const {
   v["seconds"] = seconds;
   v["attempt"] = attempt;
   if (!artifact_dir.empty()) v["artifact_dir"] = artifact_dir;
+  if (!recipe.empty()) v["recipe"] = recipe;
   return v;
 }
 
@@ -53,6 +54,7 @@ job_result_row job_result_row::from_json(const io::json_value& v) {
   row.seconds = v.at("seconds").as_number();
   row.attempt = static_cast<std::size_t>(v.at("attempt").as_number());
   if (const io::json_value* d = v.find("artifact_dir")) row.artifact_dir = d->as_string();
+  if (const io::json_value* r = v.find("recipe")) row.recipe = r->as_string();
   return row;
 }
 
@@ -144,6 +146,21 @@ std::string render_report(const campaign_spec& spec,
     table.add_row(cells);
   }
   out << table.render("Post-fab FoM (mean +- std over seeds)") << "\n";
+
+  // Method provenance legend: the resolved-recipe signature each method name
+  // stands for (campaign-local hybrids are only defined here, so the report
+  // stays interpretable without the campaign.json).
+  std::map<std::string, std::string> signatures;
+  for (const job_result_row& row : rows)
+    if (!row.recipe.empty()) signatures.emplace(row.method, row.recipe);
+  if (!signatures.empty()) {
+    io::console_table legend({"method", "recipe"});
+    for (const std::string& method : spec.methods) {
+      const auto it = signatures.find(method);
+      if (it != signatures.end()) legend.add_row({method, it->second});
+    }
+    out << "\n" << legend.render("Method recipes") << "\n";
+  }
 
   // Per-device detail: the Table 2-style per-job statistics.
   for (const std::string& device : spec.devices) {

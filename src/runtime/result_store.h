@@ -33,6 +33,7 @@ struct job_result_row {
   double seconds = 0.0;
   std::size_t attempt = 1;
   std::string artifact_dir;
+  std::string recipe;  ///< resolved-recipe signature (method provenance)
 
   io::json_value to_json() const;
   static job_result_row from_json(const io::json_value& v);

@@ -10,6 +10,7 @@
 
 #include "common/log.h"
 #include "common/timer.h"
+#include "core/methods.h"
 #include "runtime/checkpoint.h"
 #include "runtime/journal.h"
 
@@ -58,6 +59,7 @@ job_result_row make_row(const campaign_job& job, const api::experiment_result& r
   row.seconds = seconds;
   row.attempt = attempt;
   row.artifact_dir = result.artifact_dir;
+  row.recipe = api::resolved_recipe(job.spec).signature();
   return row;
 }
 
@@ -179,8 +181,12 @@ scheduler_report scheduler::run() {
           // BOSON_BENCH_SCALE, edited campaign) would be rejected by the
           // optimizer on every retry; discard it here so the job runs fresh
           // instead of burning its whole budget on the same dead state.
+          // Resolve through the recipe: a recipe-level iterations override
+          // changes the run length the checkpoints were captured under.
           const std::size_t expected =
-              api::session::config_for(job.spec).scaled_iterations();
+              core::resolved_run_options(api::resolved_recipe(job.spec),
+                                         api::session::config_for(job.spec))
+                  .iterations;
           require(file.state.total_iterations == expected,
                   "checkpoint captured for " +
                       std::to_string(file.state.total_iterations) +

@@ -123,8 +123,9 @@ TEST(api_registry, built_in_scenarios_are_registered) {
   for (const char* device : {"bend", "crossing", "isolator"})
     EXPECT_TRUE(reg.has_device(device)) << device;
   EXPECT_GE(reg.method_names().size(), 15u);
-  EXPECT_EQ(reg.method("boson"), core::method_id::boson);
-  EXPECT_EQ(reg.method("boson_no_relax"), core::method_id::boson_no_relax);
+  EXPECT_EQ(reg.method("boson"), core::preset_recipe(core::method_id::boson));
+  EXPECT_EQ(reg.method("boson_no_relax"),
+            core::preset_recipe(core::method_id::boson_no_relax));
   EXPECT_TRUE(reg.has_objective("device_default"));
   EXPECT_EQ(reg.objective("fwd_transmission").override_metric, "fwd_transmission");
 }
@@ -565,6 +566,189 @@ TEST(trajectory_csv, exports_iteration_loss_and_metric_columns) {
 
   expect_throw_with<bad_argument>([&] { api::write_trajectory_csv(path.string(), {}); },
                                   "empty trajectory");
+}
+
+// -------------------------------------------------------------- recipes ----
+
+TEST(recipe_json, all_fifteen_presets_round_trip) {
+  for (const core::method_id id : core::all_method_ids()) {
+    const core::method_recipe preset = core::preset_recipe(id);
+    const io::json_value v = api::recipe_to_json(preset);
+    const core::method_recipe parsed = api::recipe_from_json(v);
+    EXPECT_EQ(parsed, preset) << preset.label;
+    // The canonical form itself is stable.
+    EXPECT_EQ(api::recipe_to_json(parsed).dump(), v.dump()) << preset.label;
+  }
+}
+
+TEST(recipe_json, density_blur_accepts_mfs_or_cells) {
+  core::method_recipe r = api::recipe_from_json(io::json_value::parse(
+      R"({"parameterization": "density", "density_blur": "mfs"})"));
+  EXPECT_TRUE(r.density_blur_mfs);
+  r = api::recipe_from_json(io::json_value::parse(
+      R"({"parameterization": "density", "density_blur": 1.5})"));
+  EXPECT_FALSE(r.density_blur_mfs);
+  EXPECT_DOUBLE_EQ(r.density_blur_cells, 1.5);
+  expect_throw_with<bad_argument>(
+      [] {
+        (void)api::recipe_from_json(io::json_value::parse(
+            R"({"parameterization": "density", "density_blur": "big"})"));
+      },
+      "must be \"mfs\" or a cell radius");
+}
+
+TEST(recipe_json, rejects_unknown_keys_and_policies_with_suggestions) {
+  expect_throw_with<bad_argument>(
+      [] { (void)api::recipe_from_json(io::json_value::parse(R"({"cornerz": "none"})")); },
+      "unknown key 'cornerz' in recipe; did you mean 'corners'?");
+  expect_throw_with<bad_argument>(
+      [] {
+        (void)api::recipe_from_json(
+            io::json_value::parse(R"({"initialization": "grey"})"));
+      },
+      "did you mean 'gray'?");
+  expect_throw_with<bad_argument>(
+      [] { (void)api::recipe_from_json(io::json_value::parse(R"({"corners": 3})")); },
+      "'recipe.corners' must be a string");
+}
+
+TEST(experiment_spec, inline_recipe_round_trips_and_labels_the_method) {
+  const io::json_value doc = io::json_value::parse(R"({
+    "device": "bend",
+    "recipe": {
+      "label": "Hybrid",
+      "parameterization": "density",
+      "density_blur": "mfs",
+      "corners": "adaptive",
+      "relaxation": "linear",
+      "reshaping": "dense",
+      "initialization": "gray",
+      "mask_correction": "all_corners"
+    }
+  })");
+  const api::experiment_spec spec = api::experiment_spec::from_json(doc);
+  ASSERT_TRUE(spec.recipe.has_value());
+  EXPECT_EQ(spec.method, "custom");  // no explicit method key: neutral label
+  EXPECT_EQ(spec.display_name(), "bend_custom");
+  EXPECT_EQ(spec.recipe->mask_correction, "all_corners");
+
+  const api::experiment_spec again = api::experiment_spec::from_json(spec.to_json());
+  ASSERT_TRUE(again.recipe.has_value());
+  EXPECT_EQ(*again.recipe, *spec.recipe);
+  EXPECT_EQ(again.to_json().dump(), spec.to_json().dump());
+
+  // The inline recipe wins over the method registry: the label need not be
+  // (and here is not) a registered method name.
+  api::experiment_spec labeled = spec;
+  labeled.method = "never_registered_hybrid";
+  EXPECT_NO_THROW(api::validate(labeled));
+  EXPECT_EQ(api::resolved_recipe(labeled).label, "Hybrid");
+
+  // Without the inline recipe the same label is an unknown method.
+  labeled.recipe.reset();
+  expect_throw_with<bad_argument>([&] { api::validate(labeled); },
+                                  "unknown method 'never_registered_hybrid'");
+}
+
+TEST(experiment_spec, inline_recipe_policy_errors_carry_the_json_path) {
+  expect_throw_with<bad_argument>(
+      [] {
+        (void)api::experiment_spec::from_json(io::json_value::parse(
+            R"({"device": "bend", "recipe": {"corners": "adaptve"}})"));
+      },
+      "unknown corners policy 'adaptve'");
+  expect_throw_with<bad_argument>(
+      [] {
+        (void)api::experiment_spec::from_json(io::json_value::parse(
+            R"({"device": "bend", "recipe": {"density_blur": "mfs"}})"));
+      },
+      "only applies to the density parameterization");
+}
+
+TEST(experiment_spec, inline_recipe_objective_override_is_validated) {
+  // A recipe-baked override needs a ratio-objective device, exactly like the
+  // preset '-eff' variant.
+  io::json_value doc = io::json_value::parse(R"({
+    "device": "bend",
+    "recipe": {"objective_override": "fwd_transmission"}
+  })");
+  expect_throw_with<bad_argument>(
+      [&] { (void)api::experiment_spec::from_json(doc); },
+      "only applies to ratio-objective devices");
+}
+
+TEST(api_registry, lookup_errors_suggest_the_closest_name) {
+  auto& reg = api::registry::global();
+  expect_throw_with<bad_argument>([&] { (void)reg.method("boson_norelax"); },
+                                  "did you mean 'boson_no_relax'?");
+  expect_throw_with<bad_argument>([&] { (void)reg.make_device("bendd", 0.1); },
+                                  "did you mean 'bend'?");
+  expect_throw_with<bad_argument>([&] { (void)reg.objective("device_defautl"); },
+                                  "did you mean 'device_default'?");
+}
+
+TEST(api_registry, custom_recipes_register_and_validate) {
+  auto& reg = api::registry::global();
+  core::method_recipe hybrid = core::preset_recipe(core::method_id::boson);
+  hybrid.label = "BOSON-1 (TV)";
+  hybrid.tv_weight = 0.01;
+  reg.register_method("test_boson_tv", hybrid);
+  EXPECT_TRUE(reg.has_method("test_boson_tv"));
+  EXPECT_EQ(reg.method("test_boson_tv"), hybrid);
+
+  core::method_recipe broken;
+  broken.corners = "no_such_policy";
+  expect_throw_with<bad_argument>([&] { reg.register_method("test_broken", broken); },
+                                  "unknown corners policy 'no_such_policy'");
+  EXPECT_FALSE(reg.has_method("test_broken"));
+}
+
+TEST(api_session, inline_recipe_runs_bit_identical_to_its_preset_name) {
+  // The acceptance property behind all fifteen presets: naming a method and
+  // inlining its (JSON round-tripped) recipe are the same experiment. One
+  // end-to-end pair proves the spec/session plumbing; the per-preset mapping
+  // equivalence lives in test_core's golden table.
+  api::experiment_spec named = smoke_spec();
+  named.name = "recipe_e2e";
+
+  api::experiment_spec inlined = named;
+  inlined.recipe = api::recipe_from_json(
+      api::recipe_to_json(api::registry::global().method(named.method)));
+
+  api::session_options options;
+  options.write_artifacts = false;
+  api::session session(options);
+  const api::experiment_result a = session.run(named);
+  const api::experiment_result b = session.run(inlined);
+
+  ASSERT_EQ(a.method.run.trajectory.size(), b.method.run.trajectory.size());
+  for (std::size_t i = 0; i < a.method.run.trajectory.size(); ++i)
+    EXPECT_EQ(a.method.run.trajectory[i].loss, b.method.run.trajectory[i].loss);
+  ASSERT_EQ(a.method.run.theta.size(), b.method.run.theta.size());
+  for (std::size_t i = 0; i < a.method.run.theta.size(); ++i)
+    EXPECT_EQ(a.method.run.theta[i], b.method.run.theta[i]);
+  for (std::size_t i = 0; i < a.method.mask.size(); ++i)
+    EXPECT_EQ(a.method.mask.data()[i], b.method.mask.data()[i]);
+  EXPECT_EQ(a.method.postfab.fom_mean, b.method.postfab.fom_mean);
+}
+
+TEST(api_session, summary_records_recipe_provenance) {
+  const fs::path out = fs::path(testing::TempDir()) / "boson_api_recipe_prov";
+  fs::remove_all(out);
+  api::experiment_spec spec = smoke_spec();
+  spec.name = "prov";
+  api::session_options options;
+  options.output_dir = out.string();
+  api::session session(options);
+  (void)session.run(spec);
+
+  const io::json_value summary =
+      io::json_value::parse_file((out / "prov" / "summary.json").string());
+  ASSERT_NE(summary.find("resolved_recipe"), nullptr);
+  EXPECT_EQ(summary.at("resolved_recipe").at("label").as_string(),
+            "BOSON-1 (- subspace relax)");
+  EXPECT_EQ(summary.at("recipe_signature").as_string(),
+            api::registry::global().method(spec.method).signature());
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 #include "common/log.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/text.h"
 #include "common/timer.h"
 
 namespace boson {
@@ -302,6 +303,33 @@ TEST(log, suppressed_levels_do_not_crash) {
   log_error("hidden");
   set_log_level(before);
   SUCCEED();
+}
+
+// ------------------------------------------------------------------ text ---
+
+TEST(text, edit_distance_counts_single_edits) {
+  EXPECT_EQ(edit_distance("", ""), 0u);
+  EXPECT_EQ(edit_distance("abc", "abc"), 0u);
+  EXPECT_EQ(edit_distance("abc", ""), 3u);
+  EXPECT_EQ(edit_distance("", "ab"), 2u);
+  EXPECT_EQ(edit_distance("kitten", "sitting"), 3u);
+  EXPECT_EQ(edit_distance("boson", "bosom"), 1u);
+  EXPECT_EQ(edit_distance("adaptve", "adaptive"), 1u);
+}
+
+TEST(text, closest_match_rejects_implausible_typos) {
+  const std::vector<std::string> keys{"adaptive", "exhaustive", "none"};
+  EXPECT_EQ(closest_match("adaptve", keys), "adaptive");
+  EXPECT_EQ(closest_match("exhaustiv", keys), "exhaustive");
+  // Half-the-name rewrites are noise, not typos.
+  EXPECT_EQ(closest_match("xyz", keys), "");
+  EXPECT_EQ(closest_match("q", keys), "");
+}
+
+TEST(text, did_you_mean_formats_or_stays_silent) {
+  const std::vector<std::string> keys{"bend", "crossing", "isolator"};
+  EXPECT_EQ(did_you_mean("bendd", keys), "; did you mean 'bend'?");
+  EXPECT_EQ(did_you_mean("zzzzzz", keys), "");
 }
 
 }  // namespace

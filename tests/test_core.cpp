@@ -738,5 +738,220 @@ TEST(methods, end_to_end_invfabcor_produces_corrected_mask) {
   EXPECT_EQ(res.mask.nx(), res.run.design_rho.nx());
 }
 
+// -------------------------------------------------------------- recipes ----
+
+/// The legacy (pre-recipe) per-method ingredient table, hand-copied from the
+/// enum-era dispatch. The presets must keep resolving to exactly these
+/// `run_options` — since `run_inverse_design` is a pure function of
+/// (problem, theta0, options), equal options + parameterization + init are
+/// what make the recipe path bit-identical to the old enum path.
+struct legacy_expectation {
+  method_id id;
+  const char* parameterization;
+  bool density_blur_mfs;
+  bool mfs_blur;
+  bool fab_aware;
+  bool dense;
+  bool relax;  ///< true: cfg.scaled_relax(), false: 0
+  robust::sampling_strategy sampling;
+  bool random_initialization;
+  bool erosion_dilation;
+  bool beta_ramp;
+  std::size_t correction_corners;
+  const char* objective_override;
+};
+
+TEST(recipe, presets_resolve_to_the_legacy_run_options) {
+  using st = robust::sampling_strategy;
+  const std::vector<legacy_expectation> table = {
+      {method_id::density, "density", false, false, false, false, false,
+       st::nominal_only, false, false, false, 0, ""},
+      {method_id::density_m, "density", true, false, false, false, false,
+       st::nominal_only, false, false, false, 0, ""},
+      {method_id::ls, "levelset", false, false, false, false, false,
+       st::nominal_only, false, false, true, 0, ""},
+      {method_id::ls_m, "levelset", false, true, false, false, false,
+       st::nominal_only, false, false, true, 0, ""},
+      {method_id::invfabcor_1, "levelset", false, false, false, false, false,
+       st::nominal_only, false, false, true, 1, ""},
+      {method_id::invfabcor_3, "levelset", false, false, false, false, false,
+       st::nominal_only, false, false, true, 3, ""},
+      {method_id::invfabcor_m_1, "levelset", false, true, false, false, false,
+       st::nominal_only, false, false, true, 1, ""},
+      {method_id::invfabcor_m_3, "levelset", false, true, false, false, false,
+       st::nominal_only, false, false, true, 3, ""},
+      {method_id::invfabcor_m_3_eff, "levelset", false, true, false, false, false,
+       st::nominal_only, false, false, true, 3, "fwd_transmission"},
+      {method_id::ls_ed, "levelset", false, true, false, false, false,
+       st::nominal_only, false, true, true, 0, ""},
+      {method_id::boson, "levelset", false, false, true, true, true,
+       st::axial_plus_worst, false, false, true, 0, ""},
+      {method_id::boson_no_reshape, "levelset", false, false, true, false, true,
+       st::axial_plus_worst, false, false, true, 0, ""},
+      {method_id::boson_no_relax, "levelset", false, false, true, true, false,
+       st::axial_plus_worst, false, false, true, 0, ""},
+      {method_id::boson_exhaustive, "levelset", false, false, true, true, true,
+       st::exhaustive, false, false, true, 0, ""},
+      {method_id::boson_random_init, "levelset", false, false, true, true, true,
+       st::axial_plus_worst, true, false, true, 0, ""},
+  };
+  ASSERT_EQ(table.size(), all_method_ids().size());
+
+  experiment_config cfg = test_config();
+  cfg.relax_epochs = 3;
+  for (const legacy_expectation& e : table) {
+    const method_recipe recipe = preset_recipe(e.id);
+    const std::string label = recipe.label;
+    EXPECT_NO_THROW(validate_recipe(recipe)) << label;
+    EXPECT_EQ(recipe.parameterization, e.parameterization) << label;
+    EXPECT_EQ(recipe.density_blur_mfs, e.density_blur_mfs) << label;
+    EXPECT_EQ(recipe.initialization, e.random_initialization ? "random" : "default")
+        << label;
+    EXPECT_EQ(recipe_policies::global()
+                  .mask_correction.get(recipe.mask_correction)
+                  .litho_corners,
+              e.correction_corners)
+        << label;
+
+    const run_options ro = resolved_run_options(recipe, cfg);
+    EXPECT_EQ(ro.iterations, cfg.scaled_iterations()) << label;
+    EXPECT_DOUBLE_EQ(ro.learning_rate, cfg.learning_rate) << label;
+    EXPECT_EQ(ro.fab_aware, e.fab_aware) << label;
+    EXPECT_EQ(ro.dense_objectives, e.dense) << label;
+    EXPECT_EQ(ro.use_mfs_blur, e.mfs_blur) << label;
+    EXPECT_EQ(ro.relax_epochs, e.relax ? cfg.scaled_relax() : 0u) << label;
+    EXPECT_EQ(ro.sampling, e.sampling) << label;
+    EXPECT_EQ(ro.erosion_dilation, e.erosion_dilation) << label;
+    EXPECT_DOUBLE_EQ(ro.beta_start, 8.0) << label;
+    EXPECT_DOUBLE_EQ(ro.beta_end, e.beta_ramp ? 40.0 : 8.0) << label;
+    EXPECT_EQ(ro.objective_override, e.objective_override) << label;
+    EXPECT_EQ(ro.seed, cfg.seed) << label;
+  }
+}
+
+TEST(recipe, preset_labels_are_the_paper_names_and_unique) {
+  std::set<std::string> labels;
+  for (const method_id id : all_method_ids()) labels.insert(preset_recipe(id).label);
+  EXPECT_EQ(labels.size(), 15u);
+  EXPECT_EQ(preset_recipe(method_id::boson).label, "BOSON-1");
+  EXPECT_EQ(preset_recipe(method_id::invfabcor_m_3).label, "InvFabCor-M-3");
+}
+
+/// Bit-identity of the enum alias vs an explicitly-composed recipe value:
+/// trajectory, theta, mask, and Monte-Carlo statistics must match double for
+/// double. Three presets cover the distinct pipelines (adaptive+relax+dense,
+/// density+auto-blur+fixed-beta, and the two-stage mask correction).
+void expect_bit_identical(const method_result& a, const method_result& b) {
+  ASSERT_EQ(a.run.trajectory.size(), b.run.trajectory.size());
+  for (std::size_t i = 0; i < a.run.trajectory.size(); ++i)
+    EXPECT_EQ(a.run.trajectory[i].loss, b.run.trajectory[i].loss) << "iteration " << i;
+  ASSERT_EQ(a.run.theta.size(), b.run.theta.size());
+  for (std::size_t i = 0; i < a.run.theta.size(); ++i)
+    EXPECT_EQ(a.run.theta[i], b.run.theta[i]) << "theta[" << i << "]";
+  ASSERT_EQ(a.mask.size(), b.mask.size());
+  for (std::size_t i = 0; i < a.mask.size(); ++i)
+    EXPECT_EQ(a.mask.data()[i], b.mask.data()[i]) << "mask[" << i << "]";
+  EXPECT_EQ(a.postfab.samples, b.postfab.samples);
+  EXPECT_EQ(a.postfab.fom_mean, b.postfab.fom_mean);
+  EXPECT_EQ(a.prefab_fom, b.prefab_fom);
+}
+
+TEST(recipe, enum_alias_and_recipe_value_run_bit_identical) {
+  experiment_config cfg = test_config();
+  cfg.iterations = 3;
+  cfg.relax_epochs = 2;
+  cfg.mc_samples = 2;
+  const auto device = dev::make_bend(0.1);
+  for (const method_id id :
+       {method_id::boson, method_id::density_m, method_id::invfabcor_m_1}) {
+    const method_result via_enum = run_method(device, id, cfg);
+    const method_result via_recipe = run_method(device, preset_recipe(id), cfg);
+    EXPECT_EQ(via_enum.method, via_recipe.method);
+    expect_bit_identical(via_enum, via_recipe);
+  }
+}
+
+TEST(recipe, policy_lookup_suggests_the_closest_key) {
+  method_recipe recipe;
+  recipe.corners = "adaptve";
+  try {
+    validate_recipe(recipe);
+    FAIL() << "expected bad_argument";
+  } catch (const bad_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown corners policy 'adaptve'"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("did you mean 'adaptive'?"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(recipe, validate_rejects_inconsistent_compositions) {
+  const auto expect_fail = [](void (*mutate)(method_recipe&), const std::string& fragment) {
+    method_recipe recipe;
+    mutate(recipe);
+    try {
+      validate_recipe(recipe);
+      FAIL() << "expected bad_argument containing \"" << fragment << "\"";
+    } catch (const bad_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos) << e.what();
+    }
+  };
+  expect_fail([](method_recipe& r) { r.density_blur_mfs = true; },
+              "only applies to the density parameterization");
+  expect_fail(
+      [](method_recipe& r) {
+        r.parameterization = "density";
+        r.density_blur_mfs = true;
+        r.density_blur_cells = 2.0;
+      },
+      "not both");
+  expect_fail([](method_recipe& r) { r.beta_start = 0.0; }, "'beta_start'");
+  expect_fail([](method_recipe& r) { r.label.clear(); }, "'label'");
+  expect_fail([](method_recipe& r) { r.tv_weight = -1.0; }, "'tv_weight'");
+}
+
+TEST(recipe, registrable_policies_extend_the_dispatch) {
+  // A user-registered corner policy becomes addressable from any recipe.
+  recipe_policies::global().corners.add(
+      "test_axial_double_alias",
+      {true, robust::sampling_strategy::axial_double, false, "test alias"});
+  method_recipe recipe;
+  recipe.corners = "test_axial_double_alias";
+  EXPECT_NO_THROW(validate_recipe(recipe));
+  const run_options ro = resolved_run_options(recipe, test_config());
+  EXPECT_TRUE(ro.fab_aware);
+  EXPECT_EQ(ro.sampling, robust::sampling_strategy::axial_double);
+}
+
+TEST(recipe, signature_is_compact_provenance) {
+  EXPECT_EQ(preset_recipe(method_id::boson).signature(),
+            "levelset|corners:adaptive|relax:linear|reshape:dense|init:default");
+  EXPECT_EQ(preset_recipe(method_id::invfabcor_m_3_eff).signature(),
+            "levelset+M|corners:none|relax:none|reshape:none|init:default"
+            "|corr:all_corners|objective:fwd_transmission");
+}
+
+TEST(recipe, signature_separates_recipes_that_run_differently) {
+  // The provenance key must not collide for behaviorally distinct recipes:
+  // every numeric field that changes the run lands in the signature.
+  method_recipe a = preset_recipe(method_id::boson);
+  method_recipe b = a;
+  b.tv_weight = 0.01;
+  EXPECT_NE(a.signature(), b.signature());
+  method_recipe c = a;
+  c.beta_end = 60.0;
+  EXPECT_NE(a.signature(), c.signature());
+  method_recipe d = preset_recipe(method_id::density_m);  // auto-MFS blur
+  method_recipe e = d;
+  e.density_blur_mfs = false;
+  e.density_blur_cells = 1.5;  // fixed radius is not "+mfs"
+  EXPECT_NE(d.signature(), e.signature());
+  method_recipe f = a;
+  f.iterations = 200;
+  f.learning_rate = 0.1;
+  EXPECT_NE(a.signature(), f.signature());
+}
+
 }  // namespace
 }  // namespace boson::core

@@ -232,6 +232,115 @@ TEST(campaign_spec, strict_parsing_rejects_precisely) {
       "same artifact directory");
 }
 
+TEST(campaign_spec, campaign_local_recipes_form_a_method_axis) {
+  io::json_value doc = synthetic_campaign().to_json();
+  doc["axes"]["methods"] = io::json_value::parse(R"(["ls", "hybrid"])");
+  doc["recipes"] = io::json_value::parse(R"([
+    {"name": "hybrid",
+     "recipe": {"label": "Hybrid", "parameterization": "density",
+                "corners": "adaptive", "initialization": "gray"}}
+  ])");
+  const runtime::campaign_spec spec = runtime::campaign_spec::from_json(doc);
+  ASSERT_EQ(spec.recipes.size(), 1u);
+  EXPECT_EQ(spec.recipes[0].recipe.label, "Hybrid");
+
+  const std::vector<runtime::campaign_job> jobs = spec.expand();
+  ASSERT_EQ(jobs.size(), 8u);  // 1 device x 2 methods x 2 seeds x 2 overrides
+  for (const runtime::campaign_job& job : jobs) {
+    if (job.spec.method == "hybrid") {
+      ASSERT_TRUE(job.spec.recipe.has_value()) << job.name;
+      EXPECT_EQ(job.spec.recipe->parameterization, "density") << job.name;
+    } else {
+      EXPECT_FALSE(job.spec.recipe.has_value()) << job.name;
+    }
+  }
+
+  // The canonical form carries the recipes, so resume/status/report sessions
+  // re-expand identically.
+  const runtime::campaign_spec again = runtime::campaign_spec::from_json(spec.to_json());
+  const auto a = spec.expand();
+  const auto b = again.expand();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i].spec.to_json().dump(), b[i].spec.to_json().dump()) << a[i].name;
+}
+
+TEST(campaign_spec, recipe_section_is_validated_strictly) {
+  const auto parse_with = [](const std::string& recipes) {
+    io::json_value doc = synthetic_campaign().to_json();
+    doc["recipes"] = io::json_value::parse(recipes);
+    (void)runtime::campaign_spec::from_json(doc);
+  };
+  expect_throw_with<bad_argument>(
+      [&] { parse_with(R"([{"recipe": {"label": "x"}}])"); }, "non-empty 'name'");
+  expect_throw_with<bad_argument>([&] { parse_with(R"([{"name": "x"}])"); },
+                                  "missing the 'recipe' object");
+  expect_throw_with<bad_argument>(
+      [&] { parse_with(R"([{"name": "x", "recipe": {"corners": "bogus"}}])"); },
+      "unknown corners policy 'bogus'");
+  expect_throw_with<bad_argument>(
+      [&] {
+        parse_with(R"([{"name": "x", "recipe": {}}, {"name": "x", "recipe": {}}])");
+      },
+      "duplicate recipe name 'x'");
+  // A recipe on the base spec would misattribute every job: campaign-owned.
+  expect_throw_with<bad_argument>(
+      [] {
+        (void)runtime::campaign_spec::from_json(io::json_value::parse(
+            R"({"axes": {"devices": ["bend"], "methods": ["ls"]},
+                "base": {"recipe": {"label": "x"}}})"));
+      },
+      "'base.recipe' is campaign-owned");
+}
+
+TEST(campaign_spec, unlabeled_campaign_recipes_take_the_axis_name) {
+  io::json_value doc = synthetic_campaign().to_json();
+  doc["axes"]["methods"] = io::json_value::parse(R"(["hybrid"])");
+  doc["recipes"] = io::json_value::parse(
+      R"([{"name": "hybrid", "recipe": {"parameterization": "density"}}])");
+  const runtime::campaign_spec spec = runtime::campaign_spec::from_json(doc);
+  ASSERT_EQ(spec.recipes.size(), 1u);
+  // No "label" in the JSON: the axis name becomes the display label instead
+  // of every unlabeled hybrid reporting as "custom".
+  EXPECT_EQ(spec.recipes[0].recipe.label, "hybrid");
+
+  // The same defaulting covers programmatically-built campaigns at expand().
+  runtime::campaign_spec programmatic = synthetic_campaign();
+  programmatic.methods = {"prog_hybrid"};
+  programmatic.recipes.push_back({"prog_hybrid", core::method_recipe{}});
+  for (const runtime::campaign_job& job : programmatic.expand()) {
+    ASSERT_TRUE(job.spec.recipe.has_value());
+    EXPECT_EQ(job.spec.recipe->label, "prog_hybrid");
+  }
+}
+
+TEST(campaign_spec, programmatic_base_or_override_recipes_are_rejected) {
+  runtime::campaign_spec spec = synthetic_campaign();
+  spec.base.recipe = core::method_recipe{};
+  expect_throw_with<bad_argument>([&] { (void)spec.expand(); },
+                                  "'base' must not carry a recipe");
+
+  runtime::campaign_spec patched = synthetic_campaign();
+  patched.overrides[1].patch =
+      io::json_value::parse(R"({"recipe": {"label": "sneaky"}})");
+  expect_throw_with<bad_argument>([&] { (void)patched.expand(); },
+                                  "must not patch 'recipe'");
+}
+
+TEST(campaign_spec, method_axis_typos_see_campaign_recipes) {
+  runtime::campaign_spec spec = synthetic_campaign();
+  spec.recipes.push_back({"hybrid", core::method_recipe{}});
+
+  // A declared-but-unswept recipe is an error, not a silent no-op.
+  expect_throw_with<bad_argument>([&] { (void)spec.expand(); },
+                                  "recipe 'hybrid' is not listed in axes.methods");
+
+  // Unknown-method did-you-mean covers campaign-local recipe names too.
+  spec.methods = {"hybird"};
+  expect_throw_with<bad_argument>([&] { (void)spec.expand(); },
+                                  "did you mean 'hybrid'?");
+}
+
 // --------------------------------------------------------------- journal ---
 
 TEST(journal, append_replay_and_latest_state) {
@@ -450,13 +559,13 @@ TEST(checkpoint, resumed_run_is_bit_identical_to_uninterrupted) {
   spec.relax_epochs = 2;
 
   const core::experiment_config cfg = api::session::config_for(spec);
-  const core::method_id id = api::registry::global().method(spec.method);
+  const core::method_recipe recipe = api::registry::global().method(spec.method);
   const dev::device_spec device =
       api::registry::global().make_device(spec.device, spec.resolution);
 
   core::method_hooks plain;
   plain.run_postfab_mc = false;
-  const core::method_result uninterrupted = core::run_method(device, id, cfg, plain);
+  const core::method_result uninterrupted = core::run_method(device, recipe, cfg, plain);
 
   // Same run, capturing a mid-flight checkpoint every 2 iterations.
   std::shared_ptr<core::run_checkpoint> mid;
@@ -466,7 +575,7 @@ TEST(checkpoint, resumed_run_is_bit_identical_to_uninterrupted) {
   capturing.on_checkpoint = [&mid](const core::run_checkpoint& ck) {
     if (ck.next_iteration == 2) mid = std::make_shared<core::run_checkpoint>(ck);
   };
-  const core::method_result checkpointed = core::run_method(device, id, cfg, capturing);
+  const core::method_result checkpointed = core::run_method(device, recipe, cfg, capturing);
   ASSERT_NE(mid, nullptr);
   EXPECT_EQ(mid->total_iterations, cfg.scaled_iterations());
 
@@ -482,7 +591,7 @@ TEST(checkpoint, resumed_run_is_bit_identical_to_uninterrupted) {
   core::method_hooks resuming;
   resuming.run_postfab_mc = false;
   resuming.resume = std::make_shared<core::run_checkpoint>(loaded.state);
-  const core::method_result resumed = core::run_method(device, id, cfg, resuming);
+  const core::method_result resumed = core::run_method(device, recipe, cfg, resuming);
 
   EXPECT_EQ(resumed.run.theta, uninterrupted.run.theta);
   EXPECT_EQ(resumed.run.final_loss, uninterrupted.run.final_loss);

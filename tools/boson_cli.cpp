@@ -5,7 +5,8 @@
 //
 //   boson_cli run <spec.json> [--out <dir>] [--no-artifacts]
 //   boson_cli validate <spec.json>
-//   boson_cli list devices|methods|objectives
+//   boson_cli list devices|methods|objectives [--json]
+//   boson_cli describe method <name>
 //
 // Campaigns (see docs/RUNTIME.md) are whole experiment matrices executed by
 // the boson::runtime scheduler — sharded, journaled, and resumable:
@@ -55,7 +56,8 @@ int usage(std::FILE* out) {
                "usage:\n"
                "  boson_cli run <spec.json> [--out <dir>] [--no-artifacts]\n"
                "  boson_cli validate <spec.json>\n"
-               "  boson_cli list devices|methods|objectives\n"
+               "  boson_cli list devices|methods|objectives [--json]\n"
+               "  boson_cli describe method <name>\n"
                "  boson_cli campaign run <campaign.json> [--out <dir>] [--shard i/N]\n"
                "                         [--workers N] [--no-artifacts]\n"
                "  boson_cli campaign resume <dir> [--shard i/N] [--workers N]\n"
@@ -65,7 +67,9 @@ int usage(std::FILE* out) {
                "run       execute one spec (JSON object) or a batch (JSON array);\n"
                "          artifacts land in --out (default: boson_out)\n"
                "validate  parse + validate a spec file without running it\n"
-               "list      show the registered scenario names\n"
+               "list      show the registered scenario names (--json emits a\n"
+               "          machine-readable array for campaign generators)\n"
+               "describe  print a registered method's fully-resolved recipe\n"
                "campaign  sharded, journaled, resumable execution of a whole\n"
                "          experiment matrix (see docs/RUNTIME.md):\n"
                "            run     expand + execute this shard's jobs\n"
@@ -75,9 +79,20 @@ int usage(std::FILE* out) {
   return out == stdout ? 0 : 2;
 }
 
-int cmd_list(const std::string& what) {
+int cmd_list(const std::string& what, bool as_json) {
   const api::registry& reg = api::registry::global();
   if (what == "devices") {
+    if (as_json) {
+      io::json_value arr = io::json_value::array();
+      for (const auto& name : reg.device_names()) {
+        io::json_value e = io::json_value::object();
+        e["name"] = name;
+        e["description"] = reg.device_description(name);
+        arr.push_back(std::move(e));
+      }
+      std::printf("%s\n", arr.dump(2).c_str());
+      return 0;
+    }
     io::console_table table({"device", "description"});
     for (const auto& name : reg.device_names())
       table.add_row({name, reg.device_description(name)});
@@ -85,13 +100,46 @@ int cmd_list(const std::string& what) {
     return 0;
   }
   if (what == "methods") {
-    io::console_table table({"method", "paper name"});
-    for (const auto& name : reg.method_names())
-      table.add_row({name, core::method_name(reg.method(name))});
+    if (as_json) {
+      // The machine-readable form campaign generators consume: identity,
+      // the spec-validation-relevant facts, and the full preset recipe.
+      io::json_value arr = io::json_value::array();
+      for (const auto& name : reg.method_names()) {
+        const core::method_recipe recipe = reg.method(name);
+        io::json_value e = io::json_value::object();
+        e["name"] = name;
+        e["label"] = recipe.label;
+        e["parameterization"] = recipe.parameterization;
+        e["objective_override"] = recipe.objective_override;
+        e["signature"] = recipe.signature();
+        e["recipe"] = api::recipe_to_json(recipe);
+        arr.push_back(std::move(e));
+      }
+      std::printf("%s\n", arr.dump(2).c_str());
+      return 0;
+    }
+    io::console_table table({"method", "label", "recipe"});
+    for (const auto& name : reg.method_names()) {
+      const core::method_recipe recipe = reg.method(name);
+      table.add_row({name, recipe.label, recipe.signature()});
+    }
     table.print("Registered methods");
     return 0;
   }
   if (what == "objectives") {
+    if (as_json) {
+      io::json_value arr = io::json_value::array();
+      for (const auto& name : reg.objective_names()) {
+        const api::objective_entry entry = reg.objective(name);
+        io::json_value e = io::json_value::object();
+        e["name"] = name;
+        e["override_metric"] = entry.override_metric;
+        e["description"] = entry.description;
+        arr.push_back(std::move(e));
+      }
+      std::printf("%s\n", arr.dump(2).c_str());
+      return 0;
+    }
     io::console_table table({"objective", "description"});
     for (const auto& name : reg.objective_names())
       table.add_row({name, reg.objective(name).description});
@@ -103,6 +151,23 @@ int cmd_list(const std::string& what) {
                "objectives)\n",
                what.c_str());
   return 2;
+}
+
+int cmd_describe(const std::string& kind, const std::string& name) {
+  if (kind != "method") {
+    std::fprintf(stderr, "boson_cli: unknown describe target '%s' (expected method)\n",
+                 kind.c_str());
+    return 2;
+  }
+  // Throws the registry's did-you-mean error for unknown names.
+  const core::method_recipe recipe = api::registry::global().method(name);
+  io::json_value v = io::json_value::object();
+  v["name"] = name;
+  v["label"] = recipe.label;
+  v["signature"] = recipe.signature();
+  v["recipe"] = api::recipe_to_json(recipe);
+  std::printf("%s\n", v.dump(2).c_str());
+  return 0;
 }
 
 int cmd_validate(const std::string& path) {
@@ -304,8 +369,22 @@ int main(int argc, char** argv) {
   try {
     const std::string& command = args[0];
     if (command == "list") {
-      if (args.size() != 2) return usage(stderr);
-      return cmd_list(args[1]);
+      std::string what;
+      bool as_json = false;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--json") as_json = true;
+        else if (!args[i].empty() && args[i][0] == '-') {
+          std::fprintf(stderr, "boson_cli: unknown option '%s'\n", args[i].c_str());
+          return 2;
+        } else if (what.empty()) what = args[i];
+        else return usage(stderr);
+      }
+      if (what.empty()) return usage(stderr);
+      return cmd_list(what, as_json);
+    }
+    if (command == "describe") {
+      if (args.size() != 3) return usage(stderr);
+      return cmd_describe(args[1], args[2]);
     }
     if (command == "campaign") {
       return cmd_campaign({args.begin() + 1, args.end()});
