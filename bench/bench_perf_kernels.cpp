@@ -31,6 +31,7 @@
 #include "runtime/campaign.h"
 #include "runtime/checkpoint.h"
 #include "runtime/journal.h"
+#include "runtime/lease.h"
 #include "runtime/scheduler.h"
 #include "sim/backend.h"
 #include "sim/cache.h"
@@ -458,6 +459,40 @@ io::json_value time_runtime() {
     report["journal"] = std::move(j);
     std::printf("journal: %zu appends in %.3f s (%.0f/s), replay %.3f s\n", appends,
                 append_s, static_cast<double>(appends) / append_s, replay_s);
+  }
+
+  {  // lease claim / renew throughput — the elastic scheduler's hot path
+     // (each claim is an append + incremental re-fold of the shared journal,
+     // each renew an append + verify).
+    const fs::path dir = root / "lease";
+    fs::create_directories(dir);
+    runtime::journal log((dir / "journal.jsonl").string());
+    double now = 0.0;
+    runtime::lease_manager manager(log, "bench", 1e9, [&now] { return now; });
+    constexpr std::size_t jobs = 5000;
+    std::vector<runtime::job_lease> held;
+    held.reserve(jobs);
+    stopwatch sw;
+    for (std::size_t i = 0; i < jobs; ++i) {
+      auto lease = manager.claim(i, "bench_job");
+      if (lease) held.push_back(*lease);
+    }
+    const double claim_s = sw.seconds();
+    sw.reset();
+    std::size_t renewed = 0;
+    for (runtime::job_lease& lease : held) renewed += manager.renew(lease) ? 1 : 0;
+    const double renew_s = sw.seconds();
+    io::json_value j = io::json_value::object();
+    j["claims"] = held.size();
+    j["claim_seconds"] = claim_s;
+    j["claims_per_second"] = static_cast<double>(held.size()) / claim_s;
+    j["renews"] = renewed;
+    j["renew_seconds"] = renew_s;
+    j["renews_per_second"] = static_cast<double>(renewed) / renew_s;
+    report["lease"] = std::move(j);
+    std::printf("lease: %zu claims in %.3f s (%.0f/s), %zu renews in %.3f s (%.0f/s)\n",
+                held.size(), claim_s, static_cast<double>(held.size()) / claim_s,
+                renewed, renew_s, static_cast<double>(renewed) / renew_s);
   }
 
   {  // checkpoint save + load latency at a realistic state size.

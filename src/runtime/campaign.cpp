@@ -281,6 +281,7 @@ io::json_value campaign_spec::to_json() const {
   sch["workers"] = scheduler.workers;
   sch["max_retries"] = scheduler.max_retries;
   sch["checkpoint_every"] = scheduler.checkpoint_every;
+  sch["lease_ttl"] = scheduler.lease_ttl;
   return v;
 }
 
@@ -396,10 +397,17 @@ campaign_spec campaign_spec::from_json(const io::json_value& v) {
         if (sk == "workers") spec.scheduler.workers = read_count(sv, path);
         else if (sk == "max_retries") spec.scheduler.max_retries = read_count(sv, path);
         else if (sk == "checkpoint_every") spec.scheduler.checkpoint_every = read_count(sv, path);
+        else if (sk == "lease_ttl") {
+          if (!sv.is_number())
+            campaign_fail("'" + path + "' must be a number, got " + std::string(sv.kind_name()));
+          spec.scheduler.lease_ttl = sv.as_number();
+        }
         else campaign_fail("unknown key '" + sk + "' in scheduler");
       }
       if (spec.scheduler.workers == 0)
         campaign_fail("'scheduler.workers' must be at least 1");
+      if (!(spec.scheduler.lease_ttl > 0.0))
+        campaign_fail("'scheduler.lease_ttl' must be positive");
     } else {
       campaign_fail("unknown key '" + key + "'");
     }

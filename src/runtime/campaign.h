@@ -62,6 +62,7 @@ struct scheduler_settings {
   std::size_t workers = 2;           ///< concurrent jobs
   std::size_t max_retries = 1;       ///< extra attempts after a job failure
   std::size_t checkpoint_every = 0;  ///< optimizer iterations between snapshots
+  double lease_ttl = 30.0;           ///< seconds a job lease stays live between heartbeats
 };
 
 /// Declarative description of a whole campaign.

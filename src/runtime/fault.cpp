@@ -1,0 +1,83 @@
+#include "runtime/fault.h"
+
+#include <csignal>
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace boson::runtime {
+
+const char* to_string(fault_point point) {
+  switch (point) {
+    case fault_point::after_lease: return "after_lease";
+    case fault_point::mid_run: return "mid_run";
+    case fault_point::after_checkpoint: return "after_checkpoint";
+    case fault_point::before_result: return "before_result";
+  }
+  return "?";
+}
+
+fault_point fault_point_from_string(const std::string& text) {
+  if (text == "after_lease") return fault_point::after_lease;
+  if (text == "mid_run") return fault_point::mid_run;
+  if (text == "after_checkpoint") return fault_point::after_checkpoint;
+  if (text == "before_result") return fault_point::before_result;
+  throw bad_argument("fault: unknown kill point '" + text +
+                     "' (expected after_lease, mid_run, after_checkpoint, "
+                     "or before_result)");
+}
+
+void kill_process(const fault_site&) {
+  std::raise(SIGKILL);
+  std::abort();  // unreachable; pacifies noreturn analysis if SIGKILL is blocked
+}
+
+void fault_injector::arm(fault_point point, std::size_t occurrence,
+                         fault_action action) {
+  require(occurrence > 0, "fault: occurrence is 1-based");
+  require(static_cast<bool>(action), "fault: action must not be empty");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  armed_.push_back({point, occurrence, std::move(action)});
+}
+
+void fault_injector::arm(const std::string& spec) {
+  std::string point_text = spec;
+  std::size_t occurrence = 1;
+  const std::size_t colon = spec.rfind(':');
+  if (colon != std::string::npos) {
+    point_text = spec.substr(0, colon);
+    const std::string count_text = spec.substr(colon + 1);
+    try {
+      occurrence = static_cast<std::size_t>(std::stoul(count_text));
+    } catch (const std::exception&) {
+      throw bad_argument("fault: bad occurrence '" + count_text + "' in '" +
+                         spec + "'");
+    }
+  }
+  arm(fault_point_from_string(point_text), occurrence, &kill_process);
+}
+
+void fault_injector::hit(fault_point point, std::size_t job_index,
+                         const std::string& job_name, std::size_t attempt) {
+  fault_action fire;
+  fault_site site;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t n = ++counts_[static_cast<std::size_t>(point)];
+    for (const armed& a : armed_) {
+      if (a.point == point && a.occurrence == n) {
+        fire = a.action;
+        site = {point, n, job_index, attempt, job_name};
+        break;
+      }
+    }
+  }
+  if (fire) fire(site);  // outside the lock: the action may re-enter or not return
+}
+
+std::size_t fault_injector::count(fault_point point) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return counts_[static_cast<std::size_t>(point)];
+}
+
+}  // namespace boson::runtime

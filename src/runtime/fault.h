@@ -1,0 +1,79 @@
+/// \file fault.h
+/// Deterministic fault injection for the elastic scheduler. The scheduler
+/// calls `hit(point, ...)` at a handful of named *kill points* in every job's
+/// lifecycle; a test (or the CLI's `--fault point:n` flag) arms an action at
+/// the nth occurrence of a point, and the armed action fires exactly there —
+/// no wall-clock sleeps, no signals-from-outside races. The stock action is
+/// `kill_process`, a raw `SIGKILL` to self, which gives multi-process tests
+/// real kill semantics (no destructors, no flushes beyond what already
+/// happened) at a replayable location.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace boson::runtime {
+
+/// Named scheduler locations where faults can fire.
+enum class fault_point {
+  after_lease,       ///< claim won, before the attempt starts
+  mid_run,           ///< inside the attempt, at an iteration boundary
+  after_checkpoint,  ///< a checkpoint was persisted and journaled
+  before_result,     ///< ownership verified, before the result row is stored
+};
+
+const char* to_string(fault_point point);
+fault_point fault_point_from_string(const std::string& text);
+
+/// Context handed to a fault action when its site fires.
+struct fault_site {
+  fault_point point = fault_point::after_lease;
+  std::size_t occurrence = 0;  ///< 1-based count of this point, process-wide
+  std::size_t job_index = 0;
+  std::size_t attempt = 0;
+  std::string job_name;
+};
+
+using fault_action = std::function<void(const fault_site&)>;
+
+/// SIGKILL the calling process — the action behind `--fault`.
+void kill_process(const fault_site& site);
+
+/// Arms actions at (point, nth-occurrence) sites and fires them from `hit`.
+/// Occurrences are counted per point across the whole process, so a seeded
+/// schedule like {mid_run:2, after_checkpoint:1} replays identically given
+/// the same scheduling order. Thread-safe; an unarmed injector is free.
+class fault_injector {
+ public:
+  /// Fire `action` at the `occurrence`-th (1-based) hit of `point`.
+  void arm(fault_point point, std::size_t occurrence, fault_action action);
+
+  /// Arm from the CLI form "point:n" (e.g. "mid_run:2"), with `kill_process`
+  /// as the action. A bare "point" means occurrence 1.
+  void arm(const std::string& spec);
+
+  /// Count an occurrence of `point`; fires the matching armed action (if
+  /// any). Actions may throw or never return (SIGKILL).
+  void hit(fault_point point, std::size_t job_index, const std::string& job_name,
+           std::size_t attempt);
+
+  /// Occurrences of `point` counted so far.
+  std::size_t count(fault_point point) const;
+
+ private:
+  struct armed {
+    fault_point point;
+    std::size_t occurrence;
+    fault_action action;
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t counts_[4] = {0, 0, 0, 0};
+  std::vector<armed> armed_;
+};
+
+}  // namespace boson::runtime

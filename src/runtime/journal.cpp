@@ -10,6 +10,10 @@ namespace boson::runtime {
 const char* to_string(job_state state) {
   switch (state) {
     case job_state::scheduled: return "scheduled";
+    case job_state::leased: return "leased";
+    case job_state::lease_renewed: return "lease_renewed";
+    case job_state::lease_released: return "lease_released";
+    case job_state::lease_expired: return "lease_expired";
     case job_state::running: return "running";
     case job_state::checkpointed: return "checkpointed";
     case job_state::completed: return "completed";
@@ -21,6 +25,10 @@ const char* to_string(job_state state) {
 
 job_state job_state_from_string(const std::string& text) {
   if (text == "scheduled") return job_state::scheduled;
+  if (text == "leased") return job_state::leased;
+  if (text == "lease_renewed") return job_state::lease_renewed;
+  if (text == "lease_released") return job_state::lease_released;
+  if (text == "lease_expired") return job_state::lease_expired;
   if (text == "running") return job_state::running;
   if (text == "checkpointed") return job_state::checkpointed;
   if (text == "completed") return job_state::completed;
@@ -37,6 +45,10 @@ io::json_value journal_entry::to_json() const {
   v["attempt"] = attempt;
   if (!detail.empty()) v["detail"] = detail;
   if (seconds > 0.0) v["seconds"] = seconds;
+  if (!worker.empty()) v["worker"] = worker;
+  if (lease_id != 0) v["lease"] = static_cast<double>(lease_id);
+  if (deadline != 0.0) v["deadline"] = deadline;
+  if (stamp != 0.0) v["t"] = stamp;
   return v;
 }
 
@@ -48,6 +60,11 @@ journal_entry journal_entry::from_json(const io::json_value& v) {
   e.attempt = static_cast<std::size_t>(v.at("attempt").as_number());
   if (const io::json_value* d = v.find("detail")) e.detail = d->as_string();
   if (const io::json_value* s = v.find("seconds")) e.seconds = s->as_number();
+  if (const io::json_value* w = v.find("worker")) e.worker = w->as_string();
+  if (const io::json_value* l = v.find("lease"))
+    e.lease_id = static_cast<std::uint64_t>(l->as_number());
+  if (const io::json_value* dl = v.find("deadline")) e.deadline = dl->as_number();
+  if (const io::json_value* t = v.find("t")) e.stamp = t->as_number();
   return e;
 }
 

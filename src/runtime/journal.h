@@ -1,15 +1,24 @@
 /// \file journal.h
 /// Append-only durability log of a campaign: every job state transition
-/// (started, checkpointed, completed, failed, cancelled) is one JSON line in
-/// `journal.jsonl`. Appends are mutex-serialized within a process and
-/// line-buffered into a single O_APPEND write, so concurrent shard processes
-/// sharing one campaign directory interleave whole lines only. Replay
-/// reconstructs the latest state per job — the scheduler's crash-recovery
-/// source of truth — and tolerates a torn (crash-truncated) final line.
+/// (leased, running, checkpointed, completed, failed, cancelled, ...) is one
+/// JSON line in `journal.jsonl`. Appends are mutex-serialized within a
+/// process and line-buffered into a single O_APPEND write, so concurrent
+/// worker processes sharing one campaign directory interleave whole lines
+/// only. Replay reconstructs the latest state per job — the scheduler's
+/// crash-recovery source of truth — and tolerates a torn (crash-truncated)
+/// final line.
+///
+/// Since the elastic-scheduling rewrite the journal is also the
+/// *coordination* medium: workers claim jobs by appending `leased` records,
+/// keep them alive with `lease_renewed` heartbeats, and take over a dead
+/// worker's jobs by appending `lease_expired` + a fresh claim. Because every
+/// appender shares one file, replay order is a total order and resolves
+/// every claim race deterministically (see `lease.h`).
 
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -21,18 +30,24 @@ namespace boson::runtime {
 
 /// Lifecycle states a job moves through in the journal.
 enum class job_state {
-  scheduled,     ///< admitted to this scheduler run's queue
-  running,       ///< an attempt started
-  checkpointed,  ///< a mid-run snapshot was persisted (detail = next iteration)
-  completed,     ///< finished; results are in the store
-  failed,        ///< an attempt threw (detail = error message)
-  cancelled,     ///< interrupted by cooperative cancellation
+  scheduled,      ///< admitted to a scheduler run's queue (legacy; informational)
+  leased,         ///< a worker claimed the job (winner decided by replay order)
+  lease_renewed,  ///< heartbeat: the owner extended its lease deadline
+  lease_released, ///< the owner gave the job back without finishing it
+  lease_expired,  ///< a worker observed the lease deadline passed (steal prologue)
+  running,        ///< an attempt started
+  checkpointed,   ///< a mid-run snapshot was persisted (detail = next iteration)
+  completed,      ///< finished; results are in the store
+  failed,         ///< an attempt threw (detail = error message)
+  cancelled,      ///< interrupted by cooperative cancellation
 };
 
 const char* to_string(job_state state);
 job_state job_state_from_string(const std::string& text);
 
-/// One journal record.
+/// One journal record. The lease fields (`worker`, `lease_id`, `deadline`,
+/// `stamp`) are only serialized when set, so pre-lease journals replay (and
+/// re-serialize) unchanged.
 struct journal_entry {
   std::size_t job_index = 0;
   std::string job_name;
@@ -40,6 +55,12 @@ struct journal_entry {
   std::size_t attempt = 0;   ///< 1-based attempt number; 0 for scheduled
   std::string detail;        ///< state-dependent payload (error, iteration, ...)
   double seconds = 0.0;      ///< wall-clock of the attempt (completed/failed)
+
+  // Lease coordination fields.
+  std::string worker;          ///< worker id that wrote (or is named by) the record
+  std::uint64_t lease_id = 0;  ///< per-worker claim counter; (worker, lease_id) is unique
+  double deadline = 0.0;       ///< absolute lease expiry time (leased / lease_renewed)
+  double stamp = 0.0;          ///< the writer's clock when the record was appended
 
   io::json_value to_json() const;
   static journal_entry from_json(const io::json_value& v);
@@ -64,7 +85,10 @@ class journal {
   /// A missing file replays to an empty history.
   static std::vector<journal_entry> replay(const std::string& path);
 
-  /// Reduce a replayed history to the latest entry per job index.
+  /// Reduce a replayed history to the latest entry per job index. Note that
+  /// with lease coordination the *latest* record can be a losing claim or a
+  /// heartbeat; scheduling decisions go through `lease_table::resolve`
+  /// instead, which folds the full history.
   static std::map<std::size_t, journal_entry> latest_states(
       const std::vector<journal_entry>& entries);
 

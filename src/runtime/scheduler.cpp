@@ -1,5 +1,7 @@
 #include "runtime/scheduler.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <filesystem>
 #include <memory>
@@ -20,26 +22,46 @@ namespace {
 
 namespace fs = std::filesystem;
 
-/// Observer each job runs under: forwards to the worker's inner observer and
-/// turns a cancel request into a `cancelled_error` at the next iteration or
-/// stage boundary — never after the work already finished, so a cancel that
-/// lands during final artifact writes does not discard a completed job.
-class cancel_guard : public api::observer {
+/// Observer each attempt runs under: forwards to the worker's inner observer
+/// and, at every iteration/stage boundary,
+///  1. turns a cancel request into `cancelled_error` — never after the work
+///     already finished, so a cancel that lands during final artifact writes
+///     does not discard a completed job;
+///  2. counts the `mid_run` fault point (iteration boundaries only);
+///  3. heartbeats the job's lease once a third of the TTL has elapsed,
+///     turning a failed renewal (the lease was stolen) into
+///     `lease_lost_error` so the attempt is abandoned promptly.
+class lease_guard : public api::observer {
  public:
-  cancel_guard(api::observer* inner, const std::atomic<bool>& flag)
-      : inner_(inner), flag_(flag) {}
+  lease_guard(api::observer* inner, const std::atomic<bool>& cancel_flag,
+              lease_manager& manager, job_lease& lease, fault_injector* faults)
+      : inner_(inner), cancel_(cancel_flag), manager_(manager), lease_(lease),
+        faults_(faults) {}
 
   void on_event(const api::progress_event& event) override {
     using phase = api::progress_event::phase;
-    if (flag_.load() && (event.kind == phase::iteration_finished ||
-                         event.kind == phase::stage_started))
-      throw cancelled_error("job '" + event.experiment + "' cancelled");
+    const bool boundary = event.kind == phase::iteration_finished ||
+                          event.kind == phase::stage_started;
+    if (boundary) {
+      if (cancel_.load())
+        throw cancelled_error("job '" + event.experiment + "' cancelled");
+      if (faults_ != nullptr && event.kind == phase::iteration_finished)
+        faults_->hit(fault_point::mid_run, lease_.job_index, lease_.job_name,
+                     lease_.attempt);
+      if (manager_.now() >= lease_.deadline - 2.0 / 3.0 * manager_.ttl() &&
+          !manager_.renew(lease_))
+        throw lease_lost_error("job '" + event.experiment +
+                               "' lease lost at a heartbeat");
+    }
     if (inner_ != nullptr) inner_->on_event(event);
   }
 
  private:
   api::observer* inner_;
-  const std::atomic<bool>& flag_;
+  const std::atomic<bool>& cancel_;
+  lease_manager& manager_;
+  job_lease& lease_;
+  fault_injector* faults_;
 };
 
 job_result_row make_row(const campaign_job& job, const api::experiment_result& result,
@@ -65,6 +87,8 @@ job_result_row make_row(const campaign_job& job, const api::experiment_result& r
 
 }  // namespace
 
+std::string default_worker_id() { return "w" + std::to_string(::getpid()); }
+
 std::string journal_path(const std::string& campaign_dir) {
   return (fs::path(campaign_dir) / "journal.jsonl").string();
 }
@@ -87,8 +111,14 @@ scheduler_settings scheduler::effective_settings() const {
   if (options_.workers) settings.workers = *options_.workers;
   if (options_.max_retries) settings.max_retries = *options_.max_retries;
   if (options_.checkpoint_every) settings.checkpoint_every = *options_.checkpoint_every;
+  if (options_.lease_ttl) settings.lease_ttl = *options_.lease_ttl;
   settings.workers = std::max<std::size_t>(1, settings.workers);
+  require(settings.lease_ttl > 0.0, "scheduler: lease TTL must be positive");
   return settings;
+}
+
+std::string scheduler::worker_id() const {
+  return options_.worker_id.empty() ? default_worker_id() : options_.worker_id;
 }
 
 scheduler_report scheduler::run() {
@@ -101,21 +131,27 @@ scheduler_report scheduler::run() {
   fs::create_directories(fs::path(options_.campaign_dir) / "jobs");
 
   const std::vector<campaign_job> all_jobs = spec_.expand();
-  const auto latest =
-      journal::latest_states(journal::replay(journal_path(options_.campaign_dir)));
 
-  // This shard's slice, minus everything the journal already proved done.
+  journal log(journal_path(options_.campaign_dir));
+  result_store store(options_.campaign_dir);
+  lease_manager manager(log, worker_id(), settings.lease_ttl, options_.clock);
+  fault_injector* const faults = options_.faults;
+
+  // The jobs this worker considers (the shard filter survives as a
+  // deprecated alias), minus everything the journal already proved done.
   scheduler_report report;
   std::vector<const campaign_job*> pending;
-  for (const campaign_job& job : all_jobs) {
-    if (!options_.shard.contains(job.index)) continue;
-    ++report.shard_jobs;
-    const auto it = latest.find(job.index);
-    if (it != latest.end() && it->second.state == job_state::completed) {
-      ++report.skipped;
-      continue;
+  {
+    const lease_table table = manager.snapshot();
+    for (const campaign_job& job : all_jobs) {
+      if (!options_.shard.contains(job.index)) continue;
+      ++report.shard_jobs;
+      if (table.done(job.index)) {
+        ++report.skipped;
+        continue;
+      }
+      pending.push_back(&job);
     }
-    pending.push_back(&job);
   }
 
   if (pending.empty()) {
@@ -123,12 +159,11 @@ scheduler_report scheduler::run() {
     return report;
   }
 
-  journal log(journal_path(options_.campaign_dir));
-  result_store store(options_.campaign_dir);
-
-  const auto journal_event = [&log](const campaign_job& job, job_state state,
-                                    std::size_t attempt, const std::string& detail = "",
-                                    double seconds = 0.0) {
+  const auto journal_event = [&log, &manager](const campaign_job& job, job_state state,
+                                              std::size_t attempt,
+                                              const std::string& detail = "",
+                                              double seconds = 0.0,
+                                              const job_lease* lease = nullptr) {
     journal_entry e;
     e.job_index = job.index;
     e.job_name = job.name;
@@ -136,42 +171,67 @@ scheduler_report scheduler::run() {
     e.attempt = attempt;
     e.detail = detail;
     e.seconds = seconds;
+    if (lease != nullptr) {
+      e.worker = manager.worker();
+      e.lease_id = lease->lease_id;
+    }
+    e.stamp = manager.now();
     log.append(e);
   };
-
-  for (const campaign_job* job : pending)
-    journal_event(*job, job_state::scheduled, 0, "shard " + options_.shard.to_string());
 
   std::mutex report_mutex;
   std::atomic<std::size_t> next{0};
 
-  const auto execute_job = [&](const campaign_job& job, api::observer* watcher) {
-    const auto it = latest.find(job.index);
-    const std::size_t prior_attempts = it != latest.end() ? it->second.attempt : 0;
+  // One leased attempt sequence for `job`: run (resuming from a persisted
+  // checkpoint if one exists), commit on success, re-claim between retries —
+  // a `failed` record releases the lease, so each retry has to win the job
+  // back before burning simulation time on it.
+  const auto run_leased_job = [&](const campaign_job& job, job_lease lease,
+                                  api::observer* inner) {
     const std::string dir = job_directory(options_.campaign_dir, job.name);
-
-    // A fresh retry budget per scheduler run: resuming a crashed campaign
-    // must not inherit exhausted budgets from the previous process.
+    const std::string snapshot = checkpoint_path(dir);
     bool counted_resume = false;
+
     for (std::size_t try_index = 0; try_index <= settings.max_retries; ++try_index) {
-      const std::size_t attempt = prior_attempts + try_index + 1;
+      if (try_index > 0) {
+        // The failed record released the lease; win it back for the retry.
+        std::optional<job_lease> again = manager.claim(job.index, job.name);
+        if (!again) {
+          const std::lock_guard<std::mutex> lock(report_mutex);
+          ++report.lost;  // another worker took (or finished) the retry
+          return;
+        }
+        lease = *again;
+        const std::lock_guard<std::mutex> lock(report_mutex);
+        ++report.claimed;
+        if (lease.stolen) ++report.stolen;
+      }
+      const std::size_t attempt = lease.attempt;
+      lease_guard guard(inner, cancel_, manager, lease, faults);
 
       api::run_control control;
       if (settings.checkpoint_every > 0) {
         control.checkpoint_every = settings.checkpoint_every;
-        control.on_checkpoint = [&journal_event, &job, dir,
-                                 attempt](const core::run_checkpoint& ck) {
+        control.on_checkpoint = [&](const core::run_checkpoint& ck) {
           save_checkpoint(dir, job.name, ck);
           journal_event(job, job_state::checkpointed, attempt,
                         "iteration " + std::to_string(ck.next_iteration) + "/" +
-                            std::to_string(ck.total_iterations));
+                            std::to_string(ck.total_iterations),
+                        0.0, &lease);
+          if (faults != nullptr)
+            faults->hit(fault_point::after_checkpoint, job.index, job.name, attempt);
+          // A persisted checkpoint is the natural heartbeat: whoever steals
+          // this lease resumes from here, so renewing now keeps the lease
+          // honest about how stale a steal could be.
+          if (!manager.renew(lease))
+            throw lease_lost_error("job '" + job.name +
+                                   "' lease lost at a checkpoint");
         };
       }
 
       // Restore any persisted snapshot — also when checkpointing is now
       // disabled, so `campaign resume` picks up mid-flight work regardless.
       std::string resume_note;
-      const std::string snapshot = checkpoint_path(dir);
       if (fs::exists(snapshot)) {
         try {
           checkpoint_file file = load_checkpoint(snapshot);
@@ -203,7 +263,7 @@ scheduler_report scheduler::run() {
         }
       }
 
-      journal_event(job, job_state::running, attempt, resume_note);
+      journal_event(job, job_state::running, attempt, resume_note, 0.0, &lease);
       if (!resume_note.empty() && !counted_resume) {
         counted_resume = true;
         const std::lock_guard<std::mutex> lock(report_mutex);
@@ -213,11 +273,22 @@ scheduler_report scheduler::run() {
       const stopwatch job_sw;
       try {
         const api::experiment_result result =
-            options_.executor ? options_.executor(job, control, watcher)
-                              : execute_with_session(job, control, watcher);
+            options_.executor ? options_.executor(job, control, &guard)
+                              : execute_with_session(job, control, &guard);
+        // Commit protocol: prove the lease is still ours, then row first,
+        // then the journal — "completed" implies stored, and a worker that
+        // lost its lease mid-run forfeits instead of double-reporting (the
+        // stealer's bit-identical resumed result is the one that lands).
+        if (!manager.still_owner(lease)) {
+          const std::lock_guard<std::mutex> lock(report_mutex);
+          ++report.lost;
+          return;
+        }
+        if (faults != nullptr)
+          faults->hit(fault_point::before_result, job.index, job.name, attempt);
         const job_result_row row = make_row(job, result, attempt, job_sw.seconds());
-        store.append(row);  // row first, then the journal: "completed" implies stored
-        journal_event(job, job_state::completed, attempt, "", row.seconds);
+        store.append(row);
+        journal_event(job, job_state::completed, attempt, "", row.seconds, &lease);
         std::error_code ec;
         fs::remove(snapshot, ec);
         fs::remove(fs::path(dir) / "checkpoint.pgm", ec);
@@ -226,10 +297,20 @@ scheduler_report scheduler::run() {
         report.rows.push_back(row);
         return;
       } catch (const cancelled_error& e) {
-        journal_event(job, job_state::cancelled, attempt, e.what(), job_sw.seconds());
+        // Releases the lease in resolution, so another worker can pick the
+        // job up; the checkpoint stays for them (or a later resume).
+        journal_event(job, job_state::cancelled, attempt, e.what(), job_sw.seconds(),
+                      &lease);
         const std::lock_guard<std::mutex> lock(report_mutex);
         ++report.cancelled;
         return;  // cancellation is not a failure: no retry
+      } catch (const lease_lost_error& e) {
+        // The job is someone else's now — nothing to journal (our lease
+        // fields would resolve as void anyway).
+        log_warn("scheduler: ", e.what(), "; abandoning the attempt");
+        const std::lock_guard<std::mutex> lock(report_mutex);
+        ++report.lost;
+        return;
       } catch (const io_error&) {
         // Durability (journal/store/checkpoint) or artifact IO died — disk
         // full, permissions. Re-running the simulation cannot fix that and
@@ -248,7 +329,8 @@ scheduler_report scheduler::run() {
           std::error_code ec;
           fs::remove(snapshot, ec);
         }
-        journal_event(job, job_state::failed, attempt, e.what(), job_sw.seconds());
+        journal_event(job, job_state::failed, attempt, e.what(), job_sw.seconds(),
+                      &lease);
         if (try_index == settings.max_retries) {
           const std::lock_guard<std::mutex> lock(report_mutex);
           ++report.failed;
@@ -261,17 +343,38 @@ scheduler_report scheduler::run() {
     }
   };
 
-  const auto worker_main = [&](std::size_t worker_id) {
-    api::log_observer tagged("[" + options_.shard.to_string() + ".w" +
-                             std::to_string(worker_id) + "] ");
+  const auto worker_main = [&](std::size_t thread_id) {
+    api::log_observer tagged("[" + manager.worker() + ".t" +
+                             std::to_string(thread_id) + "] ");
     api::observer* inner = options_.watcher != nullptr ? options_.watcher : &tagged;
-    cancel_guard guard(inner, cancel_);
 
     while (!cancel_.load()) {
       const std::size_t i = next.fetch_add(1);
       if (i >= pending.size()) break;
+      const campaign_job& job = *pending[i];
       try {
-        execute_job(*pending[i], &guard);
+        std::optional<job_lease> lease = manager.claim(job.index, job.name);
+        if (!lease) {
+          // Done, live-leased elsewhere (including by a sibling thread of
+          // this worker), or a lost claim race. Never wait on another
+          // worker's live lease — report it and move on.
+          const lease_view v = manager.snapshot().view(job.index);
+          const std::lock_guard<std::mutex> lock(report_mutex);
+          if (v.state == lease_view::phase::done) ++report.skipped;
+          else ++report.left_leased;
+          continue;
+        }
+        {
+          const std::lock_guard<std::mutex> lock(report_mutex);
+          ++report.claimed;
+          if (lease->stolen) ++report.stolen;
+        }
+        if (lease->stolen)
+          log_warn("scheduler[", manager.worker(), "]: took over job '", job.name,
+                   "' from expired lease of '", lease->stolen_from, "'");
+        if (faults != nullptr)
+          faults->hit(fault_point::after_lease, job.index, job.name, lease->attempt);
+        run_leased_job(job, *lease, inner);
       } catch (const std::exception& e) {
         // Journal/store IO died: stop the campaign rather than run jobs
         // whose outcomes cannot be made durable.
@@ -289,9 +392,10 @@ scheduler_report scheduler::run() {
   for (std::thread& t : workers) t.join();
 
   report.wall_seconds = sw.seconds();
-  log_info("scheduler[", spec_.name, " ", options_.shard.to_string(), "]: ",
+  log_info("scheduler[", spec_.name, " ", manager.worker(), "]: ",
            report.completed, " completed, ", report.skipped, " skipped, ",
-           report.failed, " failed, ", report.cancelled, " cancelled in ",
+           report.failed, " failed, ", report.cancelled, " cancelled, ",
+           report.stolen, " stolen, ", report.left_leased, " left leased in ",
            report.wall_seconds, " s");
   return report;
 }

@@ -1,12 +1,20 @@
 /// \file scheduler.h
-/// The campaign execution engine: expands a `campaign_spec`, filters the
-/// job list to this process's `--shard i/N` slice, and runs the remaining
+/// The campaign execution engine: expands a `campaign_spec` and runs its
 /// jobs across a bounded pool of worker threads with per-job retry,
-/// cooperative cancellation, and durability. Every state transition lands in
-/// the append-only journal and every completed job in the result store, so a
-/// killed scheduler resumes by replaying the journal: completed jobs are
-/// skipped outright and mid-flight jobs restart from their last persisted
-/// checkpoint instead of iteration zero.
+/// cooperative cancellation, and durability. Work is distributed *elastically*
+/// through journal leases (`lease.h`): every worker process claims pending
+/// jobs by appending to the shared journal, heartbeats them while running,
+/// and takes over leases whose owners died — so workers can join or leave a
+/// campaign freely, and a SIGKILLed worker's jobs get re-leased instead of
+/// stranded. Every state transition lands in the append-only journal and
+/// every completed job in the result store; a killed scheduler resumes by
+/// replaying the journal, restarting mid-flight jobs from their last
+/// persisted checkpoint instead of iteration zero.
+///
+/// The static `--shard i/N` partition survives as a deprecated *filter*: a
+/// sharded worker only considers its slice, but coverage no longer depends
+/// on every shard index being served — any worker can finish any unleased
+/// job it is allowed to see.
 
 #pragma once
 
@@ -21,6 +29,8 @@
 #include "api/session.h"
 #include "common/error.h"
 #include "runtime/campaign.h"
+#include "runtime/fault.h"
+#include "runtime/lease.h"
 #include "runtime/result_store.h"
 
 namespace boson::runtime {
@@ -33,58 +43,93 @@ class cancelled_error : public error {
   using error::error;
 };
 
+/// Thrown through a job when a heartbeat discovers its lease is gone —
+/// another worker proved it expired and took the job over. The attempt is
+/// abandoned without journaling a result; the new owner's result is the one
+/// that counts.
+class lease_lost_error : public error {
+ public:
+  using error::error;
+};
+
 /// Pluggable job execution: the default runs the spec through an
 /// `api::session` into `<campaign_dir>/jobs/<name>/`; tests and benchmarks
 /// substitute synthetic executors to exercise the scheduling machinery
 /// without simulations. `watcher` is the scheduler's per-job observer (it
-/// enforces cancellation — executors should forward progress through it).
+/// enforces cancellation and lease heartbeats — executors should forward
+/// progress through it).
 using job_executor = std::function<api::experiment_result(
     const campaign_job& job, const api::run_control& control, api::observer* watcher)>;
+
+/// The worker id a scheduler uses when none is configured: "w<pid>", unique
+/// per process on one machine — the normal one-worker-per-process case.
+std::string default_worker_id();
 
 struct scheduler_options {
   /// Campaign working directory: journal, result store, and job artifacts.
   std::string campaign_dir = "boson_campaign";
 
-  /// This process's slice of the job list (default: everything).
+  /// Identity this process claims leases under. Empty: `default_worker_id()`.
+  /// Two live workers must never share an id (threads within one scheduler
+  /// share it by design).
+  std::string worker_id;
+
+  /// Deprecated static filter: this worker only considers its `i/N` slice of
+  /// the job list (default: everything). Leases make this unnecessary —
+  /// prefer pointing several unsharded workers at one campaign directory.
   shard_range shard;
 
   /// Overrides of the campaign's scheduler settings (unset: use the spec's).
   std::optional<std::size_t> workers;
   std::optional<std::size_t> max_retries;
   std::optional<std::size_t> checkpoint_every;
+  std::optional<double> lease_ttl;
 
   bool write_artifacts = true;
 
   /// Shared progress receiver; must be thread-safe (see `api::observer`).
-  /// nullptr: each worker logs through a shard/worker-prefixed
-  /// `log_observer`.
+  /// nullptr: each worker logs through a worker-prefixed `log_observer`.
   api::observer* watcher = nullptr;
 
   /// Execution override for tests/benchmarks (empty: the api::session path).
   job_executor executor;
+
+  /// Lease clock override (empty: `wall_clock_seconds`). Tests drive expiry
+  /// by injecting manual clocks instead of sleeping.
+  clock_fn clock;
+
+  /// Deterministic kill points (tests / `--fault`); nullptr: none.
+  fault_injector* faults = nullptr;
 };
 
-/// What one `scheduler::run` call did to its shard.
+/// What one `scheduler::run` call did to the jobs it considered.
 struct scheduler_report {
-  std::size_t shard_jobs = 0;  ///< jobs in this shard
-  std::size_t completed = 0;   ///< finished during this run
-  std::size_t skipped = 0;     ///< already completed per the journal
-  std::size_t failed = 0;      ///< exhausted their retry budget
-  std::size_t cancelled = 0;   ///< interrupted by `cancel`
-  std::size_t resumed = 0;     ///< restarted from a mid-flight checkpoint
+  std::size_t shard_jobs = 0;   ///< jobs this worker was allowed to consider
+  std::size_t completed = 0;    ///< finished during this run
+  std::size_t skipped = 0;      ///< already completed per the journal
+  std::size_t failed = 0;       ///< exhausted their retry budget
+  std::size_t cancelled = 0;    ///< interrupted by `cancel`
+  std::size_t resumed = 0;      ///< restarted from a mid-flight checkpoint
+  std::size_t claimed = 0;      ///< leases this run won
+  std::size_t stolen = 0;       ///< claims that took over an expired lease
+  std::size_t lost = 0;         ///< attempts abandoned because the lease was lost
+  std::size_t left_leased = 0;  ///< jobs skipped because another worker holds a live lease
   double wall_seconds = 0.0;
   std::vector<job_result_row> rows;    ///< result-store rows appended this run
   std::vector<std::string> errors;     ///< messages of permanently-failed jobs
 };
 
-/// Sharded, journaled, resumable campaign runner.
+/// Lease-coordinated, journaled, resumable campaign runner.
 class scheduler {
  public:
   scheduler(campaign_spec spec, scheduler_options options);
 
-  /// Execute this shard's pending jobs; blocks until done (or cancelled).
-  /// Safe to call again on the same campaign directory — completed jobs are
-  /// skipped, failed/cancelled jobs get a fresh retry budget.
+  /// Execute pending jobs this worker can claim; blocks until every job it
+  /// considers is done, held by another live worker, or failed permanently
+  /// (it never waits on another worker's live lease — re-run, or run a
+  /// second worker, to pick up leftovers). Safe to call again on the same
+  /// campaign directory — completed jobs are skipped, failed/cancelled jobs
+  /// get a fresh retry budget.
   scheduler_report run();
 
   /// Cooperative cancellation, callable from any thread (or from a job's
@@ -97,6 +142,9 @@ class scheduler {
 
   /// Effective settings after applying option overrides to the spec.
   scheduler_settings effective_settings() const;
+
+  /// Effective worker id (the configured one, or `default_worker_id()`).
+  std::string worker_id() const;
 
  private:
   api::experiment_result execute_with_session(const campaign_job& job,

@@ -1,11 +1,18 @@
 // Tests of the campaign runtime: shard partitioning, campaign expansion,
 // the append-only journal, bit-exact checkpoint serialization, checkpoint /
-// resume determinism of the optimization loop, and the sharded scheduler
-// (synthetic executors for the machinery, one real end-to-end resume).
+// resume determinism of the optimization loop, the lease-based elastic
+// scheduler (claim races, steals, heartbeats — all under injected manual
+// clocks, never wall-clock sleeps), and a multi-process fault-injection
+// matrix that SIGKILLs forked workers at named kill points and proves the
+// survivors re-lease and finish every job exactly once.
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <csignal>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
@@ -16,6 +23,7 @@
 #include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/registry.h"
@@ -26,7 +34,9 @@
 #include "optim/optimizer.h"
 #include "runtime/campaign.h"
 #include "runtime/checkpoint.h"
+#include "runtime/fault.h"
 #include "runtime/journal.h"
+#include "runtime/lease.h"
 #include "runtime/result_store.h"
 #include "runtime/scheduler.h"
 
@@ -103,6 +113,100 @@ runtime::job_executor counting_executor(std::atomic<std::size_t>& executed) {
     result.seconds = 0.001;
     return result;
   };
+}
+
+/// Like `counting_executor`, but drives `iterations` iteration_finished
+/// events through the scheduler's watcher first — so cooperative
+/// cancellation, mid_run fault points, and lease heartbeats all get their
+/// boundaries without running a simulation.
+runtime::job_executor chatty_executor(std::atomic<std::size_t>& executed,
+                                      std::size_t iterations) {
+  return [&executed, iterations](const runtime::campaign_job& job,
+                                 const api::run_control&, api::observer* watcher) {
+    for (std::size_t i = 0; i < iterations; ++i) {
+      api::progress_event event;
+      event.kind = api::progress_event::phase::iteration_finished;
+      event.experiment = job.name;
+      event.iteration = i;
+      event.total_iterations = iterations;
+      watcher->on_event(event);  // may throw cancelled/lease_lost
+    }
+    ++executed;
+    api::experiment_result result;
+    result.spec = job.spec;
+    return result;
+  };
+}
+
+/// Raw line count of the result store — `result_store::load` collapses to
+/// the latest attempt per job, so exactly-once assertions count lines.
+std::size_t result_line_count(const fs::path& campaign_dir) {
+  std::ifstream in(runtime::result_store::store_path(campaign_dir.string()));
+  std::size_t lines = 0;
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) ++lines;
+  return lines;
+}
+
+/// Replay-check the core lease invariant over a full journal history: at no
+/// prefix do two live leases cover one job. Concretely, a job's lease owner
+/// never changes within a single applied record (ownership must pass through
+/// pending via a release / expiry / failure / completion), `completed` is
+/// terminal, and an expiry that frees a lease carries stamp >= the freed
+/// lease's deadline.
+void expect_single_owner_throughout(const std::vector<runtime::journal_entry>& entries) {
+  runtime::lease_table table;
+  std::map<std::size_t, runtime::lease_view> prev;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const runtime::journal_entry& e = entries[i];
+    table.apply(e);
+    const runtime::lease_view cur = table.view(e.job_index);
+    const auto it = prev.find(e.job_index);
+    if (it != prev.end()) {
+      const runtime::lease_view& p = it->second;
+      if (p.state == runtime::lease_view::phase::leased &&
+          cur.state == runtime::lease_view::phase::leased) {
+        EXPECT_TRUE(p.worker == cur.worker && p.lease_id == cur.lease_id)
+            << "record " << i << " handed job " << e.job_index << " from "
+            << p.worker << "#" << p.lease_id << " to " << cur.worker << "#"
+            << cur.lease_id << " without passing through pending";
+      }
+      if (p.state == runtime::lease_view::phase::done) {
+        EXPECT_EQ(cur.state, runtime::lease_view::phase::done)
+            << "record " << i << " resurrected completed job " << e.job_index;
+      }
+      if (p.state == runtime::lease_view::phase::leased &&
+          cur.state != runtime::lease_view::phase::leased &&
+          e.state == runtime::job_state::lease_expired) {
+        EXPECT_GE(e.stamp, p.deadline)
+            << "record " << i << " expired job " << e.job_index
+            << " before its deadline";
+      }
+    }
+    prev[e.job_index] = cur;
+  }
+}
+
+/// Fork a worker process running `fn`; the child never returns into gtest.
+template <class Fn>
+pid_t fork_worker(Fn&& fn) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    fn();
+    std::_Exit(0);
+  }
+  return pid;
+}
+
+enum class child_end { clean_exit, sigkilled, other };
+
+child_end wait_worker(pid_t pid) {
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  if (WIFEXITED(status) && WEXITSTATUS(status) == 0) return child_end::clean_exit;
+  if (WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL) return child_end::sigkilled;
+  return child_end::other;
 }
 
 // -------------------------------------------------------------- sharding ---
@@ -951,6 +1055,757 @@ TEST(scheduler, cancellation_via_observer_interrupts_and_resume_completes) {
       read(fs::path(dir) / "jobs" / "bend_boson_no_relax_s8" / "trajectory.csv");
   ASSERT_FALSE(ref_csv.empty());
   EXPECT_EQ(csv, ref_csv);
+}
+
+// ------------------------------------------------------- lease journaling --
+
+TEST(journal, lease_records_round_trip_every_field) {
+  runtime::journal_entry e;
+  e.job_index = 7;
+  e.job_name = "job7";
+  e.state = runtime::job_state::leased;
+  e.attempt = 2;
+  e.worker = "w42";
+  e.lease_id = 9;
+  e.deadline = 1234.5;
+  e.stamp = 1204.5;
+  const runtime::journal_entry back = runtime::journal_entry::from_json(e.to_json());
+  EXPECT_EQ(back.state, runtime::job_state::leased);
+  EXPECT_EQ(back.worker, "w42");
+  EXPECT_EQ(back.lease_id, 9u);
+  EXPECT_DOUBLE_EQ(back.deadline, 1234.5);
+  EXPECT_DOUBLE_EQ(back.stamp, 1204.5);
+
+  // Every lease state survives the string round trip.
+  for (const runtime::job_state s :
+       {runtime::job_state::leased, runtime::job_state::lease_renewed,
+        runtime::job_state::lease_released, runtime::job_state::lease_expired})
+    EXPECT_EQ(runtime::job_state_from_string(runtime::to_string(s)), s);
+
+  // A legacy (pre-lease) record serializes without any lease keys and a
+  // legacy line parses to the zero defaults — old journals stay replayable.
+  runtime::journal_entry legacy;
+  legacy.job_index = 1;
+  legacy.job_name = "old";
+  legacy.state = runtime::job_state::completed;
+  legacy.attempt = 1;
+  const io::json_value v = legacy.to_json();
+  EXPECT_EQ(v.find("worker"), nullptr);
+  EXPECT_EQ(v.find("lease"), nullptr);
+  EXPECT_EQ(v.find("deadline"), nullptr);
+  EXPECT_EQ(v.find("t"), nullptr);
+  const runtime::journal_entry parsed = runtime::journal_entry::from_json(
+      io::json_value::parse(R"({"job":1,"name":"old","state":"running","attempt":1})"));
+  EXPECT_TRUE(parsed.worker.empty());
+  EXPECT_EQ(parsed.lease_id, 0u);
+  EXPECT_DOUBLE_EQ(parsed.deadline, 0.0);
+  EXPECT_DOUBLE_EQ(parsed.stamp, 0.0);
+}
+
+TEST(journal, torn_lease_record_tail_heals_and_resolves) {
+  const fs::path dir = fresh_dir("boson_runtime_journal_lease_torn");
+  const std::string path = (dir / "journal.jsonl").string();
+  {
+    runtime::journal log(path);
+    runtime::journal_entry e;
+    e.job_index = 0;
+    e.job_name = "job0";
+    e.state = runtime::job_state::leased;
+    e.attempt = 1;
+    e.worker = "a";
+    e.lease_id = 1;
+    e.deadline = 10.0;
+    e.stamp = 0.0;
+    log.append(e);
+    e.state = runtime::job_state::lease_renewed;
+    e.deadline = 20.0;
+    e.stamp = 5.0;
+    log.append(e);
+  }
+  // A crash mid-claim leaves a truncated lease record: dropped on replay,
+  // healed on the next append, and the resolved lease state is unaffected.
+  {
+    std::ofstream out(path, std::ios::app);
+    out << R"({"job":1,"name":"job1","state":"leased","attempt":1,"worker":"b","lea)";
+  }
+  const auto torn = runtime::journal::replay(path);
+  ASSERT_EQ(torn.size(), 2u);
+  runtime::lease_table table = runtime::lease_table::resolve(torn);
+  EXPECT_EQ(table.view(0).state, runtime::lease_view::phase::leased);
+  EXPECT_EQ(table.view(0).worker, "a");
+  EXPECT_DOUBLE_EQ(table.view(0).deadline, 20.0);  // the renewal took
+  EXPECT_EQ(table.view(1).state, runtime::lease_view::phase::pending);
+
+  {
+    runtime::journal log(path);  // heals the torn tail
+    runtime::journal_entry e;
+    e.job_index = 1;
+    e.job_name = "job1";
+    e.state = runtime::job_state::leased;
+    e.attempt = 1;
+    e.worker = "b";
+    e.lease_id = 1;
+    e.deadline = 12.0;
+    e.stamp = 2.0;
+    log.append(e);
+  }
+  const auto healed = runtime::journal::replay(path);
+  ASSERT_EQ(healed.size(), 3u);
+  table = runtime::lease_table::resolve(healed);
+  EXPECT_EQ(table.view(1).state, runtime::lease_view::phase::leased);
+  EXPECT_EQ(table.view(1).worker, "b");
+}
+
+TEST(campaign_spec, lease_ttl_round_trips_and_validates) {
+  runtime::campaign_spec spec = synthetic_campaign();
+  spec.scheduler.lease_ttl = 12.5;
+  const runtime::campaign_spec back = runtime::campaign_spec::from_json(spec.to_json());
+  EXPECT_DOUBLE_EQ(back.scheduler.lease_ttl, 12.5);
+
+  io::json_value bad = spec.to_json();
+  bad["scheduler"]["lease_ttl"] = 0.0;
+  expect_throw_with<bad_argument>(
+      [&] { (void)runtime::campaign_spec::from_json(bad); }, "lease_ttl");
+  bad["scheduler"]["lease_ttl"] = io::json_value::parse("\"fast\"");
+  expect_throw_with<bad_argument>(
+      [&] { (void)runtime::campaign_spec::from_json(bad); }, "lease_ttl");
+}
+
+// --------------------------------------------------------- lease semantics --
+
+TEST(fault_injector, arms_parses_and_fires_at_the_nth_occurrence) {
+  runtime::fault_injector faults;
+  std::vector<std::size_t> fired;
+  faults.arm(runtime::fault_point::mid_run, 3,
+             [&fired](const runtime::fault_site& site) { fired.push_back(site.occurrence); });
+  for (std::size_t i = 0; i < 5; ++i) faults.hit(runtime::fault_point::mid_run, 1, "j", 1);
+  ASSERT_EQ(fired.size(), 1u);  // only the 3rd hit fired
+  EXPECT_EQ(fired[0], 3u);
+  EXPECT_EQ(faults.count(runtime::fault_point::mid_run), 5u);
+  EXPECT_EQ(faults.count(runtime::fault_point::after_lease), 0u);
+
+  // The CLI spec form: "point:n" (and every point name parses).
+  for (const char* name : {"after_lease", "mid_run", "after_checkpoint", "before_result"})
+    EXPECT_STREQ(runtime::to_string(runtime::fault_point_from_string(name)), name);
+  expect_throw_with<bad_argument>(
+      [] { (void)runtime::fault_point_from_string("mid_flight"); }, "mid_flight");
+  runtime::fault_injector cli;
+  cli.arm("after_checkpoint:2");  // arms kill_process; never hit here
+  expect_throw_with<bad_argument>([&] { cli.arm("mid_run:x"); }, "occurrence");
+}
+
+TEST(lease_table, resolution_rules_cover_claims_steals_and_legacy_records) {
+  using phase = runtime::lease_view::phase;
+  const auto rec = [](std::size_t job, runtime::job_state state, std::size_t attempt,
+                      const std::string& worker, std::uint64_t lease, double deadline,
+                      double stamp) {
+    runtime::journal_entry e;
+    e.job_index = job;
+    e.job_name = "j" + std::to_string(job);
+    e.state = state;
+    e.attempt = attempt;
+    e.worker = worker;
+    e.lease_id = lease;
+    e.deadline = deadline;
+    e.stamp = stamp;
+    return e;
+  };
+
+  runtime::lease_table t;
+  // A claim wins from pending; a second claim over the live lease loses.
+  t.apply(rec(0, runtime::job_state::leased, 1, "a", 1, 10.0, 0.0));
+  t.apply(rec(0, runtime::job_state::leased, 1, "b", 1, 11.0, 1.0));
+  EXPECT_EQ(t.view(0).worker, "a");
+
+  // Renewal by a non-owner is void; by the owner it moves the deadline.
+  t.apply(rec(0, runtime::job_state::lease_renewed, 1, "b", 1, 99.0, 2.0));
+  EXPECT_DOUBLE_EQ(t.view(0).deadline, 10.0);
+  t.apply(rec(0, runtime::job_state::lease_renewed, 1, "a", 1, 15.0, 3.0));
+  EXPECT_DOUBLE_EQ(t.view(0).deadline, 15.0);
+
+  // A premature expiry (stamp < deadline) cannot rob a slow worker...
+  t.apply(rec(0, runtime::job_state::lease_expired, 1, "a", 1, 15.0, 14.0));
+  EXPECT_EQ(t.view(0).state, phase::leased);
+  // ...a proven one frees the job, and the thief's claim then wins.
+  t.apply(rec(0, runtime::job_state::lease_expired, 1, "a", 1, 15.0, 15.0));
+  EXPECT_EQ(t.view(0).state, phase::pending);
+  t.apply(rec(0, runtime::job_state::leased, 2, "b", 2, 30.0, 15.0));
+  EXPECT_EQ(t.view(0).worker, "b");
+  EXPECT_EQ(t.view(0).attempts, 2u);
+
+  // completed is terminal: stragglers from the robbed worker are ignored.
+  t.apply(rec(0, runtime::job_state::completed, 2, "b", 2, 0.0, 16.0));
+  t.apply(rec(0, runtime::job_state::leased, 3, "a", 2, 99.0, 17.0));
+  EXPECT_EQ(t.view(0).state, phase::done);
+
+  // Voluntary release frees the job for the next claimant.
+  t.apply(rec(1, runtime::job_state::leased, 1, "a", 3, 10.0, 0.0));
+  t.apply(rec(1, runtime::job_state::lease_released, 1, "a", 3, 0.0, 1.0));
+  EXPECT_EQ(t.view(1).state, phase::pending);
+
+  // failed / cancelled release the owner's lease; legacy records (no
+  // worker — the pre-lease flow) release whatever is live.
+  t.apply(rec(2, runtime::job_state::leased, 1, "a", 4, 10.0, 0.0));
+  t.apply(rec(2, runtime::job_state::failed, 1, "a", 4, 0.0, 1.0));
+  EXPECT_EQ(t.view(2).state, phase::pending);
+  t.apply(rec(3, runtime::job_state::leased, 1, "a", 5, 10.0, 0.0));
+  t.apply(rec(3, runtime::job_state::cancelled, 1, "", 0, 0.0, 1.0));
+  EXPECT_EQ(t.view(3).state, phase::pending);
+
+  // A journal written by the pre-lease scheduler (scheduled / running /
+  // completed only, no lease fields) resolves to done just the same.
+  runtime::lease_table legacy;
+  legacy.apply(rec(4, runtime::job_state::scheduled, 0, "", 0, 0.0, 0.0));
+  legacy.apply(rec(4, runtime::job_state::running, 1, "", 0, 0.0, 0.0));
+  EXPECT_EQ(legacy.view(4).state, phase::pending);
+  legacy.apply(rec(4, runtime::job_state::completed, 1, "", 0, 0.0, 0.0));
+  EXPECT_TRUE(legacy.done(4));
+}
+
+TEST(lease_table, seeded_adversarial_histories_never_overlap_live_leases) {
+  // Property test: fold journals of fully random records (every state kind,
+  // random workers / lease ids / stamps / deadlines, including nonsense
+  // combinations no healthy worker would write) and replay-check that the
+  // single-owner invariant holds at every prefix.
+  const std::vector<runtime::job_state> states = {
+      runtime::job_state::scheduled,     runtime::job_state::leased,
+      runtime::job_state::lease_renewed, runtime::job_state::lease_released,
+      runtime::job_state::lease_expired, runtime::job_state::running,
+      runtime::job_state::checkpointed,  runtime::job_state::completed,
+      runtime::job_state::failed,        runtime::job_state::cancelled};
+  const std::vector<std::string> workers = {"", "a", "b", "c"};
+  for (const std::uint64_t seed : {11u, 22u, 33u, 44u, 55u}) {
+    rng r(seed);
+    std::vector<runtime::journal_entry> history;
+    history.reserve(400);
+    for (std::size_t i = 0; i < 400; ++i) {
+      runtime::journal_entry e;
+      e.job_index = static_cast<std::size_t>(r.uniform_int(0, 3));
+      e.job_name = "j" + std::to_string(e.job_index);
+      e.state = states[static_cast<std::size_t>(r.uniform_int(0, 9))];
+      e.attempt = static_cast<std::size_t>(r.uniform_int(0, 4));
+      e.worker = workers[static_cast<std::size_t>(r.uniform_int(0, 3))];
+      e.lease_id = static_cast<std::uint64_t>(r.uniform_int(0, 5));
+      e.deadline = r.uniform(0.0, 20.0);
+      e.stamp = r.uniform(0.0, 20.0);
+      history.push_back(e);
+    }
+    expect_single_owner_throughout(history);
+  }
+}
+
+// ---------------------------------------------------------- lease manager --
+
+TEST(lease_manager, append_then_verify_claims_and_expired_lease_steals) {
+  const fs::path dir = fresh_dir("boson_runtime_lease_claims");
+  const std::string path = (dir / "journal.jsonl").string();
+  runtime::journal log_a(path);
+  runtime::journal log_b(path);
+
+  double now_a = 0.0;
+  double now_b = 0.0;
+  runtime::lease_manager a(log_a, "a", 10.0, [&now_a] { return now_a; });
+  runtime::lease_manager b(log_b, "b", 10.0, [&now_b] { return now_b; });
+
+  // First claim wins; the loser's verify pass reports the loss.
+  std::optional<runtime::job_lease> held = a.claim(0, "job0");
+  ASSERT_TRUE(held.has_value());
+  EXPECT_FALSE(held->stolen);
+  EXPECT_EQ(held->attempt, 1u);
+  EXPECT_DOUBLE_EQ(held->deadline, 10.0);
+  EXPECT_FALSE(b.claim(0, "job0").has_value());
+  EXPECT_TRUE(a.still_owner(*held));
+
+  // Before the deadline nobody can steal; after it, an explicit expiry
+  // record plus a fresh claim transfer the job.
+  now_b = 9.0;
+  EXPECT_FALSE(b.claim(0, "job0").has_value());
+  now_b = 10.0;
+  const std::optional<runtime::job_lease> stolen = b.claim(0, "job0");
+  ASSERT_TRUE(stolen.has_value());
+  EXPECT_TRUE(stolen->stolen);
+  EXPECT_EQ(stolen->stolen_from, "a");
+  EXPECT_EQ(stolen->attempt, 2u);
+
+  // The robbed worker notices on its next heartbeat / ownership check.
+  EXPECT_FALSE(a.still_owner(*held));
+  EXPECT_FALSE(a.renew(*held));
+
+  // The whole exchange satisfies the single-owner invariant.
+  expect_single_owner_throughout(runtime::journal::replay(path));
+}
+
+TEST(lease_manager, renewals_extend_and_releases_free_immediately) {
+  const fs::path dir = fresh_dir("boson_runtime_lease_renew");
+  const std::string path = (dir / "journal.jsonl").string();
+  runtime::journal log_a(path);
+  runtime::journal log_b(path);
+
+  double now = 0.0;
+  const runtime::clock_fn clock = [&now] { return now; };
+  runtime::lease_manager a(log_a, "a", 10.0, clock);
+  runtime::lease_manager b(log_b, "b", 10.0, clock);
+
+  std::optional<runtime::job_lease> held = a.claim(5, "job5");
+  ASSERT_TRUE(held.has_value());
+  now = 6.0;
+  ASSERT_TRUE(a.renew(*held));
+  EXPECT_DOUBLE_EQ(held->deadline, 16.0);
+  now = 12.0;  // past the original deadline, inside the renewed one
+  EXPECT_FALSE(b.claim(5, "job5").has_value());
+
+  // A voluntary release frees the job with no expiry wait at all.
+  a.release(*held);
+  const std::optional<runtime::job_lease> next = b.claim(5, "job5");
+  ASSERT_TRUE(next.has_value());
+  EXPECT_FALSE(next->stolen);  // released, not expired: a clean claim
+  EXPECT_FALSE(a.still_owner(*held));
+}
+
+TEST(lease_manager, incremental_refresh_leaves_a_partial_tail_for_later) {
+  const fs::path dir = fresh_dir("boson_runtime_lease_tail");
+  const std::string path = (dir / "journal.jsonl").string();
+  runtime::journal log(path);
+  runtime::lease_manager writer(log, "a", 10.0, [] { return 0.0; });
+  ASSERT_TRUE(writer.claim(0, "job0").has_value());
+
+  runtime::journal log_b(path);
+  runtime::lease_manager reader(log_b, "b", 10.0, [] { return 0.0; });
+  EXPECT_EQ(reader.snapshot().view(0).worker, "a");
+
+  // A racing writer's half-flushed line is not consumed...
+  const std::string record =
+      R"({"job":1,"name":"job1","state":"leased","attempt":1,"worker":"c","lease":1,"deadline":9})";
+  {
+    std::ofstream out(path, std::ios::app | std::ios::binary);
+    out << record.substr(0, 40);
+  }
+  EXPECT_EQ(reader.snapshot().view(1).state, runtime::lease_view::phase::pending);
+  // ...and folds in whole once the rest of the line (and newline) lands.
+  {
+    std::ofstream out(path, std::ios::app | std::ios::binary);
+    out << record.substr(40) << "\n";
+  }
+  EXPECT_EQ(reader.snapshot().view(1).worker, "c");
+  EXPECT_EQ(writer.snapshot().view(1).worker, "c");  // the writer tails too
+}
+
+TEST(lease_manager, seeded_protocol_interleavings_keep_at_most_one_owner) {
+  // Property test over the *protocol* (not raw records): three managers
+  // claim / renew / release / complete four jobs under a shared manual
+  // clock that jumps by random amounts (sometimes past deadlines, forcing
+  // steals). After every operation, at most one held lease per job may
+  // still verify as owned, and the incremental folds agree with a full
+  // replay at the end.
+  for (const std::uint64_t seed : {101u, 202u, 303u}) {
+    const fs::path dir =
+        fresh_dir("boson_runtime_lease_prop_" + std::to_string(seed));
+    const std::string path = (dir / "journal.jsonl").string();
+    double now = 0.0;
+    const runtime::clock_fn clock = [&now] { return now; };
+
+    std::vector<std::unique_ptr<runtime::journal>> logs;
+    std::vector<std::unique_ptr<runtime::lease_manager>> managers;
+    const std::vector<std::string> names = {"a", "b", "c"};
+    for (const std::string& name : names) {
+      logs.push_back(std::make_unique<runtime::journal>(path));
+      managers.push_back(
+          std::make_unique<runtime::lease_manager>(*logs.back(), name, 10.0, clock));
+    }
+    std::vector<std::vector<runtime::job_lease>> held(managers.size());
+
+    rng r(seed);
+    for (std::size_t step = 0; step < 250; ++step) {
+      const std::size_t m = static_cast<std::size_t>(r.uniform_int(0, 2));
+      switch (r.uniform_int(0, 5)) {
+        case 0:
+        case 1: {  // claim a random job
+          const std::size_t job = static_cast<std::size_t>(r.uniform_int(0, 3));
+          std::optional<runtime::job_lease> lease =
+              managers[m]->claim(job, "j" + std::to_string(job));
+          if (lease) held[m].push_back(*lease);
+          break;
+        }
+        case 2: {  // heartbeat a random held lease
+          if (held[m].empty()) break;
+          const std::size_t k =
+              static_cast<std::size_t>(r.uniform_int(0, static_cast<long>(held[m].size()) - 1));
+          if (!managers[m]->renew(held[m][k]))
+            held[m].erase(held[m].begin() + static_cast<std::ptrdiff_t>(k));
+          break;
+        }
+        case 3: {  // voluntarily release one
+          if (held[m].empty()) break;
+          const std::size_t k =
+              static_cast<std::size_t>(r.uniform_int(0, static_cast<long>(held[m].size()) - 1));
+          managers[m]->release(held[m][k]);
+          held[m].erase(held[m].begin() + static_cast<std::ptrdiff_t>(k));
+          break;
+        }
+        case 4: {  // commit one (the done-is-terminal path)
+          if (held[m].empty()) break;
+          const std::size_t k =
+              static_cast<std::size_t>(r.uniform_int(0, static_cast<long>(held[m].size()) - 1));
+          if (managers[m]->still_owner(held[m][k])) {
+            runtime::journal_entry e;
+            e.job_index = held[m][k].job_index;
+            e.job_name = held[m][k].job_name;
+            e.state = runtime::job_state::completed;
+            e.attempt = held[m][k].attempt;
+            e.worker = names[m];
+            e.lease_id = held[m][k].lease_id;
+            e.stamp = now;
+            logs[m]->append(e);
+          }
+          held[m].erase(held[m].begin() + static_cast<std::ptrdiff_t>(k));
+          break;
+        }
+        case 5:  // time marches (sometimes past a deadline)
+          now += r.uniform(0.0, 6.0);
+          break;
+      }
+
+      // Invariant: per job, at most one held lease still verifies as owned.
+      for (std::size_t job = 0; job < 4; ++job) {
+        std::size_t owners = 0;
+        for (std::size_t i = 0; i < managers.size(); ++i)
+          for (const runtime::job_lease& lease : held[i])
+            if (lease.job_index == job && managers[i]->still_owner(lease)) ++owners;
+        ASSERT_LE(owners, 1u) << "seed " << seed << " step " << step << " job " << job;
+      }
+    }
+
+    const auto entries = runtime::journal::replay(path);
+    expect_single_owner_throughout(entries);
+    const runtime::lease_table replayed = runtime::lease_table::resolve(entries);
+    for (std::size_t job = 0; job < 4; ++job) {
+      const runtime::lease_view truth = replayed.view(job);
+      for (const auto& manager : managers) {
+        const runtime::lease_view folded = manager->snapshot().view(job);
+        EXPECT_EQ(folded.state, truth.state) << "seed " << seed << " job " << job;
+        EXPECT_EQ(folded.worker, truth.worker);
+        EXPECT_EQ(folded.lease_id, truth.lease_id);
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------ elastic scheduler --
+
+TEST(scheduler, concurrent_elastic_workers_cover_the_campaign_exactly_once) {
+  // Two unsharded scheduler processes' worth of workers race over one
+  // campaign directory; leases keep them disjoint with no static partition.
+  const fs::path dir = fresh_dir("boson_runtime_sched_elastic");
+  std::atomic<std::size_t> executed_a{0};
+  std::atomic<std::size_t> executed_b{0};
+
+  runtime::scheduler_report report_a;
+  runtime::scheduler_report report_b;
+  const auto run_worker = [&dir](const std::string& worker,
+                                 std::atomic<std::size_t>& executed,
+                                 runtime::scheduler_report& out) {
+    runtime::scheduler_options options;
+    options.campaign_dir = dir.string();
+    options.worker_id = worker;
+    options.executor = counting_executor(executed);
+    out = runtime::scheduler(synthetic_campaign(), options).run();
+  };
+  std::thread ta(run_worker, "alpha", std::ref(executed_a), std::ref(report_a));
+  std::thread tb(run_worker, "beta", std::ref(executed_b), std::ref(report_b));
+  ta.join();
+  tb.join();
+
+  EXPECT_EQ(executed_a.load() + executed_b.load(), 12u);
+  EXPECT_EQ(report_a.completed + report_b.completed, 12u);
+  EXPECT_EQ(report_a.claimed + report_b.claimed, 12u);
+  EXPECT_EQ(report_a.stolen + report_b.stolen, 0u);  // nobody died
+  EXPECT_EQ(runtime::result_store::load(dir.string()).size(), 12u);
+  EXPECT_EQ(result_line_count(dir), 12u);  // exactly once, not latest-wins
+  expect_single_owner_throughout(
+      runtime::journal::replay(runtime::journal_path(dir.string())));
+}
+
+TEST(scheduler, losing_a_lease_mid_run_forfeits_instead_of_double_reporting) {
+  // A thief steals the job while the worker is mid-iteration (the manual
+  // clock jumps past the deadline); the worker's next heartbeat fails, the
+  // attempt aborts, and no result row is committed by the loser.
+  const fs::path dir = fresh_dir("boson_runtime_sched_lost");
+  runtime::campaign_spec spec = synthetic_campaign();
+  spec.methods = {"ls"};
+  spec.seeds = {1};
+  spec.overrides.clear();
+  spec.scheduler.workers = 1;
+  spec.scheduler.max_retries = 0;
+
+  std::atomic<double> now{0.0};
+  std::atomic<std::size_t> executed{0};
+  runtime::fault_injector faults;
+  faults.arm(runtime::fault_point::mid_run, 2, [&](const runtime::fault_site& site) {
+    // Simulate a stalled worker: time leaps past the deadline and another
+    // worker takes the job over, then abandons it (releases) so only the
+    // exactly-once accounting is at stake.
+    now.store(100.0);
+    runtime::journal log(runtime::journal_path(dir.string()));
+    runtime::lease_manager thief(log, "thief", 10.0, [&now] { return now.load(); });
+    std::optional<runtime::job_lease> loot = thief.claim(site.job_index, site.job_name);
+    ASSERT_TRUE(loot.has_value());
+    EXPECT_TRUE(loot->stolen);
+    thief.release(*loot);
+  });
+
+  runtime::scheduler_options options;
+  options.campaign_dir = dir.string();
+  options.executor = chatty_executor(executed, 4);
+  options.lease_ttl = 9.0;
+  options.clock = [&now] { return now.load(); };
+  options.faults = &faults;
+  const auto report = runtime::scheduler(spec, options).run();
+  EXPECT_EQ(report.lost, 1u);
+  EXPECT_EQ(report.completed, 0u);
+  EXPECT_EQ(result_line_count(dir), 0u);  // the loser forfeited
+
+  // A later pass (same worker id is fine — the job is pending again)
+  // completes the job; the store ends with exactly one row.
+  const auto recovery = runtime::scheduler(spec, options).run();
+  EXPECT_EQ(recovery.completed, 1u);
+  EXPECT_EQ(result_line_count(dir), 1u);
+  expect_single_owner_throughout(
+      runtime::journal::replay(runtime::journal_path(dir.string())));
+}
+
+TEST(scheduler, cancel_between_checkpoint_and_result_neither_discards_nor_doubles) {
+  // Regression: a cancel that lands right after a checkpoint is persisted
+  // (and before the result would be appended) must leave the campaign in a
+  // state where one resume produces exactly one row, bit-identical to an
+  // uninterrupted run.
+  runtime::campaign_spec spec;
+  spec.name = "cancel_ck";
+  spec.devices = {"bend"};
+  spec.methods = {"boson_no_relax"};
+  spec.seeds = {7};
+  spec.base = smoke_base();
+  spec.scheduler.workers = 1;
+  spec.scheduler.max_retries = 0;
+  spec.scheduler.checkpoint_every = 2;
+
+  const fs::path ref_dir = fresh_dir("boson_runtime_cancel_ck_ref");
+  runtime::scheduler_options ref_options;
+  ref_options.campaign_dir = ref_dir.string();
+  ASSERT_EQ(runtime::scheduler(spec, ref_options).run().completed, 1u);
+
+  const fs::path dir = fresh_dir("boson_runtime_cancel_ck");
+  runtime::fault_injector faults;
+  runtime::scheduler* target = nullptr;
+  faults.arm(runtime::fault_point::after_checkpoint, 2,
+             [&target](const runtime::fault_site&) { target->cancel(); });
+  runtime::scheduler_options options;
+  options.campaign_dir = dir.string();
+  options.faults = &faults;
+  runtime::scheduler first(spec, options);
+  target = &first;
+  const auto report1 = first.run();
+  EXPECT_EQ(report1.cancelled, 1u);
+  EXPECT_EQ(report1.completed, 0u);
+  EXPECT_EQ(result_line_count(dir), 0u);  // not double-counted later
+  ASSERT_TRUE(fs::exists(runtime::checkpoint_path(
+      runtime::job_directory(dir.string(), "bend_boson_no_relax_s7"))));
+
+  runtime::scheduler_options resume_options;
+  resume_options.campaign_dir = dir.string();
+  const auto report2 = runtime::scheduler(spec, resume_options).run();
+  EXPECT_EQ(report2.resumed, 1u);
+  EXPECT_EQ(report2.completed, 1u);
+
+  const auto rows = runtime::result_store::load(dir.string());
+  const auto ref_rows = runtime::result_store::load(ref_dir.string());
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(ref_rows.size(), 1u);
+  EXPECT_EQ(result_line_count(dir), 1u);  // neither discarded nor doubled
+  EXPECT_EQ(rows[0].attempt, 2u);
+  EXPECT_EQ(rows[0].prefab_fom, ref_rows[0].prefab_fom);
+  EXPECT_EQ(rows[0].postfab_mean, ref_rows[0].postfab_mean);
+  EXPECT_EQ(rows[0].postfab_std, ref_rows[0].postfab_std);
+}
+
+TEST(scheduler, steals_an_expired_lease_and_resumes_bit_identically) {
+  // A worker claimed the job, checkpointed, and "died" (its lease simply
+  // never moves again). A second worker with a later clock proves the lease
+  // expired, steals the job, resumes from the dead worker's checkpoint, and
+  // produces byte-identical artifacts to an uninterrupted run.
+  runtime::campaign_spec spec;
+  spec.name = "steal_resume";
+  spec.devices = {"bend"};
+  spec.methods = {"boson_no_relax"};
+  spec.seeds = {7};
+  spec.base = smoke_base();
+  spec.scheduler.workers = 1;
+  spec.scheduler.max_retries = 0;
+  spec.scheduler.checkpoint_every = 2;
+
+  const fs::path ref_dir = fresh_dir("boson_runtime_steal_ref");
+  runtime::scheduler_options ref_options;
+  ref_options.campaign_dir = ref_dir.string();
+  ASSERT_EQ(runtime::scheduler(spec, ref_options).run().completed, 1u);
+
+  // Interrupt a real run mid-way (leaves the iteration-4 checkpoint), then
+  // re-lease the job to a ghost worker that never comes back.
+  const fs::path dir = fresh_dir("boson_runtime_steal");
+  struct cancelling_watcher : api::observer {
+    runtime::scheduler* target = nullptr;
+    void on_event(const api::progress_event& event) override {
+      if (event.kind == api::progress_event::phase::iteration_finished &&
+          event.iteration >= 3)
+        target->cancel();
+    }
+  } watcher;
+  runtime::scheduler_options options;
+  options.campaign_dir = dir.string();
+  options.watcher = &watcher;
+  runtime::scheduler first(spec, options);
+  watcher.target = &first;
+  ASSERT_EQ(first.run().cancelled, 1u);
+  ASSERT_TRUE(fs::exists(runtime::checkpoint_path(
+      runtime::job_directory(dir.string(), "bend_boson_no_relax_s7"))));
+  {
+    runtime::journal log(runtime::journal_path(dir.string()));
+    runtime::lease_manager ghost(log, "ghost", 1000.0, [] { return 0.0; });
+    ASSERT_TRUE(ghost.claim(0, "bend_boson_no_relax_s7").has_value());
+  }
+
+  // The rescuer's clock sits past the ghost's deadline: instant takeover.
+  runtime::scheduler_options rescue_options;
+  rescue_options.campaign_dir = dir.string();
+  rescue_options.worker_id = "rescuer";
+  rescue_options.clock = [] { return 2000.0; };
+  const auto rescue = runtime::scheduler(spec, rescue_options).run();
+  EXPECT_EQ(rescue.stolen, 1u);
+  EXPECT_EQ(rescue.resumed, 1u);
+  EXPECT_EQ(rescue.completed, 1u);
+
+  const auto rows = runtime::result_store::load(dir.string());
+  const auto ref_rows = runtime::result_store::load(ref_dir.string());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].prefab_fom, ref_rows[0].prefab_fom);
+  EXPECT_EQ(rows[0].postfab_mean, ref_rows[0].postfab_mean);
+  EXPECT_EQ(rows[0].postfab_std, ref_rows[0].postfab_std);
+
+  const auto read = [](const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  };
+  const std::string ref_csv =
+      read(fs::path(ref_dir) / "jobs" / "bend_boson_no_relax_s7" / "trajectory.csv");
+  const std::string csv =
+      read(fs::path(dir) / "jobs" / "bend_boson_no_relax_s7" / "trajectory.csv");
+  ASSERT_FALSE(ref_csv.empty());
+  EXPECT_EQ(csv, ref_csv);
+  expect_single_owner_throughout(
+      runtime::journal::replay(runtime::journal_path(dir.string())));
+}
+
+// ------------------------------------------------- multi-process kill matrix --
+
+/// One forked CLI-less worker: runs an elastic scheduler over `spec` in
+/// `dir` under a constant clock (0.0), optionally armed to SIGKILL itself at
+/// the `kill_at_claim`-th won lease. The shard filter pins which jobs the
+/// worker may see so the kill schedule is deterministic (claims happen in
+/// job order with one thread and no competition inside the slice).
+pid_t fork_campaign_worker(const runtime::campaign_spec& spec, const fs::path& dir,
+                           const std::string& worker, runtime::shard_range shard,
+                           std::size_t kill_at_claim) {
+  return fork_worker([&spec, &dir, worker, shard, kill_at_claim] {
+    runtime::fault_injector faults;
+    if (kill_at_claim > 0)
+      faults.arm(runtime::fault_point::after_lease, kill_at_claim, runtime::kill_process);
+    std::atomic<std::size_t> executed{0};
+    runtime::scheduler_options options;
+    options.campaign_dir = dir.string();
+    options.worker_id = worker;
+    options.shard = shard;
+    options.workers = 1;  // one thread -> claims in job order
+    options.lease_ttl = 5.0;
+    options.clock = [] { return 0.0; };
+    options.executor = counting_executor(executed);
+    options.faults = kill_at_claim > 0 ? &faults : nullptr;
+    (void)runtime::scheduler(spec, options).run();
+  });
+}
+
+TEST(scheduler, sigkilled_workers_jobs_are_stolen_and_finished_exactly_once) {
+  // Three real worker processes split the 12-job campaign; two are
+  // SIGKILLed at staggered kill points while holding leases. A recovery
+  // worker (clock past every dead lease's deadline) steals and finishes:
+  // 12/12 coverage, one result row per job, single-owner throughout.
+  const fs::path dir = fresh_dir("boson_runtime_sched_kill");
+  const runtime::campaign_spec spec = synthetic_campaign();
+
+  // Shard slices have 4 jobs each. A kills itself claiming its 2nd job
+  // (1 completed, 1 leased-at-death, 2 never claimed); B claiming its 4th
+  // (3 completed, 1 leased-at-death); C survives and completes its 4.
+  const pid_t a = fork_campaign_worker(spec, dir, "wa", {0, 3}, 2);
+  const pid_t b = fork_campaign_worker(spec, dir, "wb", {1, 3}, 4);
+  const pid_t c = fork_campaign_worker(spec, dir, "wc", {2, 3}, 0);
+  EXPECT_EQ(wait_worker(a), child_end::sigkilled);
+  EXPECT_EQ(wait_worker(b), child_end::sigkilled);
+  EXPECT_EQ(wait_worker(c), child_end::clean_exit);
+  ASSERT_EQ(result_line_count(dir), 8u);  // 1 + 3 + 4 made it before the kills
+
+  std::atomic<std::size_t> executed{0};
+  runtime::scheduler_options rescue;
+  rescue.campaign_dir = dir.string();
+  rescue.worker_id = "rescuer";
+  rescue.clock = [] { return 100.0; };  // past every dead deadline: no waiting
+  rescue.executor = counting_executor(executed);
+  const auto report = runtime::scheduler(spec, rescue).run();
+  EXPECT_EQ(report.skipped, 8u);
+  EXPECT_EQ(report.completed, 4u);
+  EXPECT_EQ(report.stolen, 2u);  // the two leases that died with their workers
+  EXPECT_EQ(report.failed, 0u);
+
+  const auto rows = runtime::result_store::load(dir.string());
+  ASSERT_EQ(rows.size(), 12u);
+  EXPECT_EQ(result_line_count(dir), 12u);  // exactly once — no duplicates
+  std::set<std::size_t> jobs;
+  for (const auto& row : rows) jobs.insert(row.job_index);
+  EXPECT_EQ(jobs.size(), 12u);
+  const auto entries = runtime::journal::replay(runtime::journal_path(dir.string()));
+  expect_single_owner_throughout(entries);
+  std::size_t expired = 0;
+  for (const auto& e : entries)
+    expired += e.state == runtime::job_state::lease_expired ? 1 : 0;
+  EXPECT_EQ(expired, 2u);  // each steal wrote its takeover prologue
+}
+
+TEST(scheduler, losing_half_the_fleet_mid_campaign_still_reaches_full_coverage) {
+  // Four workers, two SIGKILLed at staggered claims — the surviving half of
+  // the fleet plus one recovery pass still reach 12/12.
+  const fs::path dir = fresh_dir("boson_runtime_sched_half_fleet");
+  const runtime::campaign_spec spec = synthetic_campaign();
+
+  const pid_t w0 = fork_campaign_worker(spec, dir, "w0", {0, 4}, 1);  // dies instantly
+  const pid_t w1 = fork_campaign_worker(spec, dir, "w1", {1, 4}, 3);
+  const pid_t w2 = fork_campaign_worker(spec, dir, "w2", {2, 4}, 0);
+  const pid_t w3 = fork_campaign_worker(spec, dir, "w3", {3, 4}, 0);
+  EXPECT_EQ(wait_worker(w0), child_end::sigkilled);
+  EXPECT_EQ(wait_worker(w1), child_end::sigkilled);
+  EXPECT_EQ(wait_worker(w2), child_end::clean_exit);
+  EXPECT_EQ(wait_worker(w3), child_end::clean_exit);
+
+  std::atomic<std::size_t> executed{0};
+  runtime::scheduler_options rescue;
+  rescue.campaign_dir = dir.string();
+  rescue.worker_id = "rescuer";
+  rescue.clock = [] { return 100.0; };
+  rescue.executor = counting_executor(executed);
+  const auto report = runtime::scheduler(spec, rescue).run();
+  EXPECT_EQ(report.completed + report.skipped, 12u);
+  EXPECT_EQ(report.stolen, 2u);
+
+  ASSERT_EQ(runtime::result_store::load(dir.string()).size(), 12u);
+  EXPECT_EQ(result_line_count(dir), 12u);
+  expect_single_owner_throughout(
+      runtime::journal::replay(runtime::journal_path(dir.string())));
 }
 
 }  // namespace

@@ -1,0 +1,122 @@
+// bench_compare — advisory regression gate over the committed benchmark
+// baselines. Compares a freshly produced BENCH_*.json report against a
+// baseline (bench/baselines/), walking every numeric leaf:
+//
+//   bench_compare <baseline.json> <current.json> [--threshold <frac>]
+//
+// Keys ending in `_per_s` / `_per_second` / `speedup*` are higher-is-better;
+// keys ending in `_s` / `_seconds` / `_ms` are lower-is-better; counters
+// (everything else) are reported but never gated. Exit 1 when any gated
+// metric regressed by more than the threshold (default 0.50 — generous,
+// because shared CI runners are noisy; the step that runs this is advisory).
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "io/json.h"
+
+namespace {
+
+using boson::io::json_value;
+
+bool ends_with(const std::string& text, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return text.size() >= n && text.compare(text.size() - n, n, suffix) == 0;
+}
+
+enum class direction { higher_better, lower_better, informational };
+
+direction classify(const std::string& key) {
+  if (ends_with(key, "_per_s") || ends_with(key, "_per_second") ||
+      key.rfind("speedup", 0) == 0)
+    return direction::higher_better;
+  if (ends_with(key, "_s") || ends_with(key, "_seconds") || ends_with(key, "_ms"))
+    return direction::lower_better;
+  return direction::informational;
+}
+
+struct outcome {
+  std::size_t compared = 0;
+  std::size_t regressed = 0;
+};
+
+void compare(const json_value& baseline, const json_value& current,
+             const std::string& path, double threshold, outcome& result) {
+  if (baseline.is_object()) {
+    if (!current.is_object()) {
+      std::printf("  ? %-46s missing in the current report\n", path.c_str());
+      return;
+    }
+    for (const auto& [key, value] : baseline.members()) {
+      const json_value* cur = current.find(key);
+      const std::string child = path.empty() ? key : path + "." + key;
+      if (cur == nullptr) {
+        std::printf("  ? %-46s missing in the current report\n", child.c_str());
+        continue;
+      }
+      compare(value, *cur, child, threshold, result);
+    }
+    return;
+  }
+  if (!baseline.is_number() || !current.is_number()) return;
+
+  const double base = baseline.as_number();
+  const double now = current.as_number();
+  const std::string leaf = path.substr(path.rfind('.') + 1);
+  const direction dir = classify(leaf);
+  if (dir == direction::informational || base == 0.0 || !std::isfinite(base) ||
+      !std::isfinite(now))
+    return;
+
+  ++result.compared;
+  // ratio > 1 means "worse" in both directions.
+  const double ratio = dir == direction::lower_better ? now / base : base / now;
+  const bool regressed = ratio > 1.0 + threshold;
+  if (regressed) ++result.regressed;
+  std::printf("  %s %-46s base %12.4g  now %12.4g  (%.2fx %s)\n",
+              regressed ? "!" : " ", path.c_str(), base, now, ratio,
+              dir == direction::lower_better ? "slower" : "of baseline throughput");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  double threshold = 0.50;
+  std::vector<std::string> files;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--threshold") {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "bench_compare: --threshold needs a value\n");
+        return 2;
+      }
+      threshold = std::stod(args[++i]);
+    } else {
+      files.push_back(args[i]);
+    }
+  }
+  if (files.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_compare <baseline.json> <current.json> "
+                 "[--threshold <frac>]\n");
+    return 2;
+  }
+
+  try {
+    const json_value baseline = json_value::parse_file(files[0]);
+    const json_value current = json_value::parse_file(files[1]);
+    std::printf("bench_compare: %s vs %s (threshold %.0f%%)\n", files[0].c_str(),
+                files[1].c_str(), 100.0 * threshold);
+    outcome result;
+    compare(baseline, current, "", threshold, result);
+    std::printf("%zu metrics compared, %zu regressed\n", result.compared,
+                result.regressed);
+    return result.regressed == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_compare: %s\n", e.what());
+    return 2;
+  }
+}

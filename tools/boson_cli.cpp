@@ -9,13 +9,21 @@
 //   boson_cli describe method <name>
 //
 // Campaigns (see docs/RUNTIME.md) are whole experiment matrices executed by
-// the boson::runtime scheduler — sharded, journaled, and resumable:
+// the boson::runtime scheduler — elastic (lease-coordinated), journaled, and
+// resumable. Any number of worker processes can share one campaign
+// directory; each claims jobs through journal leases and dead workers' jobs
+// are re-leased automatically:
 //
-//   boson_cli campaign run <campaign.json> [--out <dir>] [--shard i/N]
-//                          [--workers N] [--no-artifacts]
-//   boson_cli campaign resume <dir> [--shard i/N] [--workers N]
+//   boson_cli campaign run <campaign.json> [--out <dir>] [--worker <id>]
+//                          [--workers N] [--lease-ttl <s>] [--no-artifacts]
+//   boson_cli campaign resume <dir> [--worker <id>] [--workers N]
+//                          [--lease-ttl <s>]
 //   boson_cli campaign status <dir>
 //   boson_cli campaign report <dir>
+//
+// (`--shard i/N` is still accepted as a deprecated filter; `--fault
+// point[:n]` SIGKILLs the process at a named scheduler kill point, for
+// fault-injection tests.)
 //
 // `run` accepts a single spec (JSON object) or a batch (JSON array) and
 // writes one artifact directory per experiment (summary.json,
@@ -58,9 +66,10 @@ int usage(std::FILE* out) {
                "  boson_cli validate <spec.json>\n"
                "  boson_cli list devices|methods|objectives [--json]\n"
                "  boson_cli describe method <name>\n"
-               "  boson_cli campaign run <campaign.json> [--out <dir>] [--shard i/N]\n"
-               "                         [--workers N] [--no-artifacts]\n"
-               "  boson_cli campaign resume <dir> [--shard i/N] [--workers N]\n"
+               "  boson_cli campaign run <campaign.json> [--out <dir>] [--worker <id>]\n"
+               "                         [--workers N] [--lease-ttl <s>] [--no-artifacts]\n"
+               "  boson_cli campaign resume <dir> [--worker <id>] [--workers N]\n"
+               "                         [--lease-ttl <s>]\n"
                "  boson_cli campaign status <dir>\n"
                "  boson_cli campaign report <dir>\n"
                "\n"
@@ -70,12 +79,20 @@ int usage(std::FILE* out) {
                "list      show the registered scenario names (--json emits a\n"
                "          machine-readable array for campaign generators)\n"
                "describe  print a registered method's fully-resolved recipe\n"
-               "campaign  sharded, journaled, resumable execution of a whole\n"
-               "          experiment matrix (see docs/RUNTIME.md):\n"
-               "            run     expand + execute this shard's jobs\n"
+               "campaign  elastic, journaled, resumable execution of a whole\n"
+               "          experiment matrix (see docs/RUNTIME.md). Point any\n"
+               "          number of workers (--worker <id>) at one --out dir;\n"
+               "          jobs are claimed through journal leases and a dead\n"
+               "          worker's jobs are re-leased after --lease-ttl:\n"
+               "            run     expand + execute claimable jobs\n"
                "            resume  continue a killed/partial campaign directory\n"
                "            status  replay the journal into a per-job state table\n"
-               "            report  render the paper-style tables from the store\n");
+               "                    (owner + lease column for live/expired leases)\n"
+               "            report  render the paper-style tables from the store\n"
+               "          --shard i/N still filters the visible jobs (deprecated);\n"
+               "          --fault point[:n] SIGKILLs at a named kill point\n"
+               "          (after_lease, mid_run, after_checkpoint, before_result)\n"
+               "          for fault-injection tests\n");
   return out == stdout ? 0 : 2;
 }
 
@@ -210,16 +227,25 @@ int cmd_run(const std::string& path, const api::session_options& options) {
 /// outcome. Returns a process exit code (failures -> 1).
 int run_campaign(const runtime::campaign_spec& spec, runtime::scheduler_options options) {
   runtime::scheduler scheduler(spec, options);
+  const std::string worker = scheduler.worker_id();
   const runtime::scheduler_report report = scheduler.run();
 
-  io::console_table table({"shard jobs", "completed", "skipped", "resumed", "failed",
-                           "cancelled", "wall [s]"});
+  io::console_table table({"jobs", "completed", "skipped", "resumed", "failed",
+                           "cancelled", "claimed", "stolen", "lost", "left leased",
+                           "wall [s]"});
   table.add_row({std::to_string(report.shard_jobs), std::to_string(report.completed),
                  std::to_string(report.skipped), std::to_string(report.resumed),
                  std::to_string(report.failed), std::to_string(report.cancelled),
+                 std::to_string(report.claimed), std::to_string(report.stolen),
+                 std::to_string(report.lost), std::to_string(report.left_leased),
                  io::console_table::num(report.wall_seconds, 1)});
   std::printf("\n");
-  table.print("Campaign '" + spec.name + "' shard " + options.shard.to_string());
+  table.print("Campaign '" + spec.name + "' worker " + worker);
+  if (report.left_leased > 0)
+    std::fprintf(stderr,
+                 "boson_cli: %zu job(s) are leased to other workers; re-run "
+                 "'campaign resume' (after their lease TTL) to pick up leftovers\n",
+                 report.left_leased);
   for (const std::string& message : report.errors)
     std::fprintf(stderr, "boson_cli: job failed: %s\n", message.c_str());
   return report.failed == 0 && report.errors.empty() ? 0 : 1;
@@ -264,16 +290,31 @@ int cmd_campaign_status(const std::string& dir) {
       runtime::campaign_spec::load(runtime::campaign_spec_path(dir));
   const auto entries = runtime::journal::replay(runtime::journal_path(dir));
   const auto latest = runtime::journal::latest_states(entries);
+  // Leases come from the resolved fold, not the latest record — the latest
+  // line can be a losing claim or a stale heartbeat.
+  const runtime::lease_table leases = runtime::lease_table::resolve(entries);
+  const double now = runtime::wall_clock_seconds();
 
   std::map<std::string, std::size_t> counts;
-  io::console_table table({"#", "job", "state", "attempt", "detail"});
+  io::console_table table({"#", "job", "state", "attempt", "owner", "lease", "detail"});
   for (const runtime::campaign_job& job : spec.expand()) {
     const auto it = latest.find(job.index);
-    const std::string state =
-        it != latest.end() ? runtime::to_string(it->second.state) : "pending";
+    const runtime::lease_view lease = leases.view(job.index);
+    std::string state = it != latest.end() ? runtime::to_string(it->second.state) : "pending";
+    std::string owner = "-";
+    std::string lease_text = "-";
+    if (lease.state == runtime::lease_view::phase::done) {
+      state = "completed";
+    } else if (lease.state == runtime::lease_view::phase::leased) {
+      owner = lease.worker;
+      lease_text = lease.deadline > now
+                       ? "live " + io::console_table::num(lease.deadline - now, 0) + "s"
+                       : "expired";
+    }
     ++counts[state];
     table.add_row({std::to_string(job.index), job.name, state,
                    it != latest.end() ? std::to_string(it->second.attempt) : "-",
+                   owner, lease_text,
                    it != latest.end() ? it->second.detail : ""});
   }
   table.print("Campaign '" + spec.name + "' (" + std::to_string(spec.job_count()) +
@@ -319,6 +360,10 @@ int cmd_campaign(const std::vector<std::string>& args) {
 
   std::string target;
   runtime::scheduler_options options;
+  // Lives past run(): fault actions fire from inside scheduler worker
+  // threads (the kill action never returns anyway, but keep the lifetime
+  // honest).
+  static runtime::fault_injector faults;
   bool saw_out = false;
   for (std::size_t i = 1; i < args.size(); ++i) {
     if (args[i] == "--out") {
@@ -328,6 +373,20 @@ int cmd_campaign(const std::vector<std::string>& args) {
     } else if (args[i] == "--shard") {
       if (i + 1 >= args.size()) return usage(stderr);
       options.shard = runtime::shard_range::parse(args[++i]);
+      std::fprintf(stderr,
+                   "boson_cli: --shard is deprecated; leases already keep "
+                   "concurrent workers disjoint — point them at one --out "
+                   "directory with distinct --worker ids instead\n");
+    } else if (args[i] == "--worker") {
+      if (i + 1 >= args.size()) return usage(stderr);
+      options.worker_id = args[++i];
+    } else if (args[i] == "--lease-ttl") {
+      if (i + 1 >= args.size()) return usage(stderr);
+      options.lease_ttl = std::stod(args[++i]);
+    } else if (args[i] == "--fault") {
+      if (i + 1 >= args.size()) return usage(stderr);
+      faults.arm(args[++i]);
+      options.faults = &faults;
     } else if (args[i] == "--workers") {
       if (i + 1 >= args.size()) return usage(stderr);
       options.workers = static_cast<std::size_t>(std::stoul(args[++i]));
