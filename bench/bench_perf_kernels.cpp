@@ -334,6 +334,48 @@ io::json_value time_solvers() {
     report["backends"] = std::move(backends);
   }
 
+  {  // nearby-operator reuse vs full re-preparation of a perturbed corner.
+    solver_fixture f(88);
+    sim::engine_settings s;  // banded + reuse defaults
+    const auto nominal = std::make_shared<const sim::simulation_engine>(
+        f.g, f.pml, 2.0 * pi / 1.55, f.eps, s);
+    array2d<double> eps2 = f.eps;  // temperature-like core shift
+    for (std::size_t ix = 0; ix < f.g.nx; ++ix)
+      for (std::size_t iy = f.g.ny / 2 - 4; iy < f.g.ny / 2 + 4; ++iy) eps2(ix, iy) += 0.05;
+    array2d<cplx> current(f.g.nx, f.g.ny, cplx{});
+    current(f.g.nx / 4, f.g.ny / 2) = cplx{1.0};
+
+    constexpr int reps = 5;
+    stopwatch sw;
+    for (int rep = 0; rep < reps; ++rep) {
+      const sim::simulation_engine full(f.g, f.pml, 2.0 * pi / 1.55, eps2, s);
+      benchmark::DoNotOptimize(full.solve_excitation(current));
+    }
+    const double reprepare_s = sw.seconds() / reps;
+    sim::reset_reuse_statistics();
+    sw.reset();
+    for (int rep = 0; rep < reps; ++rep) {
+      const sim::simulation_engine near(nominal, eps2);
+      benchmark::DoNotOptimize(near.solve_excitation(current));
+    }
+    const double reuse_s = sw.seconds() / reps;
+    const auto rs = sim::reuse_statistics();
+
+    io::json_value j = io::json_value::object();
+    j["grid"] = std::string("88x88");
+    j["reprepare_seconds"] = reprepare_s;
+    j["reuse_seconds"] = reuse_s;
+    j["speedup"] = reprepare_s / reuse_s;
+    j["refinement_solves"] = rs.refinement_solves;
+    j["refinement_iterations"] = rs.refinement_iterations;
+    j["fallbacks"] = rs.fallbacks;
+    report["nearby_reuse"] = std::move(j);
+    std::printf("nearby reuse (88x88 perturbed corner): %.3f ms vs %.3f ms re-prepare "
+                "=> %.2fx (%zu outer iters, %zu fallbacks)\n",
+                1e3 * reuse_s, 1e3 * reprepare_s, reprepare_s / reuse_s,
+                rs.refinement_iterations, rs.fallbacks);
+  }
+
   {  // cold- vs warm-cache post-fab Monte Carlo on the bend benchmark.
     core::experiment_config cfg;
     cfg.resolution = 0.1;
@@ -352,6 +394,7 @@ io::json_value time_solvers() {
     (void)core::postfab_monte_carlo(problem, mask, samples, 42, /*use_operator_cache=*/false);
     const double uncached_s = sw.seconds();
     sim::engine_cache::global().clear();
+    sim::reset_reuse_statistics();
     sw.reset();
     (void)core::postfab_monte_carlo(problem, mask, samples, 42);
     const double cold_s = sw.seconds();
@@ -359,6 +402,7 @@ io::json_value time_solvers() {
     (void)core::postfab_monte_carlo(problem, mask, samples, 42);
     const double warm_s = sw.seconds();
     const auto cs = sim::engine_cache::global().stats();
+    const auto rs = sim::reuse_statistics();
 
     io::json_value j = io::json_value::object();
     j["samples"] = samples;
@@ -368,11 +412,18 @@ io::json_value time_solvers() {
     j["speedup_warm_vs_uncached"] = uncached_s / warm_s;
     j["cache_hits"] = cs.hits;
     j["cache_misses"] = cs.misses;
+    j["cache_reuse_hits"] = cs.reuse_hits;
+    j["reuse_prepares_avoided"] = rs.prepares_avoided;
+    j["reuse_refinement_solves"] = rs.refinement_solves;
+    j["reuse_refinement_iterations"] = rs.refinement_iterations;
+    j["reuse_fallbacks"] = rs.fallbacks;
+    j["reuse_solution_reuses"] = rs.solution_reuses;
     report["postfab_monte_carlo"] = std::move(j);
     std::printf("postfab MC (%zu samples): uncached %.3f s, cached cold %.3f s, "
-                "cached warm %.3f s => %.2fx (%zu hits / %zu misses)\n",
+                "cached warm %.3f s => %.2fx (%zu hits / %zu misses, %zu reuse hits, "
+                "%zu solution reuses, %zu fallbacks)\n",
                 samples, uncached_s, cold_s, warm_s, uncached_s / warm_s, cs.hits,
-                cs.misses);
+                cs.misses, cs.reuse_hits, rs.solution_reuses, rs.fallbacks);
   }
 
   return report;

@@ -105,6 +105,7 @@ experiment_result session::run(const experiment_spec& spec, const run_control& c
   emit(started);
 
   const auto cache_before = sim::engine_cache::global().stats();
+  const auto reuse_before = sim::reuse_statistics();
 
   bool wants_mc = false;
   for (const eval_step& step : out.spec.evaluation)
@@ -217,6 +218,17 @@ experiment_result session::run(const experiment_spec& spec, const run_control& c
     cj["hits"] = cache.hits - cache_before.hits;
     cj["misses"] = cache.misses - cache_before.misses;
     cj["entries"] = cache.entries;
+    cj["reuse_hits"] = cache.reuse_hits - cache_before.reuse_hits;
+    // Nearby-operator reuse and Krylov-recycling traffic of the same window.
+    const auto reuse = sim::reuse_statistics();
+    io::json_value& rj = cj["reuse"] = io::json_value::object();
+    rj["prepares_avoided"] = reuse.prepares_avoided - reuse_before.prepares_avoided;
+    rj["refinement_solves"] = reuse.refinement_solves - reuse_before.refinement_solves;
+    rj["refinement_iterations"] =
+        reuse.refinement_iterations - reuse_before.refinement_iterations;
+    rj["fallbacks"] = reuse.fallbacks - reuse_before.fallbacks;
+    rj["recycle_guesses"] = reuse.recycle_guesses - reuse_before.recycle_guesses;
+    rj["solution_reuses"] = reuse.solution_reuses - reuse_before.solution_reuses;
 
     const fs::path summary_path = dir / "summary.json";
     summary.write_file(summary_path.string());
@@ -278,6 +290,7 @@ std::vector<experiment_result> session::run_all(const std::vector<experiment_spe
   // is the meaningful accounting unit.
   const stopwatch batch_sw;
   const auto cache_before = sim::engine_cache::global().stats();
+  const auto reuse_before = sim::reuse_statistics();
 
   std::vector<experiment_result> results;
   results.reserve(specs.size());
@@ -308,6 +321,17 @@ std::vector<experiment_result> session::run_all(const std::vector<experiment_spe
     cj["hits"] = cache.hits - cache_before.hits;
     cj["misses"] = cache.misses - cache_before.misses;
     cj["entries"] = cache.entries;
+    cj["reuse_hits"] = cache.reuse_hits - cache_before.reuse_hits;
+    // Nearby-operator reuse and Krylov-recycling traffic of the same window.
+    const auto reuse = sim::reuse_statistics();
+    io::json_value& rj = cj["reuse"] = io::json_value::object();
+    rj["prepares_avoided"] = reuse.prepares_avoided - reuse_before.prepares_avoided;
+    rj["refinement_solves"] = reuse.refinement_solves - reuse_before.refinement_solves;
+    rj["refinement_iterations"] =
+        reuse.refinement_iterations - reuse_before.refinement_iterations;
+    rj["fallbacks"] = reuse.fallbacks - reuse_before.fallbacks;
+    rj["recycle_guesses"] = reuse.recycle_guesses - reuse_before.recycle_guesses;
+    rj["solution_reuses"] = reuse.solution_reuses - reuse_before.solution_reuses;
     const fs::path path = fs::path(options_.output_dir) / "batch_summary.json";
     batch.write_file(path.string());
     progress_event e;

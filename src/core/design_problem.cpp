@@ -1,6 +1,9 @@
 #include "core/design_problem.h"
 
 #include <cmath>
+#include <cstring>
+#include <deque>
+#include <mutex>
 
 #include "common/error.h"
 #include "common/log.h"
@@ -93,6 +96,80 @@ objective_eval eval_objective(const dev::objective_spec& obj,
 
 }  // namespace
 
+/// FIFO memos of the two expensive non-solve stages. Warm Monte-Carlo
+/// samples and repeated corners re-image the same mask and re-solve the same
+/// port cross-sections, so exact-match windows recover the work; entries are
+/// matched on every input the stage sees, never on approximations.
+struct design_problem::memo_state {
+  struct litho_entry {
+    std::size_t corner = 0;
+    array2d<double> mask;
+    fab::litho_forward fwd;
+  };
+  struct mode_entry {
+    fdfd::port_axis axis{};
+    std::size_t line = 0;
+    std::size_t span_start = 0;
+    double spacing = 0.0;
+    int order = 0;
+    dvec line_eps;
+    modes::slab_mode mode;
+  };
+  static constexpr std::size_t litho_capacity = 8;
+  static constexpr std::size_t mode_capacity = 32;
+  std::mutex mutex;
+  std::deque<litho_entry> litho;
+  std::deque<mode_entry> modes;
+};
+
+fab::litho_forward design_problem::litho_forward_memo(std::size_t corner_index,
+                                                      const array2d<double>& mask_ext,
+                                                      bool use_memo) const {
+  const fab::hopkins_litho& model = *fab_.litho[corner_index];
+  if (!use_memo) return model.forward(mask_ext);
+  {
+    const std::lock_guard<std::mutex> lock(memo_->mutex);
+    for (const auto& e : memo_->litho) {
+      if (e.corner != corner_index || e.mask.size() != mask_ext.size()) continue;
+      if (std::memcmp(e.mask.data(), mask_ext.data(),
+                      mask_ext.size() * sizeof(double)) != 0)
+        continue;
+      return e.fwd;
+    }
+  }
+  fab::litho_forward fwd = model.forward(mask_ext);
+  const std::lock_guard<std::mutex> lock(memo_->mutex);
+  if (memo_->litho.size() >= memo_state::litho_capacity) memo_->litho.pop_front();
+  memo_->litho.push_back({corner_index, mask_ext, fwd});
+  return fwd;
+}
+
+modes::slab_mode design_problem::port_mode_memo(const array2d<double>& eps,
+                                                const dev::port& p, double spacing,
+                                                int order, bool use_memo) const {
+  if (!use_memo) return solve_port_mode(eps, p, spacing, spec_.k0, order);
+  require(order >= 1, "solve_port_mode: order must be >= 1");
+  dvec line = eps_line_at(eps, p);
+  {
+    const std::lock_guard<std::mutex> lock(memo_->mutex);
+    for (const auto& e : memo_->modes) {
+      if (e.axis == p.axis && e.line == p.line && e.span_start == p.span_start &&
+          e.spacing == spacing && e.order == order && e.line_eps == line)
+        return e.mode;
+    }
+  }
+  auto ms =
+      modes::solve_slab_modes(line, spacing, spec_.k0, static_cast<std::size_t>(order) + 3);
+  check_numeric(ms.size() >= static_cast<std::size_t>(order),
+                "solve_port_mode: requested mode order not guided at this cross-section");
+  modes::slab_mode mode = ms[static_cast<std::size_t>(order) - 1];
+  const std::lock_guard<std::mutex> lock(memo_->mutex);
+  if (memo_->modes.size() >= memo_state::mode_capacity) memo_->modes.pop_front();
+  memo_->modes.push_back(
+      {p.axis, p.line, p.span_start, spacing, order, std::move(line), mode});
+  return mode;
+}
+
 fab_context make_fab_context(const dev::device_spec& spec,
                              const fab::litho_settings& litho_cfg,
                              const fab::eole_settings& eole_cfg,
@@ -124,7 +201,8 @@ design_problem::design_problem(dev::device_spec spec,
     : spec_(std::move(spec)),
       param_(std::move(param)),
       fab_(std::move(fab)),
-      mfs_blur_(spec_.design.nx, spec_.design.ny, mfs_blur_radius_cells) {
+      mfs_blur_(spec_.design.nx, spec_.design.ny, mfs_blur_radius_cells),
+      memo_(std::make_shared<memo_state>()) {
   require(param_ != nullptr, "design_problem: parameterization required");
   require(param_->nx() == spec_.design.nx && param_->ny() == spec_.design.ny,
           "design_problem: parameterization shape must match the design window");
@@ -175,6 +253,7 @@ design_problem::solved_excitations design_problem::solve_excitations(
                    : std::make_shared<const sim::simulation_engine>(g, spec_.pml, spec_.k0,
                                                                     eps, opts.engine);
 
+  const bool use_memo = opts.use_operator_cache && sim::operator_cache_enabled();
   auto& ws = sim::workspace::local();
   std::vector<array2d<cplx>> currents;
   currents.reserve(spec_.excitations.size());
@@ -183,7 +262,7 @@ design_problem::solved_excitations design_problem::solve_excitations(
     const double src_transverse =
         exc.source.axis == fdfd::port_axis::vertical ? g.dy : g.dx;
     const auto src_mode =
-        solve_port_mode(eps, exc.source, src_transverse, spec_.k0, exc.source_mode_order);
+        port_mode_memo(eps, exc.source, src_transverse, exc.source_mode_order, use_memo);
 
     array2d<cplx> current = ws.take_cgrid(g.nx, g.ny);
     fdfd::mode_source_spec ss;
@@ -298,7 +377,8 @@ eval_result design_problem::evaluate_impl(const dvec* theta, const array2d<doubl
             "evaluate_impl: lithography corner out of range");
     litho_model = fab_.litho[static_cast<std::size_t>(corner.litho)].get();
     const array2d<double> mask_ext = embed_in_halo(rho_b);
-    litho_fwd = litho_model->forward(mask_ext);
+    litho_fwd = litho_forward_memo(static_cast<std::size_t>(corner.litho), mask_ext,
+                                   opts.use_operator_cache && sim::operator_cache_enabled());
     dvec xi = corner.xi;
     if (xi.size() != fab_.eole->num_terms()) xi.assign(fab_.eole->num_terms(), 0.0);
     eta = fab_.eole->field(xi, corner.eta_shift);
@@ -356,7 +436,9 @@ eval_result design_problem::evaluate_impl(const dvec* theta, const array2d<doubl
     for (const auto& mm : exc.mode_monitors) {
       const double tsp = mm.p.axis == fdfd::port_axis::vertical ? g.dy : g.dx;
       const double nsp = mm.p.axis == fdfd::port_axis::vertical ? g.dx : g.dy;
-      const auto mode = solve_port_mode(eps, mm.p, tsp, spec_.k0, mm.mode_order);
+      const auto mode = port_mode_memo(eps, mm.p, tsp, mm.mode_order,
+                                       opts.use_operator_cache &&
+                                           sim::operator_cache_enabled());
       fdfd::mode_power_monitor mon(mm.p.axis, mm.p.line, mm.p.span_start, mode, tsp, spec_.k0,
                                    nsp);
       monitor_entry entry{exc.name + "." + mm.name, mon.evaluate(run.field), 1.0 / pin};

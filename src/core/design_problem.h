@@ -28,6 +28,10 @@ namespace boson::sim {
 class simulation_engine;
 }
 
+namespace boson::modes {
+struct slab_mode;
+}
+
 namespace boson::core {
 
 /// Shared, immutable fabrication models for one device: per-corner Hopkins
@@ -164,12 +168,33 @@ class design_problem {
                             const eval_options& opts) const;
   void compute_input_powers(const eval_options& reference_opts);
 
+  /// Memoized lithography image of `mask_ext` under corner `corner_index`:
+  /// warm Monte-Carlo samples and repeated corners re-image the same mask,
+  /// and the Hopkins convolution stack dominates the non-solve time. The
+  /// memo is bypassed (straight model call) unless `use_memo`.
+  fab::litho_forward litho_forward_memo(std::size_t corner_index,
+                                        const array2d<double>& mask_ext,
+                                        bool use_memo) const;
+
+  /// Memoized 1-D port mode, keyed on the port geometry, mode order, and the
+  /// exact permittivity samples along the port line (the only eps the slab
+  /// solve sees); same reuse pattern as the litho memo.
+  modes::slab_mode port_mode_memo(const array2d<double>& eps, const dev::port& p,
+                                  double spacing, int order, bool use_memo) const;
+
   dev::device_spec spec_;
   std::shared_ptr<param::parameterization> param_;
   fab_context fab_;
   param::gaussian_blur mfs_blur_;
   array2d<double> halo_occ_;
   dvec input_power_;
+
+  /// Small FIFO memos behind `litho_forward_memo` / `port_mode_memo`,
+  /// guarded by an internal mutex (evaluations run concurrently). Gated on
+  /// `eval_options::use_operator_cache` and the BOSON_SIM_CACHE switch, so
+  /// uncached evaluations measure the full pipeline honestly.
+  struct memo_state;
+  std::shared_ptr<memo_state> memo_;
 };
 
 }  // namespace boson::core

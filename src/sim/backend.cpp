@@ -1,16 +1,73 @@
 #include "sim/backend.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
+#include <mutex>
 
 #include "common/env.h"
 #include "common/error.h"
 #include "fdfd/solver.h"
+#include "linalg/vec.h"
+#include "sim/engine.h"
 #include "sparse/banded.h"
 #include "sparse/csr.h"
 #include "sparse/krylov.h"
 
 namespace boson::sim {
+
+bool operator_reuse_enabled() { return env_int("BOSON_SIM_REUSE", 1) != 0; }
+
+namespace {
+
+struct reuse_counter_block {
+  std::atomic<std::size_t> prepares_avoided{0};
+  std::atomic<std::size_t> refinement_solves{0};
+  std::atomic<std::size_t> refinement_iterations{0};
+  std::atomic<std::size_t> fallbacks{0};
+  std::atomic<std::size_t> recycle_guesses{0};
+  std::atomic<std::size_t> solution_reuses{0};
+};
+
+reuse_counter_block& counters() {
+  static reuse_counter_block block;
+  return block;
+}
+
+}  // namespace
+
+namespace reuse_counter {
+void prepares_avoided(std::size_t n) { counters().prepares_avoided += n; }
+void refinement(std::size_t solves, std::size_t iterations) {
+  counters().refinement_solves += solves;
+  counters().refinement_iterations += iterations;
+}
+void fallback(std::size_t n) { counters().fallbacks += n; }
+void recycle_guess(std::size_t n) { counters().recycle_guesses += n; }
+void solution_reuse(std::size_t n) { counters().solution_reuses += n; }
+}  // namespace reuse_counter
+
+reuse_stats reuse_statistics() {
+  const reuse_counter_block& c = counters();
+  reuse_stats s;
+  s.prepares_avoided = c.prepares_avoided.load();
+  s.refinement_solves = c.refinement_solves.load();
+  s.refinement_iterations = c.refinement_iterations.load();
+  s.fallbacks = c.fallbacks.load();
+  s.recycle_guesses = c.recycle_guesses.load();
+  s.solution_reuses = c.solution_reuses.load();
+  return s;
+}
+
+void reset_reuse_statistics() {
+  reuse_counter_block& c = counters();
+  c.prepares_avoided = 0;
+  c.refinement_solves = 0;
+  c.refinement_iterations = 0;
+  c.fallbacks = 0;
+  c.recycle_guesses = 0;
+  c.solution_reuses = 0;
+}
 
 const char* to_string(backend_kind kind) {
   switch (kind) {
@@ -57,7 +114,11 @@ class banded_backend final : public linear_backend {
   const fdfd::fdfd_solver& solver_;
 };
 
-/// Iterative path: CSR operator + ILU(0), BiCGSTAB or restarted GMRES.
+/// Iterative path: CSR operator + ILU(0), BiCGSTAB or restarted GMRES. When
+/// reuse is enabled, converged solutions feed a small recycle space whose
+/// least-squares projection warm-starts the next solve — adjacent corners
+/// and samples repeat (or barely perturb) their right-hand sides, so the
+/// iteration often starts at the answer.
 class krylov_backend final : public linear_backend {
  public:
   krylov_backend(const fdfd::fdfd_solver& solver, const engine_settings& settings)
@@ -66,9 +127,17 @@ class krylov_backend final : public linear_backend {
   const char* name() const override { return to_string(settings_.backend); }
 
   std::vector<cvec> solve(const std::vector<cvec>& rhs) const override {
+    const bool recycle = settings_.reuse && operator_reuse_enabled();
     std::vector<cvec> xs(rhs.size());
     for (std::size_t k = 0; k < rhs.size(); ++k) {
       cvec x;
+      if (recycle) {
+        const std::lock_guard<std::mutex> lock(recycle_mutex_);
+        if (recycle_.size() > 0) {
+          x = recycle_.guess(rhs[k]);
+          reuse_counter::recycle_guess();
+        }
+      }
       const sp::krylov_result res =
           settings_.backend == backend_kind::gmres
               ? sp::gmres(a_, rhs[k], x, &precond_, settings_.gmres_restart,
@@ -78,6 +147,11 @@ class krylov_backend final : public linear_backend {
       check_numeric(res.converged,
                     std::string(name()) + " backend failed to converge (residual " +
                         std::to_string(res.relative_residual) + ")");
+      if (recycle) {
+        cvec ax = a_.matvec(x);
+        const std::lock_guard<std::mutex> lock(recycle_mutex_);
+        recycle_.add(x, std::move(ax));
+      }
       xs[k] = std::move(x);
     }
     return xs;
@@ -87,6 +161,78 @@ class krylov_backend final : public linear_backend {
   engine_settings settings_;
   sp::csr_c a_;
   sp::ilu0 precond_;
+  mutable std::mutex recycle_mutex_;
+  mutable sp::recycle_space recycle_{8};
+};
+
+/// Nearby-operator path: the perturbed operator is never factored. The
+/// nominal engine's banded LU substitutes a warm start for the whole batch,
+/// then left-preconditions a short GMRES outer loop on the perturbed CSR
+/// operator (M^{-1} A is a low-rank perturbation of the identity when the
+/// permittivity change is localized, so a handful of iterations reach the
+/// solver tolerance). Acceptance is checked on the *true* residual; any
+/// right-hand side that misses it triggers a one-time fallback to a full
+/// preparation of the perturbed operator, which then serves this and every
+/// later batch.
+class nearby_backend final : public linear_backend {
+ public:
+  nearby_backend(const fdfd::fdfd_solver& solver, const engine_settings& settings,
+                 std::shared_ptr<const simulation_engine> nominal)
+      : solver_(solver),
+        settings_(settings),
+        nominal_(std::move(nominal)),
+        a_(solver.assemble_csr()) {}
+
+  const char* name() const override { return "banded-reuse"; }
+
+  std::vector<cvec> solve(const std::vector<cvec>& rhs) const override {
+    if (fell_back_.load(std::memory_order_acquire)) return fallback().solve(rhs);
+    if (rhs.empty()) return {};
+
+    const sp::banded_lu& lu = nominal_->solver().factorization();
+    std::vector<cvec> xs = lu.solve(rhs);  // blocked warm start for the batch
+
+    const sp::linear_op op = [this](const cvec& v) { return a_.matvec(v); };
+    const sp::linear_op pre = [&lu](const cvec& r) { return lu.solve(r); };
+    const std::size_t cap = std::max<std::size_t>(2, settings_.reuse_max_iterations);
+
+    std::size_t iterations = 0;
+    for (std::size_t k = 0; k < rhs.size(); ++k) {
+      const sp::krylov_result res =
+          sp::gmres(op, rhs[k], xs[k], pre, cap, settings_.tol, cap);
+      iterations += res.iterations;
+      // Accept on the true residual so agreement with the re-prepare path
+      // holds regardless of the preconditioned convergence metric.
+      cvec r = a_.matvec(xs[k]);
+      for (std::size_t i = 0; i < r.size(); ++i) r[i] = rhs[k][i] - r[i];
+      const double b_norm = la::nrm2(rhs[k]);
+      const double rel = b_norm > 0.0 ? la::nrm2(r) / b_norm : 0.0;
+      if (!(rel <= settings_.tol * 100.0)) {
+        reuse_counter::refinement(k, iterations);
+        reuse_counter::fallback();
+        return fallback().solve(rhs);
+      }
+    }
+    reuse_counter::refinement(rhs.size(), iterations);
+    return xs;
+  }
+
+ private:
+  const linear_backend& fallback() const {
+    std::call_once(fallback_once_, [this] {
+      fallback_backend_ = make_backend(solver_, settings_);
+      fell_back_.store(true, std::memory_order_release);
+    });
+    return *fallback_backend_;
+  }
+
+  const fdfd::fdfd_solver& solver_;
+  engine_settings settings_;
+  std::shared_ptr<const simulation_engine> nominal_;
+  sp::csr_c a_;
+  mutable std::once_flag fallback_once_;
+  mutable std::unique_ptr<linear_backend> fallback_backend_;
+  mutable std::atomic<bool> fell_back_{false};
 };
 
 }  // namespace
@@ -96,6 +242,15 @@ std::unique_ptr<linear_backend> make_backend(const fdfd::fdfd_solver& solver,
   if (settings.backend == backend_kind::banded)
     return std::make_unique<banded_backend>(solver);
   return std::make_unique<krylov_backend>(solver, settings);
+}
+
+std::unique_ptr<linear_backend> make_nearby_backend(
+    const fdfd::fdfd_solver& solver, const engine_settings& settings,
+    std::shared_ptr<const simulation_engine> nominal) {
+  require(nominal != nullptr, "make_nearby_backend: nominal engine required");
+  require(settings.backend == backend_kind::banded,
+          "make_nearby_backend: reuse preconditioning needs the banded backend");
+  return std::make_unique<nearby_backend>(solver, settings, std::move(nominal));
 }
 
 }  // namespace boson::sim

@@ -1,7 +1,9 @@
 #include "sim/cache.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <limits>
 
 #include "common/env.h"
 #include "common/error.h"
@@ -41,8 +43,46 @@ std::uint64_t operator_digest(const grid2d& grid, const pml_spec& pml, double k0
   h = fnv_value(settings.tol, h);
   h = fnv_value(settings.max_iterations, h);
   h = fnv_value(settings.gmres_restart, h);
+  h = fnv_value(settings.reuse, h);
+  h = fnv_value(settings.reuse_max_delta, h);
+  h = fnv_value(settings.reuse_max_iterations, h);
   h = fnv1a(eps.data(), eps.size() * sizeof(double), h);
   return h;
+}
+
+/// RMS permittivity change of `eps` against `nominal`, relative to the
+/// nominal's RMS level (floored at 1 so vacuum-dominated grids are judged on
+/// the absolute change). This is the reuse heuristic: small scores mean the
+/// nominal LU preconditions the perturbed operator in a few iterations.
+double perturbation_score(const array2d<double>& nominal, const array2d<double>& eps) {
+  if (nominal.size() != eps.size() || nominal.size() == 0)
+    return std::numeric_limits<double>::infinity();
+  double dd = 0.0;
+  double nn = 0.0;
+  for (std::size_t i = 0; i < eps.size(); ++i) {
+    const double d = eps.data()[i] - nominal.data()[i];
+    dd += d * d;
+    nn += nominal.data()[i] * nominal.data()[i];
+  }
+  const double inv_n = 1.0 / static_cast<double>(eps.size());
+  return std::sqrt(dd * inv_n) / std::max(1.0, std::sqrt(nn * inv_n));
+}
+
+/// Everything of the operator key except the permittivity itself.
+bool same_operator_family(const simulation_engine& eng, const grid2d& grid,
+                          const pml_spec& pml, double k0,
+                          const engine_settings& settings) {
+  if (eng.k0() != k0 || eng.grid().nx != grid.nx || eng.grid().ny != grid.ny ||
+      eng.grid().dx != grid.dx || eng.grid().dy != grid.dy)
+    return false;
+  const pml_spec& p = eng.pml();
+  if (p.cells != pml.cells || p.order != pml.order || p.r0 != pml.r0) return false;
+  const engine_settings& s = eng.settings();
+  return s.backend == settings.backend && s.tol == settings.tol &&
+         s.max_iterations == settings.max_iterations &&
+         s.gmres_restart == settings.gmres_restart && s.reuse == settings.reuse &&
+         s.reuse_max_delta == settings.reuse_max_delta &&
+         s.reuse_max_iterations == settings.reuse_max_iterations;
 }
 
 }  // namespace
@@ -63,25 +103,37 @@ bool engine_cache::matches(const entry& e, const grid2d& grid, const pml_spec& p
                            double k0, const array2d<double>& eps,
                            const engine_settings& settings) const {
   const simulation_engine& eng = *e.engine;
-  if (eng.k0() != k0 || eng.grid().nx != grid.nx || eng.grid().ny != grid.ny ||
-      eng.grid().dx != grid.dx || eng.grid().dy != grid.dy)
-    return false;
-  const pml_spec& p = eng.pml();
-  if (p.cells != pml.cells || p.order != pml.order || p.r0 != pml.r0) return false;
-  const engine_settings& s = eng.settings();
-  if (s.backend != settings.backend || s.tol != settings.tol ||
-      s.max_iterations != settings.max_iterations ||
-      s.gmres_restart != settings.gmres_restart)
-    return false;
+  if (!same_operator_family(eng, grid, pml, k0, settings)) return false;
   const array2d<double>& cached = eng.eps();
   return cached.size() == eps.size() &&
          std::memcmp(cached.data(), eps.data(), eps.size() * sizeof(double)) == 0;
+}
+
+std::shared_ptr<const simulation_engine> engine_cache::find_nominal(
+    const grid2d& grid, const pml_spec& pml, double k0, const array2d<double>& eps,
+    const engine_settings& settings) const {
+  std::shared_ptr<const simulation_engine> best;
+  double best_score = 0.0;
+  for (const entry& e : lru_) {
+    const simulation_engine& eng = *e.engine;
+    if (!same_operator_family(eng, grid, pml, k0, settings)) continue;
+    const std::shared_ptr<const simulation_engine>& root =
+        eng.is_reuse() ? eng.nominal() : e.engine;
+    const double score = perturbation_score(root->eps(), eps);
+    if (score > settings.reuse_max_delta) continue;
+    if (!best || score < best_score) {
+      best_score = score;
+      best = root;
+    }
+  }
+  return best;
 }
 
 std::shared_ptr<const simulation_engine> engine_cache::acquire(
     const grid2d& grid, const pml_spec& pml, double k0, const array2d<double>& eps,
     const engine_settings& settings) {
   const std::uint64_t digest = operator_digest(grid, pml, k0, eps, settings);
+  std::shared_ptr<const simulation_engine> nominal;
 
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -92,13 +144,25 @@ std::shared_ptr<const simulation_engine> engine_cache::acquire(
       return it->second->engine;
     }
     ++stats_.misses;
+    // A miss may still be close to a cached preparation: the nearby-operator
+    // path only needs the nominal factorization, not an exact eps match.
+    if (settings.backend == backend_kind::banded && settings.reuse &&
+        operator_reuse_enabled())
+      nominal = find_nominal(grid, pml, k0, eps, settings);
   }
 
   // Build outside the lock: concurrent misses on the same key may duplicate
   // the preparation, but never block each other behind it.
-  auto engine = std::make_shared<const simulation_engine>(grid, pml, k0, eps, settings);
+  std::shared_ptr<const simulation_engine> engine;
+  if (nominal != nullptr) {
+    engine = std::make_shared<const simulation_engine>(std::move(nominal), eps);
+    reuse_counter::prepares_avoided();
+  } else {
+    engine = std::make_shared<const simulation_engine>(grid, pml, k0, eps, settings);
+  }
 
   const std::lock_guard<std::mutex> lock(mutex_);
+  if (engine->is_reuse()) ++stats_.reuse_hits;
   const auto it = index_.find(digest);
   if (it != index_.end()) {
     if (matches(*it->second, grid, pml, k0, eps, settings)) {

@@ -6,6 +6,13 @@
 /// scan point re-runs the same reference-normalization solve — so reusing
 /// the factorization amortizes the dominant per-sample cost. Digest
 /// collisions are guarded by a full key comparison on hit.
+///
+/// On a miss with the banded backend and reuse enabled, the cache also scans
+/// its entries for a *nearby* operator — same grid/PML/k0/settings, with an
+/// RMS permittivity change within `settings.reuse_max_delta` of the cached
+/// nominal — and, when one is found, builds a reuse engine that serves the
+/// perturbed operator through the nominal's factorization instead of
+/// preparing its own (see `make_nearby_backend`).
 
 #pragma once
 
@@ -50,6 +57,7 @@ class engine_cache {
     std::size_t misses = 0;
     std::size_t evictions = 0;
     std::size_t entries = 0;
+    std::size_t reuse_hits = 0;  ///< misses served by a nearby-operator engine
   };
   cache_stats stats() const;
 
@@ -67,6 +75,14 @@ class engine_cache {
 
   bool matches(const entry& e, const grid2d& grid, const pml_spec& pml, double k0,
                const array2d<double>& eps, const engine_settings& settings) const;
+
+  /// Best nominal engine for serving `eps` through the reuse path, or null
+  /// when no cached entry is close enough. Reuse entries contribute their
+  /// own nominal, so a chain of perturbations never stacks preconditioners.
+  /// Caller holds `mutex_`.
+  std::shared_ptr<const simulation_engine> find_nominal(
+      const grid2d& grid, const pml_spec& pml, double k0, const array2d<double>& eps,
+      const engine_settings& settings) const;
 
   std::size_t capacity_;
   mutable std::mutex mutex_;

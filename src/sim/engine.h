@@ -28,6 +28,16 @@ class simulation_engine {
   simulation_engine(const grid2d& grid, const pml_spec& pml, double k0,
                     const array2d<double>& eps, engine_settings settings = {});
 
+  /// Nearby-operator reuse: prepare `eps` without factoring it, serving
+  /// solves through `nominal`'s banded LU as the preconditioner of a short
+  /// GMRES outer loop (see `make_nearby_backend`). Grid, PML, k0 and
+  /// settings are inherited from the nominal engine, which is kept alive
+  /// for the lifetime of this one.
+  simulation_engine(std::shared_ptr<const simulation_engine> nominal,
+                    const array2d<double>& eps);
+
+  ~simulation_engine();
+
   simulation_engine(const simulation_engine&) = delete;
   simulation_engine& operator=(const simulation_engine&) = delete;
 
@@ -40,6 +50,13 @@ class simulation_engine {
 
   /// The wrapped FDFD solver (stretch profiles, CSR assembly, gradients).
   const fdfd::fdfd_solver& solver() const { return solver_; }
+
+  /// True when this engine serves a perturbed operator off a nominal
+  /// preparation instead of its own factorization.
+  bool is_reuse() const { return nominal_ != nullptr; }
+
+  /// The nominal engine backing the reuse path (null for a full preparation).
+  const std::shared_ptr<const simulation_engine>& nominal() const { return nominal_; }
 
   /// Solve A e = b for one current-density excitation.
   array2d<cplx> solve_excitation(const array2d<cplx>& current_density) const;
@@ -69,7 +86,15 @@ class simulation_engine {
   pml_spec pml_;
   engine_settings settings_;
   fdfd::fdfd_solver solver_;
+  std::shared_ptr<const simulation_engine> nominal_;
   std::unique_ptr<linear_backend> backend_;
+
+  /// Small FIFO memo of recently solved batches: warm Monte-Carlo samples
+  /// and repeated corners re-issue bit-identical right-hand sides on the
+  /// same engine, and the memo answers them without touching the backend.
+  /// Gated on `settings_.reuse` and the BOSON_SIM_REUSE kill switch.
+  struct batch_memo;
+  std::unique_ptr<batch_memo> memo_;
 };
 
 }  // namespace boson::sim

@@ -34,8 +34,10 @@ class banded_lu {
   /// matrix; after factor: the LU data (used by tests only).
   cplx at(std::size_t i, std::size_t j) const;
 
-  /// LU-factor in place with partial pivoting. Throws `numeric_error` on a
-  /// singular pivot.
+  /// LU-factor in place with partial pivoting, using a cache-blocked
+  /// right-looking elimination (panels of pivot columns are applied to each
+  /// trailing column in one resident pass; bit-identical to the unblocked
+  /// column-by-column algorithm). Throws `numeric_error` on a singular pivot.
   void factor();
 
   bool factored() const { return factored_; }
@@ -43,10 +45,13 @@ class banded_lu {
   /// Solve A x = b using the factorization; returns x.
   cvec solve(const cvec& b) const;
 
-  /// Blocked multi-RHS solve: forward/back-substitutes every right-hand side
-  /// through the factorization together, so each LU coefficient is loaded
-  /// once per column instead of once per RHS. This is how one variation
-  /// corner's excitations and adjoints share the factorization.
+  /// Blocked multi-RHS solve: the batch is packed into one contiguous
+  /// row-major n x m block and forward/back-substituted together, so each LU
+  /// coefficient is loaded once per column and the innermost loops stream
+  /// over the batch with unit stride. This is how one variation corner's
+  /// excitations and adjoints share the factorization. An empty batch
+  /// returns an empty result; a one-RHS batch matches the scalar `solve`
+  /// bit-for-bit.
   std::vector<cvec> solve(const std::vector<cvec>& bs) const;
 
   /// y = A x with the *unfactored* matrix (for residual checks).

@@ -159,15 +159,24 @@ krylov_result gmres(const csr_c& a, const cvec& b, cvec& x, const ilu0* precond,
                     std::size_t restart, double tol, std::size_t max_iterations) {
   require(a.rows() == a.cols(), "gmres: matrix must be square");
   require(b.size() == a.rows(), "gmres: rhs size mismatch");
+  const linear_op op = [&a](const cvec& v) { return a.matvec(v); };
+  linear_op m;
+  if (precond != nullptr) m = [precond](const cvec& r) { return precond->apply(r); };
+  return gmres(op, b, x, m, restart, tol, max_iterations);
+}
+
+krylov_result gmres(const linear_op& a, const cvec& b, cvec& x, const linear_op& precond,
+                    std::size_t restart, double tol, std::size_t max_iterations) {
+  require(static_cast<bool>(a), "gmres: operator required");
   require(restart >= 2, "gmres: restart must be >= 2");
   const std::size_t n = b.size();
   if (x.size() != n) x.assign(n, cplx{});
 
   auto apply = [&](const cvec& v) {
-    cvec av = a.matvec(v);
-    return precond ? precond->apply(av) : av;
+    cvec av = a(v);
+    return precond ? precond(av) : av;
   };
-  const cvec pb = precond ? precond->apply(b) : b;
+  const cvec pb = precond ? precond(b) : b;
   const double pb_norm = la::nrm2(pb);
   krylov_result result;
   if (pb_norm == 0.0) {
@@ -257,11 +266,65 @@ krylov_result gmres(const csr_c& a, const cvec& b, cvec& x, const ilu0* precond,
   }
 
   result.iterations = total_iterations;
-  cvec r_final = a.matvec(x);
+  cvec r_final = a(x);
   for (std::size_t i = 0; i < n; ++i) r_final[i] = b[i] - r_final[i];
   result.relative_residual = la::nrm2(r_final) / la::nrm2(b);
   result.converged = result.relative_residual < tol;
   return result;
+}
+
+recycle_space::recycle_space(std::size_t capacity) : capacity_(capacity) {
+  require(capacity >= 1, "recycle_space: capacity must be at least 1");
+}
+
+void recycle_space::clear() {
+  u_.clear();
+  w_.clear();
+}
+
+cvec recycle_space::guess(const cvec& b) const {
+  if (u_.empty() || w_[0].size() != b.size()) return cvec(b.size(), cplx{});
+  cvec x(b.size(), cplx{});
+  for (std::size_t j = 0; j < u_.size(); ++j) {
+    const cplx y = la::dot(w_[j], b);
+    if (y == cplx{}) continue;
+    const cvec& uj = u_[j];
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] += y * uj[i];
+  }
+  return x;
+}
+
+void recycle_space::add(cvec u, cvec w) {
+  require(u.size() == w.size(), "recycle_space::add: size mismatch");
+  if (!u_.empty() && u_[0].size() != u.size()) clear();  // new problem size
+
+  const double w0 = la::nrm2(w);
+  if (w0 == 0.0) return;
+  // Modified Gram-Schmidt against the stored space; the same coefficients
+  // are applied to u so the invariant w_j = A u_j survives.
+  for (std::size_t j = 0; j < w_.size(); ++j) {
+    const cplx h = la::dot(w_[j], w);
+    if (h == cplx{}) continue;
+    const cvec& wj = w_[j];
+    const cvec& uj = u_[j];
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      w[i] -= h * wj[i];
+      u[i] -= h * uj[i];
+    }
+  }
+  const double wn = la::nrm2(w);
+  if (wn < 1e-12 * w0) return;  // direction already represented
+  const double inv = 1.0 / wn;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] *= inv;
+    u[i] *= inv;
+  }
+  if (u_.size() >= capacity_) {  // drop the oldest pair
+    u_.erase(u_.begin());
+    w_.erase(w_.begin());
+  }
+  u_.push_back(std::move(u));
+  w_.push_back(std::move(w));
 }
 
 }  // namespace boson::sp

@@ -1,11 +1,18 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 
 #include "common/types.h"
 #include "sparse/csr.h"
 
 namespace boson::sp {
+
+/// Matrix-free linear operator (or preconditioner application) used by the
+/// flexible solver entry points: the nearby-operator reuse path passes the
+/// perturbed operator as a CSR matvec and a *nominal* banded LU solve as the
+/// preconditioner. An empty function means the identity.
+using linear_op = std::function<cvec(const cvec&)>;
 
 /// Zero-fill incomplete LU factorization of a complex CSR matrix, used to
 /// precondition BiCGSTAB. Kept as an alternative solve path for grids whose
@@ -40,5 +47,50 @@ krylov_result bicgstab(const csr_c& a, const cvec& b, cvec& x, const ilu0* preco
 krylov_result gmres(const csr_c& a, const cvec& b, cvec& x, const ilu0* precond,
                     std::size_t restart = 60, double tol = 1e-8,
                     std::size_t max_iterations = 2000);
+
+/// Matrix-free restarted GMRES(m) with optional left preconditioning (empty
+/// `precond` = none). This is the outer loop of the nearby-operator reuse
+/// path: with M = LU of a *nominal* operator and A a diagonally-perturbed
+/// corner operator, M^{-1} A is a low-rank perturbation of the identity and
+/// the iteration converges in roughly one step per perturbed cell or better.
+/// `x` carries the initial guess in and the solution out; the convergence
+/// test is on the preconditioned residual (callers that need the true
+/// residual check it on return).
+krylov_result gmres(const linear_op& a, const cvec& b, cvec& x, const linear_op& precond,
+                    std::size_t restart = 60, double tol = 1e-8,
+                    std::size_t max_iterations = 2000);
+
+/// A small recycled subspace carried across the adjacent solves of a
+/// corner/sample sweep. Stores up to `capacity` pairs (u, w = A u) with the
+/// w's kept orthonormal by modified Gram-Schmidt, so `guess` can serve the
+/// least-squares minimizer of ||b - A x|| over the recycled span as a
+/// warm-start: adjacent corners repeat (or barely perturb) their right-hand
+/// sides, and the previous solution then starts the iteration at (or near)
+/// the answer. Not thread-safe; callers serialize access.
+class recycle_space {
+ public:
+  explicit recycle_space(std::size_t capacity = 8);
+
+  std::size_t size() const { return u_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  void clear();
+
+  /// Best initial guess for A x = b available in the recycled span:
+  /// x = U y with y = W^H b, which leaves the residual b - A x orthogonal
+  /// to span(W). Returns the zero vector when the space is empty or b has
+  /// a different length than the stored pairs.
+  cvec guess(const cvec& b) const;
+
+  /// Deposit a converged solution pair (u = x, w = A x). The pair is
+  /// orthonormalized against the stored space (the same combination is
+  /// applied to u and w, preserving w = A u); near-dependent directions are
+  /// discarded and the oldest pair is dropped at capacity.
+  void add(cvec u, cvec w);
+
+ private:
+  std::size_t capacity_;
+  std::vector<cvec> u_;
+  std::vector<cvec> w_;
+};
 
 }  // namespace boson::sp

@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <memory>
 
 #include "core/evaluate.h"
 #include "core/methods.h"
@@ -222,6 +223,167 @@ TEST(cache, cached_engine_reproduces_fresh_solution) {
   const auto a = again->solve_excitation(current);
   const auto b = fresh.solve_excitation(current);
   EXPECT_LT(max_diff(a, b), 1e-12 * (1.0 + max_abs(b)));
+}
+
+// ---------------------------------------------------- nearby-operator reuse ----
+
+TEST(reuse, nearby_engine_agrees_with_full_reprepare_across_perturbations) {
+  const waveguide_fixture f;
+  const auto s = settings_for(sim::backend_kind::banded);
+  const auto nominal = std::make_shared<const sim::simulation_engine>(
+      f.g, f.pml, k0_default, f.eps, s);
+  const auto current = f.point_source(14, f.g.ny / 2);
+  const double eps_si = fab::eps_si(300.0);
+
+  // Perturbation matrix: a wide-support temperature-like shift, a handful of
+  // full-contrast cell flips, and both at once.
+  std::vector<array2d<double>> corners;
+  {
+    array2d<double> thermal = f.eps;
+    for (auto& v : thermal)
+      if (v > 2.0) v += 0.02;
+    corners.push_back(thermal);
+
+    array2d<double> flips = f.eps;
+    flips(10, f.g.ny / 2 - 6) = eps_si;
+    flips(22, f.g.ny / 2 + 6) = eps_si;
+    flips(30, f.g.ny / 2) = 1.0;
+    corners.push_back(flips);
+
+    array2d<double> both = thermal;
+    both(18, f.g.ny / 2 - 6) = eps_si;
+    both(25, f.g.ny / 2 + 7) = eps_si;
+    corners.push_back(both);
+  }
+
+  const auto before = sim::reuse_statistics();
+  for (std::size_t k = 0; k < corners.size(); ++k) {
+    const sim::simulation_engine reused(nominal, corners[k]);
+    const sim::simulation_engine fresh(f.g, f.pml, k0_default, corners[k], s);
+    const auto a = reused.solve_excitation(current);
+    const auto b = fresh.solve_excitation(current);
+    const double scale = max_abs(b);
+    ASSERT_GT(scale, 0.0);
+    EXPECT_LT(max_diff(a, b), 1e-6 * scale) << "corner " << k;
+  }
+  const auto after = sim::reuse_statistics();
+  EXPECT_GE(after.refinement_solves - before.refinement_solves, corners.size());
+  EXPECT_EQ(after.fallbacks - before.fallbacks, 0u)
+      << "every corner must be served by the nominal factorization";
+}
+
+TEST(reuse, large_perturbation_triggers_counted_fallback_and_still_agrees) {
+  const waveguide_fixture f;
+  auto s = settings_for(sim::backend_kind::banded);
+  s.reuse_max_iterations = 2;  // starve the outer loop so refinement cannot win
+  const auto nominal = std::make_shared<const sim::simulation_engine>(
+      f.g, f.pml, k0_default, f.eps, s);
+
+  array2d<double> eps2 = f.eps;
+  const double eps_si = fab::eps_si(300.0);
+  for (std::size_t ix = 4; ix < f.g.nx - 4; ix += 2)  // many full-contrast flips
+    eps2(ix, f.g.ny / 2 - 7) = eps_si;
+
+  const auto before = sim::reuse_statistics();
+  const sim::simulation_engine reused(nominal, eps2);
+  const auto current = f.point_source(14, f.g.ny / 2);
+  const auto a = reused.solve_excitation(current);
+  const auto after = sim::reuse_statistics();
+  EXPECT_GE(after.fallbacks - before.fallbacks, 1u);
+
+  const sim::simulation_engine fresh(f.g, f.pml, k0_default, eps2, s);
+  const auto b = fresh.solve_excitation(current);
+  EXPECT_LT(max_diff(a, b), 1e-10 * (1.0 + max_abs(b)))
+      << "the fallback path is a full re-prepare and must match it";
+}
+
+TEST(reuse, cache_serves_perturbed_operator_from_nominal_factorization) {
+  const waveguide_fixture f;
+  const auto s = settings_for(sim::backend_kind::banded);
+  sim::engine_cache cache(4);
+
+  const auto nom = cache.acquire(f.g, f.pml, k0_default, f.eps, s);
+  EXPECT_FALSE(nom->is_reuse());
+
+  array2d<double> eps2 = f.eps;
+  eps2(12, f.g.ny / 2 - 6) += 0.4;
+  const auto e2 = cache.acquire(f.g, f.pml, k0_default, eps2, s);
+  ASSERT_TRUE(e2->is_reuse());
+  EXPECT_EQ(e2->nominal().get(), nom.get());
+  EXPECT_EQ(cache.stats().reuse_hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 2u) << "a reuse build is still a cache miss";
+
+  // A third perturbation whose best family match is the reuse engine must be
+  // rooted at that engine's nominal — preconditioners never stack.
+  array2d<double> eps3 = f.eps;
+  eps3(13, f.g.ny / 2 - 6) += 0.4;
+  const auto e3 = cache.acquire(f.g, f.pml, k0_default, eps3, s);
+  ASSERT_TRUE(e3->is_reuse());
+  EXPECT_EQ(e3->nominal().get(), nom.get());
+  EXPECT_EQ(cache.stats().reuse_hits, 2u);
+}
+
+TEST(reuse, perturbation_heuristic_rejects_distant_operators) {
+  const waveguide_fixture f;
+  const auto s = settings_for(sim::backend_kind::banded);
+  sim::engine_cache cache(4);
+  (void)cache.acquire(f.g, f.pml, k0_default, f.eps, s);
+
+  array2d<double> far = f.eps;
+  for (auto& v : far) v += 6.0;  // rms delta well above reuse_max_delta
+  const auto e = cache.acquire(f.g, f.pml, k0_default, far, s);
+  EXPECT_FALSE(e->is_reuse()) << "distant operators must get a full prepare";
+  EXPECT_EQ(cache.stats().reuse_hits, 0u);
+}
+
+TEST(reuse, boson_sim_reuse_env_disables_the_nearby_path) {
+  const waveguide_fixture f;
+  const auto s = settings_for(sim::backend_kind::banded);
+  array2d<double> eps2 = f.eps;
+  eps2(12, f.g.ny / 2 - 6) += 0.4;
+
+  ASSERT_EQ(setenv("BOSON_SIM_REUSE", "0", 1), 0);
+  EXPECT_FALSE(sim::operator_reuse_enabled());
+  {
+    sim::engine_cache cache(4);
+    (void)cache.acquire(f.g, f.pml, k0_default, f.eps, s);
+    const auto e = cache.acquire(f.g, f.pml, k0_default, eps2, s);
+    EXPECT_FALSE(e->is_reuse());
+    EXPECT_EQ(cache.stats().reuse_hits, 0u);
+  }
+  unsetenv("BOSON_SIM_REUSE");
+  EXPECT_TRUE(sim::operator_reuse_enabled());
+  {
+    sim::engine_cache cache(4);
+    (void)cache.acquire(f.g, f.pml, k0_default, f.eps, s);
+    const auto e = cache.acquire(f.g, f.pml, k0_default, eps2, s);
+    EXPECT_TRUE(e->is_reuse());
+  }
+}
+
+TEST(reuse, repeated_excitation_batch_is_served_from_the_solution_memo) {
+  const waveguide_fixture f;
+  const sim::simulation_engine engine(f.g, f.pml, k0_default, f.eps,
+                                      settings_for(sim::backend_kind::banded));
+  const auto current = f.point_source(14, f.g.ny / 2);
+  const auto before = sim::reuse_statistics();
+  const auto a = engine.solve_excitation(current);
+  const auto b = engine.solve_excitation(current);
+  const auto after = sim::reuse_statistics();
+  EXPECT_EQ(after.solution_reuses - before.solution_reuses, 1u);
+  EXPECT_EQ(max_diff(a, b), 0.0) << "memoized fields must be bit-identical";
+}
+
+TEST(reuse, krylov_backend_recycles_solutions_across_solves) {
+  const waveguide_fixture f;
+  const sim::simulation_engine engine(f.g, f.pml, k0_default, f.eps,
+                                      settings_for(sim::backend_kind::gmres));
+  const auto before = sim::reuse_statistics();
+  (void)engine.solve_excitation(f.point_source(14, f.g.ny / 2));
+  (void)engine.solve_excitation(f.point_source(20, f.g.ny / 2 + 2));
+  const auto after = sim::reuse_statistics();
+  EXPECT_GE(after.recycle_guesses - before.recycle_guesses, 1u)
+      << "the second solve must start from the recycled subspace";
 }
 
 // ------------------------------------------------------------ workspace ----

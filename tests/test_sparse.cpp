@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/rng.h"
@@ -385,6 +386,217 @@ TEST(krylov, gmres_and_bicgstab_agree) {
   ASSERT_TRUE(gmres(a, b, xg, nullptr, 40, 1e-11, 2000).converged);
   ASSERT_TRUE(bicgstab(a, b, xb, nullptr, 1e-11, 2000).converged);
   for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(std::abs(xg[i] - xb[i]), 0.0, 1e-6);
+}
+
+// ------------------------------------------------ batched solve identities ----
+
+/// Random well-conditioned banded operator shared by the bit-identity tests.
+banded_lu random_banded_lu(std::size_t n, std::size_t kl, std::size_t ku,
+                           std::uint64_t seed) {
+  rng r(seed);
+  banded_lu a(n, kl, ku);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j + kl < i || i + ku < j) continue;
+      cplx v(r.uniform(-1, 1), r.uniform(-1, 1));
+      if (i == j) v += cplx(4.0, 0.5);
+      a.add(i, j, v);
+    }
+  }
+  a.factor();
+  return a;
+}
+
+TEST(banded, empty_batch_returns_empty_batch) {
+  const banded_lu a = random_banded_lu(24, 4, 3, 1234);
+  EXPECT_TRUE(a.solve(std::vector<cvec>{}).empty());
+}
+
+TEST(banded, singleton_batch_is_bit_identical_to_scalar_solve) {
+  const banded_lu a = random_banded_lu(48, 6, 6, 77);
+  rng r(78);
+  cvec b(48);
+  for (auto& v : b) v = cplx(r.uniform(-1, 1), r.uniform(-1, 1));
+  const cvec scalar = a.solve(b);
+  const auto batch = a.solve(std::vector<cvec>{b});
+  ASSERT_EQ(batch.size(), 1u);
+  for (std::size_t i = 0; i < scalar.size(); ++i)
+    EXPECT_EQ(batch[0][i], scalar[i]) << "row " << i;
+}
+
+TEST(banded, packed_batch_matches_scalar_solves_to_rounding) {
+  // The packed block substitution streams each LU coefficient across the
+  // whole batch, so the accumulation order differs from the scalar path by
+  // rounding only (the m == 1 case above is the bit-exact delegation).
+  const banded_lu a = random_banded_lu(64, 8, 8, 555);
+  rng r(556);
+  std::vector<cvec> bs(7, cvec(64));
+  for (auto& b : bs)
+    for (auto& v : b) v = cplx(r.uniform(-1, 1), r.uniform(-1, 1));
+  const auto batch = a.solve(bs);
+  ASSERT_EQ(batch.size(), bs.size());
+  for (std::size_t k = 0; k < bs.size(); ++k) {
+    const cvec scalar = a.solve(bs[k]);
+    for (std::size_t i = 0; i < scalar.size(); ++i)
+      EXPECT_NEAR(std::abs(batch[k][i] - scalar[i]), 0.0, 1e-12)
+          << "rhs " << k << " row " << i;
+  }
+}
+
+// -------------------------------------------------- matrix-free gmres ------
+
+TEST(krylov, matrix_free_gmres_matches_csr_overload) {
+  const std::size_t n = 50;
+  const auto a = random_banded_csr(n, 3, 900, 5.0);
+  rng r(901);
+  cvec b(n);
+  for (auto& v : b) v = cplx(r.uniform(-1, 1), r.uniform(-1, 1));
+
+  cvec x_csr, x_op;
+  const auto res_csr = gmres(a, b, x_csr, nullptr, 30, 1e-10, 2000);
+  const linear_op op = [&a](const cvec& v) { return a.matvec(v); };
+  const auto res_op = gmres(op, b, x_op, linear_op{}, 30, 1e-10, 2000);
+  ASSERT_TRUE(res_csr.converged);
+  ASSERT_TRUE(res_op.converged);
+  EXPECT_EQ(res_op.iterations, res_csr.iterations);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(x_op[i], x_csr[i]) << "row " << i;
+}
+
+TEST(krylov, gmres_accepts_converged_initial_guess_without_touching_x) {
+  const std::size_t n = 40;
+  const auto a = random_banded_csr(n, 2, 910, 6.0);
+  rng r(911);
+  cvec x_true(n);
+  for (auto& v : x_true) v = cplx(r.uniform(-1, 1), r.uniform(-1, 1));
+  const cvec b = a.matvec(x_true);
+  cvec x = x_true;  // start at the answer
+  const linear_op op = [&a](const cvec& v) { return a.matvec(v); };
+  const auto res = gmres(op, b, x, linear_op{}, 30, 1e-10, 2000);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iterations, 0u);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_EQ(x[i], x_true[i]) << "x must be returned untouched at row " << i;
+}
+
+TEST(krylov, nominal_lu_preconditioner_resolves_diagonal_perturbation_quickly) {
+  // The nearby-operator reuse identity: with M = LU(A_nom) and
+  // A = A_nom + D where D hits c diagonal entries, M^{-1} A is a rank-c
+  // perturbation of the identity, so left-preconditioned GMRES needs about
+  // c + 1 iterations regardless of the grid size.
+  const std::size_t n = 100, band = 5, c = 4;
+  rng r(920);
+  banded_lu nominal(n, band, band);
+  std::vector<triplet<cplx>> entries;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = (i > band ? i - band : 0); j <= std::min(i + band, n - 1);
+         ++j) {
+      cplx v(r.uniform(-1, 1), r.uniform(-1, 1));
+      if (i == j) v += cplx(5.0, 0.5);
+      nominal.add(i, j, v);
+      entries.push_back({i, j, v});
+    }
+  }
+  for (std::size_t k = 0; k < c; ++k)  // perturbed operator: c diagonal bumps
+    entries.push_back({11 + 13 * k, 11 + 13 * k, cplx(2.5, -0.75)});
+  const csr_c perturbed(n, n, entries);
+  nominal.factor();
+
+  cvec b(n);
+  for (auto& v : b) v = cplx(r.uniform(-1, 1), r.uniform(-1, 1));
+  cvec x = nominal.solve(b);  // warm start from the nominal factorization
+  const linear_op op = [&perturbed](const cvec& v) { return perturbed.matvec(v); };
+  const linear_op pre = [&nominal](const cvec& v) { return nominal.solve(v); };
+  const auto res = gmres(op, b, x, pre, 32, 1e-11, 32);
+  ASSERT_TRUE(res.converged);
+  EXPECT_LE(res.iterations, c + 2);
+
+  cvec ax = perturbed.matvec(x);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) worst = std::max(worst, std::abs(ax[i] - b[i]));
+  EXPECT_LT(worst, 1e-8 * (1.0 + la::nrm2(b)));
+}
+
+// --------------------------------------------------------- recycle space ----
+
+TEST(recycle, empty_or_mismatched_space_guesses_zero) {
+  recycle_space space(4);
+  EXPECT_EQ(space.size(), 0u);
+  EXPECT_EQ(space.capacity(), 4u);
+  const cvec g0 = space.guess(cvec(10, cplx{1.0}));
+  ASSERT_EQ(g0.size(), 10u);
+  for (const auto& v : g0) EXPECT_EQ(v, cplx{});
+
+  const auto a = random_banded_csr(10, 2, 930, 5.0);
+  cvec u(10, cplx{1.0});
+  space.add(u, a.matvec(u));
+  EXPECT_EQ(space.size(), 1u);
+  const cvec g1 = space.guess(cvec(7, cplx{1.0}));  // wrong length
+  ASSERT_EQ(g1.size(), 7u);
+  for (const auto& v : g1) EXPECT_EQ(v, cplx{});
+}
+
+TEST(recycle, repeated_rhs_is_served_from_the_space) {
+  const std::size_t n = 40;
+  const auto a = random_banded_csr(n, 3, 940, 6.0);
+  rng r(941);
+  cvec b(n);
+  for (auto& v : b) v = cplx(r.uniform(-1, 1), r.uniform(-1, 1));
+  cvec x;
+  ASSERT_TRUE(gmres(a, b, x, nullptr, 40, 1e-12, 4000).converged);
+
+  recycle_space space(4);
+  space.add(x, a.matvec(x));
+  const cvec guess = space.guess(b);
+  cvec residual = a.matvec(guess);
+  for (std::size_t i = 0; i < n; ++i) residual[i] = b[i] - residual[i];
+  // The recycled projection leaves the residual orthogonal to span(w); for a
+  // repeated right-hand side it starts essentially at the answer.
+  EXPECT_LT(la::nrm2(residual), 1e-9 * la::nrm2(b));
+}
+
+TEST(recycle, orthonormalization_discards_dependent_directions_and_evicts_fifo) {
+  const std::size_t n = 20;
+  const auto a = random_banded_csr(n, 2, 950, 5.0);
+  rng r(951);
+  recycle_space space(2);
+
+  cvec u1(n);
+  for (auto& v : u1) v = cplx(r.uniform(-1, 1), r.uniform(-1, 1));
+  space.add(u1, a.matvec(u1));
+  EXPECT_EQ(space.size(), 1u);
+  space.add(u1, a.matvec(u1));  // same direction again: discarded
+  EXPECT_EQ(space.size(), 1u);
+
+  cvec u2(n), u3(n);
+  for (auto& v : u2) v = cplx(r.uniform(-1, 1), r.uniform(-1, 1));
+  for (auto& v : u3) v = cplx(r.uniform(-1, 1), r.uniform(-1, 1));
+  space.add(u2, a.matvec(u2));
+  EXPECT_EQ(space.size(), 2u);
+  space.add(u3, a.matvec(u3));  // capacity 2: the oldest pair is dropped
+  EXPECT_EQ(space.size(), 2u);
+
+  space.clear();
+  EXPECT_EQ(space.size(), 0u);
+}
+
+TEST(recycle, guess_warm_start_cuts_gmres_iterations_on_a_nearby_rhs) {
+  const std::size_t n = 80;
+  const auto a = random_banded_csr(n, 4, 960, 4.0);
+  rng r(961);
+  cvec b(n);
+  for (auto& v : b) v = cplx(r.uniform(-1, 1), r.uniform(-1, 1));
+  cvec x_cold;
+  const auto cold = gmres(a, b, x_cold, nullptr, 60, 1e-10, 4000);
+  ASSERT_TRUE(cold.converged);
+
+  recycle_space space(4);
+  space.add(x_cold, a.matvec(x_cold));
+  cvec b2 = b;  // a small perturbation of the previous right-hand side
+  for (auto& v : b2) v += cplx(1e-3 * r.uniform(-1, 1), 1e-3 * r.uniform(-1, 1));
+  cvec x_warm = space.guess(b2);
+  const auto warm = gmres(a, b2, x_warm, nullptr, 60, 1e-10, 4000);
+  ASSERT_TRUE(warm.converged);
+  EXPECT_LT(warm.iterations, cold.iterations);
 }
 
 }  // namespace

@@ -67,9 +67,14 @@ void compare(const json_value& baseline, const json_value& current,
   const double now = current.as_number();
   const std::string leaf = path.substr(path.rfind('.') + 1);
   const direction dir = classify(leaf);
-  if (dir == direction::informational || base == 0.0 || !std::isfinite(base) ||
-      !std::isfinite(now))
+  if (dir == direction::informational) {
+    // Counters (cache hits, reuse/fallback tallies, sample counts) are shown
+    // so a perf shift can be read against its cause, but never gated.
+    std::printf("  · %-46s base %12.4g  now %12.4g  (counter)\n", path.c_str(), base,
+                now);
     return;
+  }
+  if (base == 0.0 || !std::isfinite(base) || !std::isfinite(now)) return;
 
   ++result.compared;
   // ratio > 1 means "worse" in both directions.
