@@ -1,0 +1,561 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+
+namespace boson::net {
+
+namespace {
+
+constexpr const char* kCrlf = "\r\n";
+
+bool is_token_char(char c) {
+  // RFC 7230 tchar: the characters legal in methods and header field names.
+  static const std::string extra = "!#$%&'*+-.^_`|~";
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+         extra.find(c) != std::string::npos;
+}
+
+bool is_token(const std::string& text) {
+  if (text.empty()) return false;
+  return std::all_of(text.begin(), text.end(), is_token_char);
+}
+
+std::string trim_ows(const std::string& text) {
+  std::size_t b = text.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = text.find_last_not_of(" \t");
+  return text.substr(b, e - b + 1);
+}
+
+/// Strict non-negative decimal parse (Content-Length); rejects signs,
+/// blanks, and trailing garbage — all of which smuggle framing ambiguity.
+std::size_t parse_decimal(const std::string& text, const char* what) {
+  if (text.empty()) throw http_error(400, std::string("http: empty ") + what);
+  std::size_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9')
+      throw http_error(400, std::string("http: malformed ") + what + " '" + text + "'");
+    const std::size_t digit = static_cast<std::size_t>(c - '0');
+    if (value > (SIZE_MAX - digit) / 10)
+      throw http_error(413, std::string("http: ") + what + " overflows");
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+std::size_t parse_chunk_size(const std::string& line) {
+  // Chunk extensions (";ext=...") are tolerated and ignored.
+  const std::string text = trim_ows(line.substr(0, line.find(';')));
+  if (text.empty()) throw http_error(400, "http: empty chunk size");
+  std::size_t value = 0;
+  for (char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+    else throw http_error(400, "http: malformed chunk size '" + text + "'");
+    if (value > (SIZE_MAX - static_cast<std::size_t>(digit)) / 16)
+      throw http_error(413, "http: chunk size overflows");
+    value = value * 16 + static_cast<std::size_t>(digit);
+  }
+  return value;
+}
+
+/// Split one "Name: value" header line; shared by both parsers.
+std::pair<std::string, std::string> split_header(const std::string& line) {
+  const std::size_t colon = line.find(':');
+  if (colon == std::string::npos)
+    throw http_error(400, "http: header line without ':' ('" + line + "')");
+  const std::string name = line.substr(0, colon);
+  if (!is_token(name))
+    throw http_error(400, "http: malformed header name '" + name + "'");
+  return {name, trim_ows(line.substr(colon + 1))};
+}
+
+const std::string* find_header(
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    const std::string& name) {
+  for (const auto& [key, value] : headers)
+    if (iequals(key, name)) return &value;
+  return nullptr;
+}
+
+void append_chunk(std::string& out, const std::string& payload) {
+  char size[32];
+  std::snprintf(size, sizeof size, "%zx\r\n", payload.size());
+  out += size;
+  out += payload;
+  out += kCrlf;
+}
+
+}  // namespace
+
+bool iequals(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i])))
+      return false;
+  return true;
+}
+
+std::string percent_decode(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '+') {
+      out += ' ';
+    } else if (c == '%') {
+      if (i + 2 >= text.size() ||
+          !std::isxdigit(static_cast<unsigned char>(text[i + 1])) ||
+          !std::isxdigit(static_cast<unsigned char>(text[i + 2])))
+        throw http_error(400, "http: malformed percent escape in '" + text + "'");
+      const auto hex = [](char h) {
+        if (h >= '0' && h <= '9') return h - '0';
+        if (h >= 'a' && h <= 'f') return h - 'a' + 10;
+        return h - 'A' + 10;
+      };
+      out += static_cast<char>(hex(text[i + 1]) * 16 + hex(text[i + 2]));
+      i += 2;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::map<std::string, std::string> parse_query(const std::string& query) {
+  std::map<std::string, std::string> out;
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string pair = query.substr(pos, amp - pos);
+    if (!pair.empty()) {
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string::npos)
+        out[percent_decode(pair)] = "";
+      else
+        out[percent_decode(pair.substr(0, eq))] = percent_decode(pair.substr(eq + 1));
+    }
+    pos = amp + 1;
+  }
+  return out;
+}
+
+const std::string* http_request::header(const std::string& name) const {
+  return find_header(headers, name);
+}
+
+bool http_request::keep_alive() const {
+  const std::string* connection = header("Connection");
+  if (connection != nullptr) {
+    if (iequals(*connection, "close")) return false;
+    if (iequals(*connection, "keep-alive")) return true;
+  }
+  return version_minor >= 1;
+}
+
+const std::string* http_response::header(const std::string& name) const {
+  return find_header(headers, name);
+}
+
+const char* status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 202: return "Accepted";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+http_response error_response(int status, const std::string& message) {
+  http_response r;
+  r.status = status;
+  // Hand-rolled rather than io::json to keep the envelope available to the
+  // transport layer (which must answer peers io::json would choke on).
+  std::string escaped;
+  escaped.reserve(message.size());
+  for (char c : message) {
+    switch (c) {
+      case '"': escaped += "\\\""; break;
+      case '\\': escaped += "\\\\"; break;
+      case '\n': escaped += "\\n"; break;
+      case '\r': escaped += "\\r"; break;
+      case '\t': escaped += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          escaped += buf;
+        } else {
+          escaped += c;
+        }
+    }
+  }
+  r.body = "{\"error\":{\"status\":" + std::to_string(status) + ",\"message\":\"" +
+           escaped + "\"}}\n";
+  return r;
+}
+
+std::string serialize(const http_response& r, bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(r.status) + " " +
+                    status_reason(r.status) + kCrlf;
+  out += "Content-Type: " + r.content_type + kCrlf;
+  out += std::string("Connection: ") + (keep_alive ? "keep-alive" : "close") + kCrlf;
+  for (const auto& [name, value] : r.headers) out += name + ": " + value + kCrlf;
+  if (r.chunked) {
+    out += "Transfer-Encoding: chunked";
+    out += kCrlf;
+    out += kCrlf;
+    // One chunk per line (journal records are lines), so a reader sees whole
+    // records even when it processes chunk payloads individually.
+    std::size_t pos = 0;
+    while (pos < r.body.size()) {
+      std::size_t nl = r.body.find('\n', pos);
+      if (nl == std::string::npos) nl = r.body.size() - 1;
+      append_chunk(out, r.body.substr(pos, nl - pos + 1));
+      pos = nl + 1;
+    }
+    out += "0\r\n\r\n";
+  } else {
+    out += "Content-Length: " + std::to_string(r.body.size()) + kCrlf;
+    out += kCrlf;
+    out += r.body;
+  }
+  return out;
+}
+
+std::string serialize(const std::string& method, const std::string& target,
+                      const std::vector<std::pair<std::string, std::string>>& headers,
+                      const std::string& body) {
+  std::string out = method + " " + target + " HTTP/1.1" + kCrlf;
+  for (const auto& [name, value] : headers) out += name + ": " + value + kCrlf;
+  out += "Content-Length: " + std::to_string(body.size()) + kCrlf;
+  out += kCrlf;
+  out += body;
+  return out;
+}
+
+// ----------------------------------------------------- http_request_parser --
+
+http_request_parser::http_request_parser(http_limits limits) : limits_(limits) {}
+
+void http_request_parser::reset() {
+  state_ = state::start_line;
+  request_ = http_request{};
+  line_.clear();
+  header_bytes_ = 0;
+  body_expected_ = 0;
+  chunked_ = false;
+}
+
+bool http_request_parser::take_line(const char*& p, const char* end, std::size_t limit,
+                                    int overflow_status) {
+  while (p < end) {
+    const char c = *p++;
+    if (c == '\n') {
+      if (!line_.empty() && line_.back() == '\r') line_.pop_back();
+      return true;
+    }
+    line_ += c;
+    if (line_.size() > limit)
+      throw http_error(overflow_status, "http: line exceeds " + std::to_string(limit) +
+                                            " bytes");
+  }
+  return false;
+}
+
+void http_request_parser::parse_start_line() {
+  const std::size_t sp1 = line_.find(' ');
+  const std::size_t sp2 = sp1 == std::string::npos ? sp1 : line_.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      line_.find(' ', sp2 + 1) != std::string::npos)
+    throw http_error(400, "http: malformed request line '" + line_ + "'");
+  request_.method = line_.substr(0, sp1);
+  request_.target = line_.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = line_.substr(sp2 + 1);
+  if (!is_token(request_.method))
+    throw http_error(400, "http: malformed method '" + request_.method + "'");
+  if (request_.target.empty() || request_.target[0] != '/')
+    throw http_error(400, "http: request target must be absolute ('" +
+                              request_.target + "')");
+  if (version == "HTTP/1.1") request_.version_minor = 1;
+  else if (version == "HTTP/1.0") request_.version_minor = 0;
+  else throw http_error(505, "http: unsupported version '" + version + "'");
+
+  const std::size_t q = request_.target.find('?');
+  request_.path = percent_decode(request_.target.substr(0, q));
+  if (q != std::string::npos)
+    request_.query = parse_query(request_.target.substr(q + 1));
+}
+
+void http_request_parser::parse_header_line() {
+  if (request_.headers.size() >= limits_.max_headers)
+    throw http_error(431, "http: more than " + std::to_string(limits_.max_headers) +
+                              " header fields");
+  request_.headers.push_back(split_header(line_));
+}
+
+void http_request_parser::finish_headers() {
+  const std::string* te = request_.header("Transfer-Encoding");
+  const std::string* cl = request_.header("Content-Length");
+  if (te != nullptr) {
+    if (!iequals(*te, "chunked"))
+      throw http_error(501, "http: unsupported transfer coding '" + *te + "'");
+    if (cl != nullptr)
+      throw http_error(400, "http: both Content-Length and Transfer-Encoding");
+    chunked_ = true;
+    state_ = state::chunk_size;
+    return;
+  }
+  body_expected_ = cl != nullptr ? parse_decimal(*cl, "Content-Length") : 0;
+  if (body_expected_ > limits_.max_body_bytes)
+    throw http_error(413, "http: body of " + std::to_string(body_expected_) +
+                              " bytes exceeds the " +
+                              std::to_string(limits_.max_body_bytes) + " byte limit");
+  state_ = body_expected_ > 0 ? state::body : state::done;
+}
+
+std::size_t http_request_parser::feed(const char* data, std::size_t n) {
+  const char* p = data;
+  const char* const end = data + n;
+  while (p < end && state_ != state::done) {
+    switch (state_) {
+      case state::start_line:
+        if (take_line(p, end, limits_.max_start_line, 431)) {
+          if (line_.empty()) { line_.clear(); break; }  // tolerate a stray CRLF
+          parse_start_line();
+          line_.clear();
+          state_ = state::headers;
+        }
+        break;
+      case state::headers:
+      case state::trailers:
+        if (take_line(p, end, limits_.max_header_bytes, 431)) {
+          header_bytes_ += line_.size() + 2;
+          if (header_bytes_ > limits_.max_header_bytes)
+            throw http_error(431, "http: header block exceeds " +
+                                      std::to_string(limits_.max_header_bytes) +
+                                      " bytes");
+          if (line_.empty()) {
+            if (state_ == state::trailers) state_ = state::done;
+            else finish_headers();
+          } else if (state_ == state::headers) {
+            parse_header_line();
+          }
+          line_.clear();
+        }
+        break;
+      case state::body: {
+        const std::size_t take =
+            std::min(body_expected_ - request_.body.size(),
+                     static_cast<std::size_t>(end - p));
+        request_.body.append(p, take);
+        p += take;
+        if (request_.body.size() == body_expected_) state_ = state::done;
+        break;
+      }
+      case state::chunk_size:
+        if (take_line(p, end, limits_.max_start_line, 400)) {
+          body_expected_ = parse_chunk_size(line_);
+          line_.clear();
+          if (request_.body.size() + body_expected_ > limits_.max_body_bytes)
+            throw http_error(413, "http: chunked body exceeds the " +
+                                      std::to_string(limits_.max_body_bytes) +
+                                      " byte limit");
+          state_ = body_expected_ == 0 ? state::trailers : state::chunk_data;
+        }
+        break;
+      case state::chunk_data: {
+        const std::size_t take =
+            std::min(body_expected_, static_cast<std::size_t>(end - p));
+        request_.body.append(p, take);
+        p += take;
+        body_expected_ -= take;
+        if (body_expected_ == 0) state_ = state::chunk_end;
+        break;
+      }
+      case state::chunk_end:
+        if (take_line(p, end, limits_.max_start_line, 400)) {
+          if (!line_.empty())
+            throw http_error(400, "http: chunk payload not followed by CRLF");
+          line_.clear();
+          state_ = state::chunk_size;
+        }
+        break;
+      case state::done:
+        break;
+    }
+  }
+  return static_cast<std::size_t>(p - data);
+}
+
+// ---------------------------------------------------- http_response_parser --
+
+http_response_parser::http_response_parser(http_limits limits) : limits_(limits) {}
+
+bool http_response_parser::take_line(const char*& p, const char* end, std::size_t limit,
+                                     int overflow_status) {
+  while (p < end) {
+    const char c = *p++;
+    if (c == '\n') {
+      if (!line_.empty() && line_.back() == '\r') line_.pop_back();
+      return true;
+    }
+    line_ += c;
+    if (line_.size() > limit)
+      throw http_error(overflow_status, "http: line exceeds " + std::to_string(limit) +
+                                            " bytes");
+  }
+  return false;
+}
+
+void http_response_parser::parse_status_line() {
+  // "HTTP/1.x NNN reason..."
+  if (line_.rfind("HTTP/1.", 0) != 0 || line_.size() < 12 || line_[8] != ' ')
+    throw http_error(400, "http: malformed status line '" + line_ + "'");
+  version_minor_ = line_[7] == '0' ? 0 : 1;
+  const std::string code = line_.substr(9, 3);
+  response_.status = static_cast<int>(parse_decimal(code, "status code"));
+}
+
+void http_response_parser::parse_header_line() {
+  if (response_.headers.size() >= limits_.max_headers)
+    throw http_error(431, "http: more than " + std::to_string(limits_.max_headers) +
+                              " header fields");
+  auto [name, value] = split_header(line_);
+  if (iequals(name, "Content-Type")) response_.content_type = value;
+  response_.headers.emplace_back(std::move(name), std::move(value));
+}
+
+void http_response_parser::finish_headers() {
+  const std::string* te = find_header(response_.headers, "Transfer-Encoding");
+  if (te != nullptr) {
+    if (!iequals(*te, "chunked"))
+      throw http_error(501, "http: unsupported transfer coding '" + *te + "'");
+    state_ = state::chunk_size;
+    return;
+  }
+  const std::string* cl = find_header(response_.headers, "Content-Length");
+  if (cl == nullptr) {
+    // No framing header: the body runs until the peer closes the connection.
+    state_ = state::until_eof;
+    return;
+  }
+  body_expected_ = parse_decimal(*cl, "Content-Length");
+  if (body_expected_ > limits_.max_body_bytes)
+    throw http_error(413, "http: body exceeds the response size limit");
+  state_ = body_expected_ > 0 ? state::body : state::done;
+}
+
+std::size_t http_response_parser::feed(const char* data, std::size_t n) {
+  const char* p = data;
+  const char* const end = data + n;
+  while (p < end && state_ != state::done) {
+    switch (state_) {
+      case state::status_line:
+        if (take_line(p, end, limits_.max_start_line, 431)) {
+          parse_status_line();
+          line_.clear();
+          state_ = state::headers;
+        }
+        break;
+      case state::headers:
+      case state::trailers:
+        if (take_line(p, end, limits_.max_header_bytes, 431)) {
+          if (line_.empty()) {
+            if (state_ == state::trailers) state_ = state::done;
+            else finish_headers();
+          } else if (state_ == state::headers) {
+            parse_header_line();
+          }
+          line_.clear();
+        }
+        break;
+      case state::body: {
+        const std::size_t take =
+            std::min(body_expected_ - response_.body.size(),
+                     static_cast<std::size_t>(end - p));
+        response_.body.append(p, take);
+        p += take;
+        if (response_.body.size() == body_expected_) state_ = state::done;
+        break;
+      }
+      case state::until_eof:
+        response_.body.append(p, static_cast<std::size_t>(end - p));
+        p = end;
+        if (response_.body.size() > limits_.max_body_bytes)
+          throw http_error(413, "http: body exceeds the response size limit");
+        break;
+      case state::chunk_size:
+        if (take_line(p, end, limits_.max_start_line, 400)) {
+          body_expected_ = parse_chunk_size(line_);
+          line_.clear();
+          if (response_.body.size() + body_expected_ > limits_.max_body_bytes)
+            throw http_error(413, "http: chunked body exceeds the size limit");
+          state_ = body_expected_ == 0 ? state::trailers : state::chunk_data;
+        }
+        break;
+      case state::chunk_data: {
+        const std::size_t take =
+            std::min(body_expected_, static_cast<std::size_t>(end - p));
+        response_.body.append(p, take);
+        p += take;
+        body_expected_ -= take;
+        if (body_expected_ == 0) state_ = state::chunk_end;
+        break;
+      }
+      case state::chunk_end:
+        if (take_line(p, end, limits_.max_start_line, 400)) {
+          if (!line_.empty())
+            throw http_error(400, "http: chunk payload not followed by CRLF");
+          line_.clear();
+          state_ = state::chunk_size;
+        }
+        break;
+      case state::done:
+        break;
+    }
+  }
+  return static_cast<std::size_t>(p - data);
+}
+
+void http_response_parser::finish() {
+  if (state_ == state::until_eof) {
+    state_ = state::done;
+    return;
+  }
+  if (state_ != state::done)
+    throw http_error(400, "http: connection closed mid-response");
+}
+
+bool http_response_parser::keep_alive() const {
+  const std::string* connection = find_header(response_.headers, "Connection");
+  if (connection != nullptr) {
+    if (iequals(*connection, "close")) return false;
+    if (iequals(*connection, "keep-alive")) return true;
+  }
+  return version_minor_ >= 1;
+}
+
+}  // namespace boson::net

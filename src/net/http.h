@@ -1,0 +1,198 @@
+/// \file http.h
+/// Dependency-free HTTP/1.1 message model: request/response structs, a
+/// strict *incremental* request parser (fed byte ranges, so it is fully
+/// unit-testable without sockets), a matching response parser for the
+/// client, and the serializers the server/client write to the wire. Framing
+/// follows RFC 7230 as far as the control plane needs: Content-Length and
+/// chunked bodies, case-insensitive headers, keep-alive defaults by version.
+///
+/// Every protocol violation throws `http_error` carrying the 4xx status the
+/// server answers with (400 malformed, 413 body too large, 431 headers too
+/// large, 501 unknown transfer coding, 505 unknown version) — the transport
+/// layer never has to guess how to report a bad peer.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+
+namespace boson::net {
+
+/// A protocol violation by the peer; `status` is the HTTP status code the
+/// server responds with before closing the connection.
+class http_error : public error {
+ public:
+  http_error(int status, const std::string& message) : error(message), status_(status) {}
+  int status() const { return status_; }
+
+ private:
+  int status_;
+};
+
+/// Hard ceilings the parser enforces while a message is still arriving, so
+/// an abusive peer cannot balloon memory or starve a worker thread.
+struct http_limits {
+  std::size_t max_start_line = 8192;     ///< request/status line bytes
+  std::size_t max_header_bytes = 32768;  ///< total header block bytes
+  std::size_t max_headers = 100;         ///< header field count
+  std::size_t max_body_bytes = 8 << 20;  ///< decoded body bytes (8 MiB)
+};
+
+/// Case-insensitive ASCII comparison (header field names).
+bool iequals(const std::string& a, const std::string& b);
+
+/// Decode %XX escapes and '+' (query components). Malformed escapes throw
+/// `http_error` 400.
+std::string percent_decode(const std::string& text);
+
+/// Parse "a=1&b=two" into a map (keys/values percent-decoded; a bare key
+/// maps to "").
+std::map<std::string, std::string> parse_query(const std::string& query);
+
+struct http_request {
+  std::string method;            ///< upper-case by convention; matched exactly
+  std::string target;            ///< the raw request target ("/v1/x?y=z")
+  std::string path;              ///< target before '?', percent-decoded
+  std::map<std::string, std::string> query;  ///< decoded query parameters
+  int version_minor = 1;         ///< HTTP/1.<minor>
+  std::vector<std::pair<std::string, std::string>> headers;  ///< arrival order
+  std::string body;              ///< decoded (de-chunked) body
+
+  /// First header matching `name` (case-insensitive), or nullptr.
+  const std::string* header(const std::string& name) const;
+
+  /// Keep-alive resolution: HTTP/1.1 defaults to keep-alive unless
+  /// "Connection: close"; HTTP/1.0 defaults to close unless
+  /// "Connection: keep-alive".
+  bool keep_alive() const;
+};
+
+struct http_response {
+  int status = 200;
+  std::vector<std::pair<std::string, std::string>> headers;  ///< extra headers
+  std::string content_type = "application/json";
+  std::string body;
+
+  /// Write the body with Transfer-Encoding: chunked, one chunk per line of
+  /// `body` — the framing the journal event stream uses so a record is
+  /// never split across chunks.
+  bool chunked = false;
+
+  const std::string* header(const std::string& name) const;
+};
+
+/// Request handler: what a control plane *is*, transport aside. Invoked on
+/// server worker threads (must be thread-safe) and called directly by tests.
+using http_handler = std::function<http_response(const http_request&)>;
+
+/// Canonical reason phrase ("Not Found"); "Unknown" for unlisted codes.
+const char* status_reason(int status);
+
+/// The uniform JSON error envelope every non-2xx control-plane response
+/// carries: {"error": {"status": N, "message": "..."}}.
+http_response error_response(int status, const std::string& message);
+
+/// Serialize a response for the wire. `keep_alive` picks the Connection
+/// header; bodies are framed with Content-Length unless `r.chunked`.
+std::string serialize(const http_response& r, bool keep_alive);
+
+/// Serialize a client request (Content-Length framing, no chunked upload).
+std::string serialize(const std::string& method, const std::string& target,
+                      const std::vector<std::pair<std::string, std::string>>& headers,
+                      const std::string& body);
+
+/// Incremental HTTP/1.1 request parser. Feed it byte ranges as they arrive;
+/// it consumes up to the end of one message and reports completion, leaving
+/// pipelined bytes for the caller. All `http_limits` are enforced during
+/// parsing, so oversized messages fail before they are buffered.
+class http_request_parser {
+ public:
+  explicit http_request_parser(http_limits limits = {});
+
+  /// Consume up to `n` bytes; returns how many were consumed (== n unless
+  /// the message completed mid-buffer). Throws `http_error` on violations.
+  std::size_t feed(const char* data, std::size_t n);
+
+  bool complete() const { return state_ == state::done; }
+
+  /// True once any byte of a message has been consumed — lets a transport
+  /// tell "idle keep-alive connection timed out" (just close) apart from
+  /// "peer stalled mid-request" (answer 408).
+  bool started() const { return state_ != state::start_line || !line_.empty(); }
+
+  /// The parsed message (valid once `complete()`).
+  http_request& request() { return request_; }
+
+  /// Forget the current message and start parsing the next one (keep-alive).
+  void reset();
+
+ private:
+  enum class state {
+    start_line,
+    headers,
+    body,        // Content-Length framing
+    chunk_size,  // chunked framing: "<hex>\r\n"
+    chunk_data,
+    chunk_end,   // "\r\n" after a chunk's payload
+    trailers,    // after the 0-chunk
+    done,
+  };
+
+  /// Append bytes to `line_` until LF; true when a full line is buffered.
+  bool take_line(const char*& p, const char* end, std::size_t limit, int overflow_status);
+  void parse_start_line();
+  void parse_header_line();
+  void finish_headers();
+
+  http_limits limits_;
+  state state_ = state::start_line;
+  http_request request_;
+  std::string line_;
+  std::size_t header_bytes_ = 0;
+  std::size_t body_expected_ = 0;  ///< Content-Length / current chunk remainder
+  bool chunked_ = false;
+};
+
+/// Incremental HTTP/1.1 response parser (the client side). Framing:
+/// Content-Length, chunked, or EOF-terminated (signal EOF with `finish`).
+class http_response_parser {
+ public:
+  explicit http_response_parser(http_limits limits = {});
+
+  std::size_t feed(const char* data, std::size_t n);
+
+  /// Peer closed the connection: completes an EOF-terminated body, throws
+  /// `http_error` when the message is truncated mid-frame.
+  void finish();
+
+  bool complete() const { return state_ == state::done; }
+  http_response& response() { return response_; }
+
+  /// Status-line version + Connection header resolution for the transport.
+  bool keep_alive() const;
+
+ private:
+  enum class state { status_line, headers, body, until_eof, chunk_size, chunk_data, chunk_end, trailers, done };
+
+  bool take_line(const char*& p, const char* end, std::size_t limit, int overflow_status);
+  void parse_status_line();
+  void parse_header_line();
+  void finish_headers();
+
+  http_limits limits_;
+  state state_ = state::status_line;
+  http_response response_;
+  std::string line_;
+  std::size_t header_bytes_ = 0;
+  std::size_t body_expected_ = 0;
+  int version_minor_ = 1;
+};
+
+}  // namespace boson::net

@@ -1,0 +1,169 @@
+#include "net/http_client.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace boson::net {
+
+namespace {
+
+void set_timeouts(int fd, double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+/// RAII socket connected to host:port, or io_error.
+class connection {
+ public:
+  connection(const std::string& host, std::uint16_t port, double timeout) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    // Literal IPv4 addresses plus the one name every deployment note uses.
+    const std::string node = host == "localhost" ? "127.0.0.1" : host;
+    if (::inet_pton(AF_INET, node.c_str(), &addr.sin_addr) != 1)
+      throw io_error("http_client: '" + host + "' is not an IPv4 address");
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) throw io_error("http_client: socket() failed");
+    set_timeouts(fd_, timeout);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      const std::string reason = std::strerror(errno);
+      ::close(fd_);
+      throw io_error("http_client: cannot connect to " + host + ":" +
+                     std::to_string(port) + " (" + reason + ")");
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  }
+
+  ~connection() { ::close(fd_); }
+
+  connection(const connection&) = delete;
+  connection& operator=(const connection&) = delete;
+
+  void send_all(const std::string& bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        throw io_error("http_client: send failed (peer closed?)");
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// One read; 0 bytes means the peer closed. Throws on timeout.
+  std::size_t read_some(char* buf, std::size_t n) {
+    while (true) {
+      const ssize_t got = ::recv(fd_, buf, n, 0);
+      if (got >= 0) return static_cast<std::size_t>(got);
+      if (errno == EINTR) continue;
+      throw io_error("http_client: read timed out");
+    }
+  }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+url_parts url_parts::parse(const std::string& url) {
+  const std::string scheme = "http://";
+  require(url.rfind(scheme, 0) == 0,
+          "url: '" + url + "' must start with http:// (https is not supported)");
+  url_parts parts;
+  const std::string rest = url.substr(scheme.size());
+  const std::size_t slash = rest.find('/');
+  std::string authority = rest.substr(0, slash);
+  if (slash != std::string::npos) parts.target = rest.substr(slash);
+  const std::size_t colon = authority.rfind(':');
+  if (colon != std::string::npos) {
+    const std::string port_text = authority.substr(colon + 1);
+    require(!port_text.empty() &&
+                port_text.find_first_not_of("0123456789") == std::string::npos,
+            "url: malformed port in '" + url + "'");
+    const unsigned long port = std::stoul(port_text);
+    require(port >= 1 && port <= 65535, "url: port out of range in '" + url + "'");
+    parts.port = static_cast<std::uint16_t>(port);
+    authority = authority.substr(0, colon);
+  }
+  require(!authority.empty(), "url: missing host in '" + url + "'");
+  parts.host = authority;
+  return parts;
+}
+
+http_client::http_client(const std::string& base_url, http_client_options options)
+    : parts_(url_parts::parse(base_url)), options_(options) {
+  require(options_.timeout > 0.0, "http_client: timeout must be positive");
+}
+
+http_response http_client::get(
+    const std::string& path,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  return request("GET", path, "", headers);
+}
+
+http_response http_client::post(
+    const std::string& path, const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  return request("POST", path, body, headers);
+}
+
+http_response http_client::request(
+    const std::string& method, const std::string& path, const std::string& body,
+    std::vector<std::pair<std::string, std::string>> headers) {
+  require(!path.empty() && path[0] == '/',
+          "http_client: path '" + path + "' must start with '/'");
+  headers.emplace_back("Host", parts_.host + ":" + std::to_string(parts_.port));
+  headers.emplace_back("Connection", "close");
+
+  connection conn(parts_.host, parts_.port, options_.timeout);
+  conn.send_all(serialize(method, path, headers, body));
+
+  http_response_parser parser(options_.limits);
+  char buf[8192];
+  while (!parser.complete()) {
+    const std::size_t n = conn.read_some(buf, sizeof buf);
+    if (n == 0) {
+      parser.finish();  // EOF-framed body, or throws on truncation
+      break;
+    }
+    parser.feed(buf, n);
+  }
+  return std::move(parser.response());
+}
+
+std::string raw_exchange(const std::string& host, std::uint16_t port,
+                         const std::string& bytes, double timeout) {
+  connection conn(host, port, timeout);
+  conn.send_all(bytes);
+  std::string received;
+  char buf[8192];
+  while (true) {
+    std::size_t n;
+    try {
+      n = conn.read_some(buf, sizeof buf);
+    } catch (const io_error&) {
+      break;  // timeout: return what we have
+    }
+    if (n == 0) break;
+    received.append(buf, n);
+  }
+  return received;
+}
+
+}  // namespace boson::net

@@ -1,0 +1,70 @@
+/// \file http_client.h
+/// Minimal blocking HTTP/1.1 client for the control plane: one connection
+/// per request (Connection: close), Content-Length uploads, Content-Length /
+/// chunked / EOF-framed downloads, per-read socket timeouts. This is the
+/// transport behind `boson_cli campaign submit|watch|report --server` and
+/// the loopback test harness — not a general-purpose user agent (no TLS, no
+/// redirects, no proxies, IPv4 + literal hosts and "localhost" only).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/http.h"
+
+namespace boson::net {
+
+/// Pieces of an "http://host[:port]/path" URL. Only the http scheme is
+/// accepted; the port defaults to 80; the target defaults to "/".
+struct url_parts {
+  std::string host;
+  std::uint16_t port = 80;
+  std::string target = "/";
+
+  static url_parts parse(const std::string& url);  ///< throws bad_argument
+};
+
+struct http_client_options {
+  double timeout = 30.0;  ///< seconds a connect or single read may block
+  http_limits limits;     ///< response size ceilings
+};
+
+class http_client {
+ public:
+  /// `base_url` names the server ("http://127.0.0.1:8080"); request paths
+  /// are appended to it.
+  explicit http_client(const std::string& base_url, http_client_options options = {});
+
+  /// Issue one request. `path` must start with '/'. Throws `io_error` when
+  /// the server is unreachable or the connection dies mid-response,
+  /// `http_error` when the response itself is malformed. Non-2xx responses
+  /// are returned, not thrown — the control plane's error envelopes carry
+  /// meaning.
+  http_response get(const std::string& path,
+                    const std::vector<std::pair<std::string, std::string>>& headers = {});
+  http_response post(const std::string& path, const std::string& body,
+                     const std::vector<std::pair<std::string, std::string>>& headers = {});
+
+  const std::string& host() const { return parts_.host; }
+  std::uint16_t port() const { return parts_.port; }
+
+ private:
+  http_response request(const std::string& method, const std::string& path,
+                        const std::string& body,
+                        std::vector<std::pair<std::string, std::string>> headers);
+
+  url_parts parts_;
+  http_client_options options_;
+};
+
+/// Raw exchange: connect, write `bytes` verbatim, read until the peer
+/// closes or `timeout` passes, return everything received. The malformed-
+/// request test corpus speaks through this (a well-formed client cannot
+/// *produce* a bad request).
+std::string raw_exchange(const std::string& host, std::uint16_t port,
+                         const std::string& bytes, double timeout = 10.0);
+
+}  // namespace boson::net

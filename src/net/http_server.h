@@ -1,0 +1,113 @@
+/// \file http_server.h
+/// A dependency-free blocking-socket HTTP/1.1 server: one acceptor thread
+/// feeding a bounded connection queue drained by a fixed pool of worker
+/// threads. Built for the campaign control plane — small JSON messages, a
+/// bounded number of concurrent clients, long-poll event streams — not for
+/// the open internet: no TLS, IPv4 only, and every limit deliberately low.
+///
+/// Abuse containment: request size limits (`http_limits`) are enforced while
+/// bytes arrive, per-read socket timeouts bound how long a slow peer can
+/// hold a worker, the connection queue rejects overload with 503 instead of
+/// queueing unboundedly, and a protocol violation gets the `http_error`'s
+/// status as a JSON error envelope before the connection closes. Handler
+/// exceptions become 400 (`bad_argument`) / 500 (anything else) responses —
+/// a throwing handler never wedges or kills a worker thread.
+///
+/// `stop()` (and the destructor) shuts down cleanly: the listener closes,
+/// in-flight requests finish writing, blocked reads are shut down, and every
+/// thread is joined — no torn responses, no leaked fds.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/http.h"
+
+namespace boson::net {
+
+struct http_server_options {
+  std::string host = "127.0.0.1";  ///< IPv4 address to bind
+  std::uint16_t port = 0;          ///< 0 picks an ephemeral port (see `port()`)
+  std::size_t threads = 4;         ///< worker threads (concurrent requests)
+  std::size_t max_queue = 64;      ///< accepted-but-unserved connection cap
+  int backlog = 64;                ///< listen(2) backlog
+  double read_timeout = 10.0;      ///< seconds a single socket read may block
+  std::size_t max_keepalive_requests = 1000;  ///< requests per connection
+  http_limits limits;
+};
+
+/// Counters the metrics endpoint reports (monotonic since start).
+struct http_server_stats {
+  std::uint64_t accepted = 0;        ///< connections accepted
+  std::uint64_t rejected = 0;        ///< connections 503-rejected at the queue
+  std::uint64_t requests = 0;        ///< requests dispatched to the handler
+  std::uint64_t protocol_errors = 0; ///< malformed/oversized requests answered 4xx
+};
+
+class http_server {
+ public:
+  http_server(http_server_options options, http_handler handler);
+
+  /// `stop()`s if still running.
+  ~http_server();
+
+  http_server(const http_server&) = delete;
+  http_server& operator=(const http_server&) = delete;
+
+  /// Bind, listen, and spawn the acceptor + worker threads. Throws
+  /// `io_error` when the address cannot be bound.
+  void start();
+
+  /// Graceful shutdown; idempotent and safe from any thread (including a
+  /// signal-watcher). Blocks until every thread is joined.
+  void stop();
+
+  bool running() const { return running_.load(); }
+
+  /// The bound port (resolves an ephemeral `port = 0` request).
+  std::uint16_t port() const { return port_; }
+
+  /// "http://host:port" of the bound listener.
+  std::string base_url() const;
+
+  http_server_stats stats() const;
+
+ private:
+  void accept_loop();
+  void worker_loop();
+  void serve_connection(int fd);
+  bool send_all(int fd, const std::string& bytes);
+  void track(int fd, bool add);
+
+  http_server_options options_;
+  http_handler handler_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<int> queue_;  ///< accepted fds awaiting a worker
+
+  std::mutex active_mutex_;
+  std::set<int> active_;  ///< fds currently held by workers (shut down on stop)
+
+  mutable std::mutex stats_mutex_;
+  http_server_stats stats_;
+};
+
+}  // namespace boson::net

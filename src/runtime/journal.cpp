@@ -80,6 +80,43 @@ std::vector<journal_entry> journal::replay(const std::string& path) {
   return entries;
 }
 
+std::vector<journal_entry> journal::since(const std::string& path,
+                                          journal_cursor& cursor) {
+  std::vector<journal_entry> entries;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return entries;  // no journal yet
+  in.seekg(cursor.offset);
+
+  // Mirrors replay_jsonl's deferred-failure contract, incrementally: a
+  // malformed line is fatal only once a later line proves the file kept
+  // going. Until then it is indistinguishable from a racing writer's append
+  // observed mid-flush, so it stays *ahead* of the cursor and the next poll
+  // re-reads it.
+  std::string pending_error;
+  std::string line;
+  while (std::getline(in, line)) {
+    // A line without its trailing newline is a torn tail or another
+    // process's append racing our read: leave it for the next poll.
+    if (in.eof()) break;
+    if (!pending_error.empty()) throw io_error(pending_error);
+    const std::streamoff consumed =
+        cursor.offset + static_cast<std::streamoff>(line.size()) + 1;
+    const std::size_t line_number = cursor.line + 1;
+    if (line.find_first_not_of(" \t\r") != std::string::npos) {
+      try {
+        entries.push_back(journal_entry::from_json(io::json_value::parse(line)));
+      } catch (const error& e) {
+        pending_error = "journal: '" + path + "' line " +
+                        std::to_string(line_number) + ": " + e.what();
+        continue;  // cursor stays before the suspect line
+      }
+    }
+    cursor.offset = consumed;
+    cursor.line = line_number;
+  }
+  return entries;
+}
+
 std::map<std::size_t, journal_entry> journal::latest_states(
     const std::vector<journal_entry>& entries) {
   std::map<std::size_t, journal_entry> latest;

@@ -66,6 +66,17 @@ struct journal_entry {
   static journal_entry from_json(const io::json_value& v);
 };
 
+/// Resumable position in a journal file: how many bytes (and lines, for
+/// error messages) have been consumed so far. Pollers — the event stream,
+/// the lease manager — keep one per journal and fold only what appended
+/// since, so poll cost tracks journal *growth* instead of journal size. The
+/// byte offset is also the control plane's wire cursor (`?cursor=N`): it is
+/// stable across processes because every appender shares one O_APPEND file.
+struct journal_cursor {
+  std::streamoff offset = 0;  ///< bytes already consumed
+  std::size_t line = 0;       ///< complete lines already consumed
+};
+
 /// Append-only JSONL writer + replayer.
 class journal {
  public:
@@ -84,6 +95,16 @@ class journal {
   /// malformed line anywhere else throws `io_error` naming the line number.
   /// A missing file replays to an empty history.
   static std::vector<journal_entry> replay(const std::string& path);
+
+  /// Incremental replay: parse the records appended after `cursor` and
+  /// advance it past every record returned. The torn-tail contract carries
+  /// over — an unterminated final fragment, or a malformed final line (a
+  /// racing writer's flush seen mid-append), is left *before* the cursor for
+  /// the next poll; a malformed line with a successor throws `io_error`
+  /// naming the line. A missing file returns no records and leaves the
+  /// cursor untouched.
+  static std::vector<journal_entry> since(const std::string& path,
+                                          journal_cursor& cursor);
 
   /// Reduce a replayed history to the latest entry per job index. Note that
   /// with lease coordination the *latest* record can be a losing claim or a

@@ -43,8 +43,8 @@ jsonl_appender::jsonl_appender(std::string path, std::string label)
   if (!out_) throw io_error(label_ + ": cannot open '" + path_ + "' for appending");
 }
 
-void replay_jsonl(const std::string& path, const std::string& label,
-                  const std::function<void(const io::json_value& record)>& on_record) {
+void replay_jsonl_lines(const std::string& path, const std::string& label,
+                        const std::function<void(const std::string& line)>& on_line) {
   std::ifstream in(path);
   if (!in) return;  // no file yet: empty history
 
@@ -57,13 +57,20 @@ void replay_jsonl(const std::string& path, const std::string& label,
     if (pending_failure) throw io_error(failure);
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
     try {
-      on_record(io::json_value::parse(line));
+      on_line(line);
     } catch (const error& e) {
       pending_failure = true;
       failure = label + ": '" + path + "' line " + std::to_string(line_number) +
                 ": " + e.what();
     }
   }
+}
+
+void replay_jsonl(const std::string& path, const std::string& label,
+                  const std::function<void(const io::json_value& record)>& on_record) {
+  replay_jsonl_lines(path, label, [&on_record](const std::string& line) {
+    on_record(io::json_value::parse(line));
+  });
 }
 
 void jsonl_appender::append(const io::json_value& record) {

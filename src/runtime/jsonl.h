@@ -28,6 +28,14 @@ namespace boson::runtime {
 void replay_jsonl(const std::string& path, const std::string& label,
                   const std::function<void(const io::json_value& record)>& on_record);
 
+/// Raw-line variant of `replay_jsonl` with the identical torn-tail contract,
+/// for consumers that can extract what they need from the line text without
+/// paying for a full parse (e.g. `result_store::count_rows`). Blank lines are
+/// skipped; `on_line` sees each non-blank line without its newline and may
+/// throw `error` to mark it malformed.
+void replay_jsonl_lines(const std::string& path, const std::string& label,
+                        const std::function<void(const std::string& line)>& on_line);
+
 class jsonl_appender {
  public:
   /// Opens `path` for appending (creating it if needed), first dropping any

@@ -1,7 +1,6 @@
 #include "runtime/lease.h"
 
 #include <chrono>
-#include <fstream>
 #include <utility>
 
 #include "common/error.h"
@@ -93,24 +92,8 @@ lease_manager::lease_manager(journal& log, std::string worker_id, double ttl,
 }
 
 void lease_manager::refresh_locked() {
-  std::ifstream in(log_.path(), std::ios::binary);
-  if (!in) return;  // no journal yet
-  in.seekg(offset_);
-  std::string line;
-  while (std::getline(in, line)) {
-    // A line without its trailing newline is a torn tail or another
-    // process's append racing our read: leave it for the next refresh.
-    if (in.eof()) break;
-    offset_ += static_cast<std::streamoff>(line.size()) + 1;
-    ++line_;
-    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-    try {
-      table_.apply(journal_entry::from_json(io::json_value::parse(line)));
-    } catch (const error& e) {
-      throw io_error("lease_manager: '" + log_.path() + "' line " +
-                     std::to_string(line_) + ": " + e.what());
-    }
-  }
+  for (const journal_entry& e : journal::since(log_.path(), cursor_))
+    table_.apply(e);
 }
 
 void lease_manager::refresh() {

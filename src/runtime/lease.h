@@ -161,8 +161,7 @@ class lease_manager {
   clock_fn clock_;
   lease_table table_;
   std::uint64_t next_lease_id_ = 0;
-  std::streamoff offset_ = 0;  ///< journal bytes folded into `table_` so far
-  std::size_t line_ = 0;       ///< journal lines folded (for error messages)
+  journal_cursor cursor_;  ///< journal position folded into `table_` so far
 };
 
 }  // namespace boson::runtime

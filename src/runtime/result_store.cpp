@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <utility>
 
@@ -91,6 +92,31 @@ std::vector<job_result_row> result_store::load(const std::string& campaign_dir) 
     rows.push_back(std::move(row));
   }
   return rows;
+}
+
+std::size_t result_store::count_rows(const std::string& campaign_dir) {
+  std::set<std::size_t> jobs;
+  replay_jsonl_lines(
+      store_path(campaign_dir), "result_store", [&jobs](const std::string& line) {
+        // Fast path: rows this store writes start exactly with {"job":N, —
+        // peel the index straight off the text. Anything else (hand-edited
+        // or foreign rows) goes through the full parser.
+        const std::string prefix = "{\"job\":";
+        if (line.rfind(prefix, 0) == 0) {
+          std::size_t value = 0;
+          std::size_t i = prefix.size();
+          const std::size_t start = i;
+          while (i < line.size() && line[i] >= '0' && line[i] <= '9')
+            value = value * 10 + static_cast<std::size_t>(line[i++] - '0');
+          if (i > start && i < line.size() && (line[i] == ',' || line[i] == '}')) {
+            jobs.insert(value);
+            return;
+          }
+        }
+        jobs.insert(static_cast<std::size_t>(
+            io::json_value::parse(line).at("job").as_number()));
+      });
+  return jobs.size();
 }
 
 // ------------------------------------------------------------------ report --

@@ -57,6 +57,15 @@ class result_store {
   /// writer's flush) is ignored, corruption anywhere else throws.
   static std::vector<job_result_row> load(const std::string& campaign_dir);
 
+  /// What `load(campaign_dir).size()` would return — the number of distinct
+  /// jobs with a stored result — without materializing a single row.
+  /// Status polls (CLI `campaign status`, the service control plane) call
+  /// this per request, so it scans the store once, extracting only each
+  /// line's job index: the canonical rows the store itself writes yield it
+  /// from the leading `"job":` field; foreign-but-valid rows fall back to a
+  /// full parse. Same torn-tail tolerance as `load`.
+  static std::size_t count_rows(const std::string& campaign_dir);
+
   /// The store file inside `campaign_dir`.
   static std::string store_path(const std::string& campaign_dir);
 

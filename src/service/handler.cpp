@@ -1,0 +1,205 @@
+/// \file handler.cpp
+/// The JSON control plane: routes `http_request`s onto `campaign_service`
+/// operations and renders the responses. Kept transport-agnostic — tests
+/// call the handler directly, `boson_serve` mounts it on `net::http_server`
+/// — and strict: unknown routes 404, wrong verbs 405, malformed inputs 400,
+/// quota 429, all through the uniform error envelope (`net::error_response`
+/// via `http_error`, which the transport also applies to handler throws).
+
+#include <string>
+
+#include "service/service.h"
+#include "sim/backend.h"
+#include "sim/cache.h"
+
+namespace boson::service {
+
+namespace {
+
+/// Tenant selection: the X-Boson-Tenant header, defaulting to "default".
+std::string tenant_of(const net::http_request& req) {
+  const std::string* header = req.header("X-Boson-Tenant");
+  const std::string tenant = header ? *header : "default";
+  if (!valid_tenant(tenant))
+    throw net::http_error(400, "invalid tenant '" + tenant +
+                                   "' (lowercase [a-z0-9_-], at most 32 chars)");
+  return tenant;
+}
+
+void require_method(const net::http_request& req, const std::string& method) {
+  if (req.method != method)
+    throw net::http_error(405, req.method + " is not supported here (use " +
+                                   method + ")");
+}
+
+/// Parse a non-negative decimal query parameter (cursor, wait).
+double query_number(const net::http_request& req, const std::string& name,
+                    double fallback) {
+  const auto it = req.query.find(name);
+  if (it == req.query.end()) return fallback;
+  const std::string& text = it->second;
+  if (text.empty() || text.find_first_not_of("0123456789.") != std::string::npos)
+    throw net::http_error(400, "query parameter '" + name +
+                                   "' must be a non-negative number, got '" +
+                                   text + "'");
+  try {
+    return std::stod(text);
+  } catch (const std::exception&) {
+    throw net::http_error(400, "query parameter '" + name + "' is out of range");
+  }
+}
+
+net::http_response json_response(int status, const io::json_value& v) {
+  net::http_response res;
+  res.status = status;
+  res.body = v.dump(-1) + "\n";
+  return res;
+}
+
+runtime::campaign_spec parse_spec(const net::http_request& req) {
+  if (req.body.empty()) throw net::http_error(400, "request body must be a campaign spec");
+  io::json_value v;
+  try {
+    v = io::json_value::parse(req.body);
+  } catch (const error& e) {
+    throw net::http_error(400, std::string("malformed JSON body: ") + e.what());
+  }
+  // from_json/expand throw bad_argument with precise messages; the transport
+  // maps bad_argument to 400, which is exactly right for a bad spec.
+  return runtime::campaign_spec::from_json(v);
+}
+
+io::json_value metrics_json(const service_metrics& m) {
+  io::json_value v = io::json_value::object();
+  io::json_value& campaigns = v["campaigns"] = io::json_value::object();
+  campaigns["queued"] = m.campaigns_queued;
+  campaigns["running"] = m.campaigns_running;
+  campaigns["done"] = m.campaigns_done;
+  campaigns["failed"] = m.campaigns_failed;
+  campaigns["cancelled"] = m.campaigns_cancelled;
+
+  io::json_value& jobs = v["jobs"] = io::json_value::object();
+  jobs["live_leases"] = m.live_leases;
+  jobs["completed"] = m.jobs_completed;
+  jobs["run_seconds"] = m.run_seconds;
+  jobs["jobs_per_second"] = m.jobs_per_second;
+
+  v["requests"] = m.requests;
+
+  // The simulation-layer gauges the paper's reuse optimizations report:
+  // shared-engine cache and nearby-operator reuse, process-wide.
+  const sim::engine_cache::cache_stats cache = sim::engine_cache::global().stats();
+  io::json_value& ec = v["engine_cache"] = io::json_value::object();
+  ec["hits"] = cache.hits;
+  ec["misses"] = cache.misses;
+  ec["evictions"] = cache.evictions;
+  ec["entries"] = cache.entries;
+  ec["reuse_hits"] = cache.reuse_hits;
+
+  const sim::reuse_stats reuse = sim::reuse_statistics();
+  io::json_value& ru = v["nearby_reuse"] = io::json_value::object();
+  ru["prepares_avoided"] = reuse.prepares_avoided;
+  ru["refinement_solves"] = reuse.refinement_solves;
+  ru["refinement_iterations"] = reuse.refinement_iterations;
+  ru["fallbacks"] = reuse.fallbacks;
+  ru["recycle_guesses"] = reuse.recycle_guesses;
+  ru["solution_reuses"] = reuse.solution_reuses;
+  return v;
+}
+
+}  // namespace
+
+net::http_handler campaign_service::handler() {
+  return [this](const net::http_request& req) -> net::http_response {
+    requests_.fetch_add(1);
+
+    if (req.path == "/healthz") {
+      require_method(req, "GET");
+      io::json_value v = io::json_value::object();
+      v["status"] = "ok";
+      return json_response(200, v);
+    }
+    if (req.path == "/v1/metrics") {
+      require_method(req, "GET");
+      return json_response(200, metrics_json(metrics()));
+    }
+
+    if (req.path == "/v1/campaigns") {
+      const std::string tenant = tenant_of(req);
+      if (req.method == "POST") {
+        try {
+          const campaign_record record = submit(tenant, parse_spec(req));
+          return json_response(201, record.to_json());
+        } catch (const quota_error& e) {
+          throw net::http_error(429, e.what());
+        }
+      }
+      require_method(req, "GET");
+      io::json_value arr = io::json_value::array();
+      for (const campaign_record& r : list(tenant)) arr.push_back(r.to_json());
+      io::json_value v = io::json_value::object();
+      v["campaigns"] = std::move(arr);
+      return json_response(200, v);
+    }
+
+    const std::string prefix = "/v1/campaigns/";
+    if (req.path.rfind(prefix, 0) == 0) {
+      const std::string tenant = tenant_of(req);
+      const std::string rest = req.path.substr(prefix.size());
+      const std::size_t slash = rest.find('/');
+      const std::string id = rest.substr(0, slash);
+      const std::string action =
+          slash == std::string::npos ? "" : rest.substr(slash + 1);
+      if (id.empty()) throw net::http_error(404, "missing campaign id");
+
+      if (action.empty()) {
+        require_method(req, "GET");
+        return json_response(200, status(tenant, id, false).to_json(false));
+      }
+      if (action == "jobs") {
+        require_method(req, "GET");
+        return json_response(200, status(tenant, id, true).to_json(true));
+      }
+      if (action == "events") {
+        require_method(req, "GET");
+        const std::streamoff cursor =
+            static_cast<std::streamoff>(query_number(req, "cursor", 0.0));
+        // Long-poll bound: clients pass wait=<s> (capped well under every
+        // read timeout in the stack) and re-arm with the returned cursor.
+        const double wait = std::min(query_number(req, "wait", 0.0), 30.0);
+        const event_page page = events(tenant, id, cursor, wait);
+
+        net::http_response res;
+        res.content_type = "application/x-ndjson";
+        res.chunked = true;  // one chunk per journal record
+        for (const std::string& line : page.lines) res.body += line + "\n";
+        res.headers.emplace_back("X-Boson-Cursor",
+                                 std::to_string(page.next_cursor));
+        return res;
+      }
+      if (action == "report") {
+        require_method(req, "GET");
+        const auto format = req.query.find("format");
+        if (format != req.query.end() && format->second == "text") {
+          net::http_response res;
+          res.content_type = "text/plain; charset=utf-8";
+          res.body = report_text(tenant, id);
+          return res;
+        }
+        if (format != req.query.end() && format->second != "json")
+          throw net::http_error(400, "unknown report format '" + format->second +
+                                         "' (expected json or text)");
+        return json_response(200, report_json(tenant, id));
+      }
+      if (action == "cancel") {
+        require_method(req, "POST");
+        return json_response(200, cancel(tenant, id).to_json());
+      }
+      throw net::http_error(404, "unknown campaign action '" + action + "'");
+    }
+
+    throw net::http_error(404, "no route for '" + req.path + "'");
+  };
+}
+
+}  // namespace boson::service

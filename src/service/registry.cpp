@@ -1,0 +1,196 @@
+#include "service/registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "runtime/scheduler.h"
+
+namespace boson::service {
+
+io::json_value campaign_record::to_json() const {
+  io::json_value v = io::json_value::object();
+  v["id"] = id;
+  v["tenant"] = tenant;
+  v["name"] = name;
+  v["state"] = state;
+  v["dir"] = dir;
+  v["total_jobs"] = total_jobs;
+  v["submitted_at"] = submitted_at;
+  v["updated_at"] = updated_at;
+  if (!detail.empty()) v["detail"] = detail;
+  return v;
+}
+
+campaign_record campaign_record::from_json(const io::json_value& v) {
+  campaign_record r;
+  r.id = v.at("id").as_string();
+  r.tenant = v.at("tenant").as_string();
+  r.name = v.at("name").as_string();
+  r.state = v.at("state").as_string();
+  r.dir = v.at("dir").as_string();
+  r.total_jobs = static_cast<std::size_t>(v.at("total_jobs").as_number());
+  r.submitted_at = v.at("submitted_at").as_number();
+  r.updated_at = v.at("updated_at").as_number();
+  if (const io::json_value* d = v.find("detail")) r.detail = d->as_string();
+  return r;
+}
+
+bool valid_tenant(const std::string& tenant) {
+  if (tenant.empty() || tenant.size() > 32) return false;
+  for (const char c : tenant) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '-' || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+namespace {
+
+std::string manifest_path(const std::string& data_dir) {
+  return (std::filesystem::path(data_dir) / "registry.jsonl").string();
+}
+
+}  // namespace
+
+campaign_registry::campaign_registry(options opts) : options_(std::move(opts)) {
+  require(!options_.data_dir.empty(), "campaign_registry: data_dir must not be empty");
+  require(options_.tenant_quota >= 1, "campaign_registry: tenant quota must be >= 1");
+  std::filesystem::create_directories(options_.data_dir);
+
+  // Rescan: fold the manifest to the latest record per id, then restore
+  // submit order. Ids are monotone, so the next id is max + 1.
+  std::map<std::string, campaign_record> latest;
+  runtime::replay_jsonl(manifest_path(options_.data_dir), "campaign_registry",
+                        [&latest](const io::json_value& record) {
+                          campaign_record r = campaign_record::from_json(record);
+                          std::string id = r.id;
+                          latest.insert_or_assign(std::move(id), std::move(r));
+                        });
+  for (auto& [id, record] : latest) {
+    const std::size_t number =
+        static_cast<std::size_t>(std::stoul(id.substr(1)));
+    next_id_ = std::max(next_id_, number + 1);
+    records_.push_back(std::move(record));
+  }
+  std::sort(records_.begin(), records_.end(),
+            [](const campaign_record& a, const campaign_record& b) {
+              // Zero-padded ids compare lexicographically until they outgrow
+              // the pad width; length-first keeps c10000 after c9999.
+              return a.id.size() != b.id.size() ? a.id.size() < b.id.size()
+                                                : a.id < b.id;
+            });
+
+  // Open the appender last: heal-on-open must not race the rescan read.
+  manifest_ =
+      std::make_unique<runtime::jsonl_appender>(manifest_path(options_.data_dir),
+                                                "campaign_registry");
+}
+
+campaign_record campaign_registry::submit(const std::string& tenant,
+                                          const runtime::campaign_spec& spec,
+                                          double now) {
+  require(valid_tenant(tenant), "campaign_registry: invalid tenant '" + tenant +
+                                    "' (lowercase [a-z0-9_-], at most 32 chars)");
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t active = 0;
+  for (const campaign_record& r : records_)
+    if (r.tenant == tenant && !r.terminal()) ++active;
+  if (active >= options_.tenant_quota)
+    throw quota_error("campaign_registry: tenant '" + tenant + "' is at its quota of " +
+                      std::to_string(options_.tenant_quota) +
+                      " queued/running campaigns");
+
+  campaign_record record;
+  char id[16];
+  std::snprintf(id, sizeof id, "c%04zu", next_id_++);
+  record.id = id;
+  record.tenant = tenant;
+  record.name = spec.name;
+  record.state = "queued";
+  record.dir = (std::filesystem::path(options_.data_dir) / tenant / record.id).string();
+  record.total_jobs = spec.job_count();
+  record.submitted_at = now;
+  record.updated_at = now;
+
+  std::filesystem::create_directories(record.dir);
+  spec.to_json().write_file(runtime::campaign_spec_path(record.dir));
+  manifest_->append(record.to_json());
+  records_.push_back(record);
+  return record;
+}
+
+campaign_record* campaign_registry::find_locked(const std::string& tenant,
+                                                const std::string& id) {
+  for (campaign_record& r : records_)
+    if (r.tenant == tenant && r.id == id) return &r;
+  return nullptr;
+}
+
+const campaign_record* campaign_registry::find_locked(const std::string& tenant,
+                                                      const std::string& id) const {
+  for (const campaign_record& r : records_)
+    if (r.tenant == tenant && r.id == id) return &r;
+  return nullptr;
+}
+
+std::optional<campaign_record> campaign_registry::find(const std::string& tenant,
+                                                       const std::string& id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const campaign_record* r = find_locked(tenant, id);
+  return r ? std::optional<campaign_record>(*r) : std::nullopt;
+}
+
+std::vector<campaign_record> campaign_registry::list(const std::string& tenant) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<campaign_record> out;
+  for (const campaign_record& r : records_)
+    if (r.tenant == tenant) out.push_back(r);
+  return out;
+}
+
+std::vector<campaign_record> campaign_registry::all() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+bool campaign_registry::known_tenant(const std::string& tenant) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const campaign_record& r : records_)
+    if (r.tenant == tenant) return true;
+  return false;
+}
+
+campaign_record campaign_registry::set_state(const std::string& tenant,
+                                             const std::string& id,
+                                             const std::string& state, double now,
+                                             const std::string& detail) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  campaign_record* r = find_locked(tenant, id);
+  require(r != nullptr,
+          "campaign_registry: no campaign '" + id + "' for tenant '" + tenant + "'");
+  r->state = state;
+  r->updated_at = now;
+  r->detail = detail;
+  manifest_->append(r->to_json());
+  return *r;
+}
+
+std::size_t campaign_registry::active_count(const std::string& tenant) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t active = 0;
+  for (const campaign_record& r : records_)
+    if (r.tenant == tenant && !r.terminal()) ++active;
+  return active;
+}
+
+std::optional<campaign_record> campaign_registry::oldest_queued() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const campaign_record& r : records_)  // records_ is id (submit) order
+    if (r.state == "queued") return r;
+  return std::nullopt;
+}
+
+}  // namespace boson::service

@@ -1,0 +1,129 @@
+#include "service/status.h"
+
+#include "io/table.h"
+#include "runtime/journal.h"
+#include "runtime/lease.h"
+#include "runtime/result_store.h"
+#include "runtime/scheduler.h"
+
+namespace boson::service {
+
+io::json_value job_status::to_json() const {
+  io::json_value v = io::json_value::object();
+  v["index"] = index;
+  v["name"] = name;
+  v["state"] = state;
+  v["attempt"] = attempt;
+  if (!owner.empty()) {
+    v["owner"] = owner;
+    v["lease_remaining_s"] = lease_remaining;
+  }
+  if (!detail.empty()) v["detail"] = detail;
+  return v;
+}
+
+bool campaign_status::all_completed() const {
+  const auto it = counts.find("completed");
+  return it != counts.end() && it->second == total_jobs;
+}
+
+bool campaign_status::settled() const {
+  std::size_t terminal = 0;
+  for (const char* state : {"completed", "failed", "cancelled"}) {
+    const auto it = counts.find(state);
+    if (it != counts.end()) terminal += it->second;
+  }
+  if (terminal != total_jobs) return false;
+  for (const job_status& job : jobs)
+    if (!job.owner.empty() && job.lease_remaining > 0.0) return false;
+  return true;
+}
+
+io::json_value campaign_status::to_json(bool include_jobs) const {
+  io::json_value v = io::json_value::object();
+  if (!id.empty()) {
+    v["id"] = id;
+    v["tenant"] = tenant;
+    v["state"] = service_state;
+  }
+  v["name"] = name;
+  v["total_jobs"] = total_jobs;
+  v["journal_events"] = journal_events;
+  v["result_rows"] = result_rows;
+  io::json_value& c = v["counts"] = io::json_value::object();
+  for (const auto& [state, n] : counts) c[state] = n;
+  v["all_completed"] = all_completed();
+  v["settled"] = settled();
+  if (include_jobs) {
+    io::json_value& arr = v["jobs"] = io::json_value::array();
+    for (const job_status& job : jobs) arr.push_back(job.to_json());
+  }
+  return v;
+}
+
+std::string campaign_status::render_text() const {
+  io::console_table table({"#", "job", "state", "attempt", "owner", "lease", "detail"});
+  for (const job_status& job : jobs) {
+    std::string lease_text = "-";
+    if (!job.owner.empty())
+      lease_text = job.lease_remaining > 0.0
+                       ? "live " + io::console_table::num(job.lease_remaining, 0) + "s"
+                       : "expired";
+    table.add_row({std::to_string(job.index), job.name, job.state,
+                   job.attempt > 0 ? std::to_string(job.attempt) : "-",
+                   job.owner.empty() ? "-" : job.owner, lease_text, job.detail});
+  }
+  std::string out =
+      table.render("Campaign '" + name + "' (" + std::to_string(total_jobs) +
+                   " jobs, journal: " + std::to_string(journal_events) + " events)");
+  std::string summary;
+  for (const auto& [state, n] : counts)
+    summary += (summary.empty() ? "" : ", ") + std::to_string(n) + " " + state;
+  out += "\n" + summary + "\n";
+  return out;
+}
+
+campaign_status read_campaign_status(const runtime::campaign_spec& spec,
+                                     const std::string& campaign_dir, double now) {
+  const auto entries = runtime::journal::replay(runtime::journal_path(campaign_dir));
+  const auto latest = runtime::journal::latest_states(entries);
+  // Leases come from the resolved fold, not the latest record — the latest
+  // line can be a losing claim or a stale heartbeat.
+  const runtime::lease_table leases = runtime::lease_table::resolve(entries);
+
+  campaign_status status;
+  status.name = spec.name;
+  status.total_jobs = spec.job_count();
+  status.journal_events = entries.size();
+  status.result_rows = runtime::result_store::count_rows(campaign_dir);
+
+  for (const runtime::campaign_job& expanded : spec.expand()) {
+    job_status job;
+    job.index = expanded.index;
+    job.name = expanded.name;
+    const auto it = latest.find(job.index);
+    if (it != latest.end()) {
+      job.state = runtime::to_string(it->second.state);
+      job.attempt = it->second.attempt;
+      job.detail = it->second.detail;
+    }
+    const runtime::lease_view lease = leases.view(job.index);
+    if (lease.state == runtime::lease_view::phase::done) {
+      job.state = "completed";
+    } else if (lease.state == runtime::lease_view::phase::leased) {
+      job.owner = lease.worker;
+      job.lease_remaining = lease.deadline - now;
+    }
+    ++status.counts[job.state];
+    status.jobs.push_back(std::move(job));
+  }
+  return status;
+}
+
+campaign_status read_campaign_status(const std::string& campaign_dir, double now) {
+  const runtime::campaign_spec spec =
+      runtime::campaign_spec::load(runtime::campaign_spec_path(campaign_dir));
+  return read_campaign_status(spec, campaign_dir, now);
+}
+
+}  // namespace boson::service

@@ -1,0 +1,74 @@
+/// \file status.h
+/// The one campaign-status snapshot both consoles share: `boson_cli campaign
+/// status` renders it as a table (or `--json`), the service control plane
+/// serves it from `GET /v1/campaigns/{id}`. It is computed purely from the
+/// campaign directory — spec + journal replay + lease fold + result-store
+/// count — so a status read never blocks on (or perturbs) the workers
+/// executing the campaign, local or remote.
+
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "io/json.h"
+#include "runtime/campaign.h"
+
+namespace boson::service {
+
+/// Resolved state of one job, for display. `state` is the journal state of
+/// the job's latest record ("pending" when it was never mentioned), except
+/// that a job the lease fold proved terminal always reads "completed" — the
+/// latest line can be a losing claim or a stale heartbeat.
+struct job_status {
+  std::size_t index = 0;
+  std::string name;
+  std::string state = "pending";
+  std::size_t attempt = 0;
+  std::string owner;              ///< live-lease holder ("" when unleased)
+  double lease_remaining = 0.0;   ///< seconds until expiry (negative: expired)
+  std::string detail;             ///< latest record's payload (error, iteration)
+
+  io::json_value to_json() const;
+};
+
+/// Point-in-time snapshot of a whole campaign.
+struct campaign_status {
+  // Service identity — empty when the snapshot came from a bare directory
+  // (local CLI use) rather than a registry-managed campaign.
+  std::string id;
+  std::string tenant;
+  std::string service_state;  ///< registry lifecycle: queued/running/done/...
+
+  std::string name;              ///< the campaign_spec's name
+  std::size_t total_jobs = 0;
+  std::size_t journal_events = 0;
+  std::size_t result_rows = 0;   ///< result_store::count_rows (distinct jobs)
+  std::map<std::string, std::size_t> counts;  ///< job-state string -> jobs
+  std::vector<job_status> jobs;  ///< per-job detail, in expansion order
+
+  /// Every job is terminal-successful (counts["completed"] == total_jobs).
+  bool all_completed() const;
+
+  /// No job can make further progress without operator action: every job is
+  /// completed, failed, or cancelled and none holds a live lease.
+  bool settled() const;
+
+  io::json_value to_json(bool include_jobs = true) const;
+
+  /// The CLI rendering: per-job table + one summary line.
+  std::string render_text() const;
+};
+
+/// Snapshot `campaign_dir` at time `now` (epoch seconds; lease liveness is
+/// judged against it). The directory must hold a campaign.json; journal and
+/// result store may not exist yet (a queued campaign snapshots to all-pending).
+campaign_status read_campaign_status(const runtime::campaign_spec& spec,
+                                     const std::string& campaign_dir, double now);
+
+/// Convenience overload loading the spec from `campaign_dir`/campaign.json.
+campaign_status read_campaign_status(const std::string& campaign_dir, double now);
+
+}  // namespace boson::service

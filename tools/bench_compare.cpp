@@ -1,14 +1,21 @@
-// bench_compare — advisory regression gate over the committed benchmark
-// baselines. Compares a freshly produced BENCH_*.json report against a
-// baseline (bench/baselines/), walking every numeric leaf:
+// bench_compare — regression gate over the committed benchmark baselines.
+// Compares a freshly produced BENCH_*.json report against a baseline
+// (bench/baselines/), walking every numeric leaf:
 //
-//   bench_compare <baseline.json> <current.json> [--threshold <frac>]
+//   bench_compare <baseline.json> <current.json>
+//                 [--threshold <frac>] [--only <path-prefix>]...
 //
 // Keys ending in `_per_s` / `_per_second` / `speedup*` are higher-is-better;
 // keys ending in `_s` / `_seconds` / `_ms` are lower-is-better; counters
 // (everything else) are reported but never gated. Exit 1 when any gated
 // metric regressed by more than the threshold (default 0.50 — generous,
-// because shared CI runners are noisy; the step that runs this is advisory).
+// because shared CI runners are noisy).
+//
+// `--only <prefix>` (repeatable) narrows the *gate* to dotted metric paths
+// starting with a given prefix ("scheduler_throughput", "journal_cursor",
+// "http.status_requests_per_second"); everything else is still printed, but
+// demoted to informational. CI gates the stable micro-benchmarks this way
+// while the noisier end-to-end timings stay advisory.
 
 #include <cmath>
 #include <cstdio>
@@ -43,8 +50,18 @@ struct outcome {
   std::size_t regressed = 0;
 };
 
+/// True when `path` is gated: no --only prefixes means everything is, else
+/// the dotted path must start with one of them.
+bool gated(const std::string& path, const std::vector<std::string>& only) {
+  if (only.empty()) return true;
+  for (const std::string& prefix : only)
+    if (path.compare(0, prefix.size(), prefix) == 0) return true;
+  return false;
+}
+
 void compare(const json_value& baseline, const json_value& current,
-             const std::string& path, double threshold, outcome& result) {
+             const std::string& path, double threshold,
+             const std::vector<std::string>& only, outcome& result) {
   if (baseline.is_object()) {
     if (!current.is_object()) {
       std::printf("  ? %-46s missing in the current report\n", path.c_str());
@@ -57,7 +74,7 @@ void compare(const json_value& baseline, const json_value& current,
         std::printf("  ? %-46s missing in the current report\n", child.c_str());
         continue;
       }
-      compare(value, *cur, child, threshold, result);
+      compare(value, *cur, child, threshold, only, result);
     }
     return;
   }
@@ -66,7 +83,9 @@ void compare(const json_value& baseline, const json_value& current,
   const double base = baseline.as_number();
   const double now = current.as_number();
   const std::string leaf = path.substr(path.rfind('.') + 1);
-  const direction dir = classify(leaf);
+  direction dir = classify(leaf);
+  if (dir != direction::informational && !gated(path, only))
+    dir = direction::informational;
   if (dir == direction::informational) {
     // Counters (cache hits, reuse/fallback tallies, sample counts) are shown
     // so a perf shift can be read against its cause, but never gated.
@@ -91,6 +110,7 @@ void compare(const json_value& baseline, const json_value& current,
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   double threshold = 0.50;
+  std::vector<std::string> only;
   std::vector<std::string> files;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--threshold") {
@@ -99,6 +119,12 @@ int main(int argc, char** argv) {
         return 2;
       }
       threshold = std::stod(args[++i]);
+    } else if (args[i] == "--only") {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "bench_compare: --only needs a path prefix\n");
+        return 2;
+      }
+      only.push_back(args[++i]);
     } else {
       files.push_back(args[i]);
     }
@@ -106,7 +132,7 @@ int main(int argc, char** argv) {
   if (files.size() != 2) {
     std::fprintf(stderr,
                  "usage: bench_compare <baseline.json> <current.json> "
-                 "[--threshold <frac>]\n");
+                 "[--threshold <frac>] [--only <path-prefix>]...\n");
     return 2;
   }
 
@@ -116,7 +142,7 @@ int main(int argc, char** argv) {
     std::printf("bench_compare: %s vs %s (threshold %.0f%%)\n", files[0].c_str(),
                 files[1].c_str(), 100.0 * threshold);
     outcome result;
-    compare(baseline, current, "", threshold, result);
+    compare(baseline, current, "", threshold, only, result);
     std::printf("%zu metrics compared, %zu regressed\n", result.compared,
                 result.regressed);
     return result.regressed == 0 ? 0 : 1;

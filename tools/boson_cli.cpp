@@ -48,10 +48,13 @@
 #include "common/log.h"
 #include "core/methods.h"
 #include "io/table.h"
+#include "net/http_client.h"
 #include "runtime/campaign.h"
 #include "runtime/journal.h"
+#include "runtime/lease.h"
 #include "runtime/result_store.h"
 #include "runtime/scheduler.h"
+#include "service/status.h"
 
 namespace {
 
@@ -70,8 +73,11 @@ int usage(std::FILE* out) {
                "                         [--workers N] [--lease-ttl <s>] [--no-artifacts]\n"
                "  boson_cli campaign resume <dir> [--worker <id>] [--workers N]\n"
                "                         [--lease-ttl <s>]\n"
-               "  boson_cli campaign status <dir>\n"
+               "  boson_cli campaign status <dir> [--json]\n"
                "  boson_cli campaign report <dir>\n"
+               "  boson_cli campaign submit <campaign.json> --server <url> [--tenant <t>]\n"
+               "  boson_cli campaign status|watch|report|cancel <id> --server <url>\n"
+               "                         [--tenant <t>] [--json]\n"
                "\n"
                "run       execute one spec (JSON object) or a batch (JSON array);\n"
                "          artifacts land in --out (default: boson_out)\n"
@@ -86,9 +92,16 @@ int usage(std::FILE* out) {
                "          worker's jobs are re-leased after --lease-ttl:\n"
                "            run     expand + execute claimable jobs\n"
                "            resume  continue a killed/partial campaign directory\n"
+               "                    (also attaches to a boson_serve campaign dir)\n"
                "            status  replay the journal into a per-job state table\n"
-               "                    (owner + lease column for live/expired leases)\n"
+               "                    (owner + lease column for live/expired leases);\n"
+               "                    --json emits the service's status snapshot\n"
                "            report  render the paper-style tables from the store\n"
+               "          with --server <url>, campaigns run on a boson_serve\n"
+               "          daemon instead (docs/SERVICE.md): submit posts the spec,\n"
+               "          watch streams journal events to completion, status/\n"
+               "          report/cancel hit the matching endpoints; --tenant\n"
+               "          selects the namespace (default: \"default\")\n"
                "          --shard i/N still filters the visible jobs (deprecated);\n"
                "          --fault point[:n] SIGKILLs at a named kill point\n"
                "          (after_lease, mid_run, after_checkpoint, before_result)\n"
@@ -285,44 +298,14 @@ int cmd_campaign_resume(runtime::scheduler_options options) {
   return run_campaign(runtime::campaign_spec::load(path), std::move(options));
 }
 
-int cmd_campaign_status(const std::string& dir) {
-  const runtime::campaign_spec spec =
-      runtime::campaign_spec::load(runtime::campaign_spec_path(dir));
-  const auto entries = runtime::journal::replay(runtime::journal_path(dir));
-  const auto latest = runtime::journal::latest_states(entries);
-  // Leases come from the resolved fold, not the latest record — the latest
-  // line can be a losing claim or a stale heartbeat.
-  const runtime::lease_table leases = runtime::lease_table::resolve(entries);
-  const double now = runtime::wall_clock_seconds();
-
-  std::map<std::string, std::size_t> counts;
-  io::console_table table({"#", "job", "state", "attempt", "owner", "lease", "detail"});
-  for (const runtime::campaign_job& job : spec.expand()) {
-    const auto it = latest.find(job.index);
-    const runtime::lease_view lease = leases.view(job.index);
-    std::string state = it != latest.end() ? runtime::to_string(it->second.state) : "pending";
-    std::string owner = "-";
-    std::string lease_text = "-";
-    if (lease.state == runtime::lease_view::phase::done) {
-      state = "completed";
-    } else if (lease.state == runtime::lease_view::phase::leased) {
-      owner = lease.worker;
-      lease_text = lease.deadline > now
-                       ? "live " + io::console_table::num(lease.deadline - now, 0) + "s"
-                       : "expired";
-    }
-    ++counts[state];
-    table.add_row({std::to_string(job.index), job.name, state,
-                   it != latest.end() ? std::to_string(it->second.attempt) : "-",
-                   owner, lease_text,
-                   it != latest.end() ? it->second.detail : ""});
-  }
-  table.print("Campaign '" + spec.name + "' (" + std::to_string(spec.job_count()) +
-              " jobs, journal: " + std::to_string(entries.size()) + " events)");
-  std::string summary;
-  for (const auto& [state, n] : counts)
-    summary += (summary.empty() ? "" : ", ") + std::to_string(n) + " " + state;
-  std::printf("\n%s\n", summary.c_str());
+int cmd_campaign_status(const std::string& dir, bool as_json) {
+  // One snapshot type serves the CLI and the service control plane (see
+  // service/status.h), so `status --json` here and GET /v1/campaigns/{id}
+  // describe a campaign in the same shape.
+  const service::campaign_status status =
+      service::read_campaign_status(dir, runtime::wall_clock_seconds());
+  if (as_json) std::printf("%s\n", status.to_json(true).dump(2).c_str());
+  else std::fputs(status.render_text().c_str(), stdout);
   return 0;
 }
 
@@ -345,20 +328,146 @@ int cmd_campaign_report(const std::string& dir) {
   return 0;
 }
 
+// ------------------------------------------------- remote campaign mode ----
+
+/// True for 2xx; otherwise surface the control plane's JSON error envelope
+/// (falling back to the raw body) on stderr.
+bool remote_ok(const net::http_response& res) {
+  if (res.status >= 200 && res.status < 300) return true;
+  std::string message = res.body;
+  try {
+    message = io::json_value::parse(res.body).at("error").at("message").as_string();
+  } catch (const std::exception&) {
+  }
+  std::fprintf(stderr, "boson_cli: server answered %d %s: %s\n", res.status,
+               net::status_reason(res.status), message.c_str());
+  return false;
+}
+
+std::vector<std::pair<std::string, std::string>> tenant_headers(const std::string& tenant) {
+  std::vector<std::pair<std::string, std::string>> headers;
+  if (!tenant.empty()) headers.emplace_back("X-Boson-Tenant", tenant);
+  return headers;
+}
+
+int cmd_remote_submit(const std::string& server, const std::string& tenant,
+                      const std::string& spec_path) {
+  std::ifstream in(spec_path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "boson_cli: cannot read '%s'\n", spec_path.c_str());
+    return 2;
+  }
+  const std::string body((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  net::http_client client(server);
+  const net::http_response res =
+      client.post("/v1/campaigns", body, tenant_headers(tenant));
+  if (!remote_ok(res)) return 1;
+  const io::json_value record = io::json_value::parse(res.body);
+  std::printf("%s\n", record.dump(2).c_str());
+  std::fprintf(stderr, "boson_cli: submitted campaign %s (%s)\n",
+               record.at("id").as_string().c_str(), server.c_str());
+  return 0;
+}
+
+int cmd_remote_status(const std::string& server, const std::string& tenant,
+                      const std::string& id, bool as_json) {
+  net::http_client client(server);
+  const net::http_response res =
+      client.get("/v1/campaigns/" + id + "/jobs", tenant_headers(tenant));
+  if (!remote_ok(res)) return 1;
+  if (as_json) {
+    std::fputs(res.body.c_str(), stdout);
+    return 0;
+  }
+  const io::json_value v = io::json_value::parse(res.body);
+  std::printf("campaign %s '%s': %s, %zu/%zu result rows\n",
+              v.at("id").as_string().c_str(), v.at("name").as_string().c_str(),
+              v.at("state").as_string().c_str(),
+              static_cast<std::size_t>(v.at("result_rows").as_number()),
+              static_cast<std::size_t>(v.at("total_jobs").as_number()));
+  std::string summary;
+  for (const auto& [state, n] : v.at("counts").members())
+    summary += (summary.empty() ? "" : ", ") +
+               std::to_string(static_cast<std::size_t>(n.as_number())) + " " + state;
+  std::printf("%s\n", summary.c_str());
+  return 0;
+}
+
+int cmd_remote_watch(const std::string& server, const std::string& tenant,
+                     const std::string& id) {
+  net::http_client client(server);
+  const auto headers = tenant_headers(tenant);
+  std::string cursor = "0";
+
+  // Long-poll the journal stream; after each page, check the lifecycle
+  // state. On a terminal state, drain one final page (records appended
+  // between our last read and the state flip) before returning.
+  const auto fetch_events = [&](const std::string& wait) -> std::optional<bool> {
+    const net::http_response res = client.get(
+        "/v1/campaigns/" + id + "/events?cursor=" + cursor + "&wait=" + wait, headers);
+    if (!remote_ok(res)) return std::nullopt;
+    if (const std::string* next = res.header("X-Boson-Cursor")) cursor = *next;
+    if (!res.body.empty()) {
+      std::fputs(res.body.c_str(), stdout);
+      std::fflush(stdout);
+    }
+    return true;
+  };
+
+  while (true) {
+    if (!fetch_events("20")) return 1;
+    const net::http_response status =
+        client.get("/v1/campaigns/" + id, headers);
+    if (!remote_ok(status)) return 1;
+    const std::string state =
+        io::json_value::parse(status.body).at("state").as_string();
+    if (state == "done" || state == "failed" || state == "cancelled") {
+      if (!fetch_events("0")) return 1;
+      std::fprintf(stderr, "boson_cli: campaign %s %s\n", id.c_str(), state.c_str());
+      return state == "done" ? 0 : 1;
+    }
+  }
+}
+
+int cmd_remote_report(const std::string& server, const std::string& tenant,
+                      const std::string& id, bool as_json) {
+  net::http_client client(server);
+  const std::string path =
+      "/v1/campaigns/" + id + "/report" + (as_json ? "?format=json" : "?format=text");
+  const net::http_response res = client.get(path, tenant_headers(tenant));
+  if (!remote_ok(res)) return 1;
+  std::fputs(res.body.c_str(), stdout);
+  return 0;
+}
+
+int cmd_remote_cancel(const std::string& server, const std::string& tenant,
+                      const std::string& id) {
+  net::http_client client(server);
+  const net::http_response res =
+      client.post("/v1/campaigns/" + id + "/cancel", "", tenant_headers(tenant));
+  if (!remote_ok(res)) return 1;
+  std::fputs(res.body.c_str(), stdout);
+  std::printf("\n");
+  return 0;
+}
+
 int cmd_campaign(const std::vector<std::string>& args) {
   if (args.size() < 2) return usage(stderr);
   const std::string& action = args[0];
-
-  if (action == "status" || action == "report") {
-    if (args.size() != 2) return usage(stderr);
-    return action == "status" ? cmd_campaign_status(args[1]) : cmd_campaign_report(args[1]);
-  }
-  if (action != "run" && action != "resume") {
+  const bool known_local = action == "run" || action == "resume" ||
+                           action == "status" || action == "report";
+  const bool known_remote = action == "submit" || action == "watch" ||
+                            action == "cancel" || known_local;
+  if (!known_remote) {
     std::fprintf(stderr, "boson_cli: unknown campaign action '%s'\n", action.c_str());
     return usage(stderr);
   }
 
   std::string target;
+  std::string server;
+  std::string tenant;
+  bool as_json = false;
   runtime::scheduler_options options;
   // Lives past run(): fault actions fire from inside scheduler worker
   // threads (the kill action never returns anyway, but keep the lifetime
@@ -370,6 +479,14 @@ int cmd_campaign(const std::vector<std::string>& args) {
       if (i + 1 >= args.size()) return usage(stderr);
       options.campaign_dir = args[++i];
       saw_out = true;
+    } else if (args[i] == "--server") {
+      if (i + 1 >= args.size()) return usage(stderr);
+      server = args[++i];
+    } else if (args[i] == "--tenant") {
+      if (i + 1 >= args.size()) return usage(stderr);
+      tenant = args[++i];
+    } else if (args[i] == "--json") {
+      as_json = true;
     } else if (args[i] == "--shard") {
       if (i + 1 >= args.size()) return usage(stderr);
       options.shard = runtime::shard_range::parse(args[++i]);
@@ -403,6 +520,30 @@ int cmd_campaign(const std::vector<std::string>& args) {
   }
   if (target.empty()) return usage(stderr);
 
+  if (!server.empty()) {
+    // Remote mode: the target is a spec file (submit) or a campaign id.
+    if (action == "submit") return cmd_remote_submit(server, tenant, target);
+    if (action == "status") return cmd_remote_status(server, tenant, target, as_json);
+    if (action == "watch") return cmd_remote_watch(server, tenant, target);
+    if (action == "report") return cmd_remote_report(server, tenant, target, as_json);
+    if (action == "cancel") return cmd_remote_cancel(server, tenant, target);
+    std::fprintf(stderr,
+                 "boson_cli: campaign %s is local-only (did you mean 'campaign "
+                 "submit --server'?)\n",
+                 action.c_str());
+    return 2;
+  }
+  if (!known_local) {
+    std::fprintf(stderr, "boson_cli: campaign %s needs --server <url>\n", action.c_str());
+    return 2;
+  }
+  if (!tenant.empty()) {
+    std::fprintf(stderr, "boson_cli: --tenant only applies with --server\n");
+    return 2;
+  }
+
+  if (action == "status") return cmd_campaign_status(target, as_json);
+  if (action == "report") return cmd_campaign_report(target);
   if (action == "resume") {
     if (saw_out) return usage(stderr);  // resume takes the directory directly
     options.campaign_dir = target;
