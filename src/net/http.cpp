@@ -217,13 +217,13 @@ http_response error_response(int status, const std::string& message) {
   return r;
 }
 
-std::string serialize(const http_response& r, bool keep_alive) {
+std::string serialize(const http_response& r, bool keep_alive, int version_minor) {
   std::string out = "HTTP/1.1 " + std::to_string(r.status) + " " +
                     status_reason(r.status) + kCrlf;
   out += "Content-Type: " + r.content_type + kCrlf;
   out += std::string("Connection: ") + (keep_alive ? "keep-alive" : "close") + kCrlf;
   for (const auto& [name, value] : r.headers) out += name + ": " + value + kCrlf;
-  if (r.chunked) {
+  if (r.chunked && version_minor >= 1) {
     out += "Transfer-Encoding: chunked";
     out += kCrlf;
     out += kCrlf;

@@ -101,7 +101,9 @@ http_response error_response(int status, const std::string& message);
 
 /// Serialize a response for the wire. `keep_alive` picks the Connection
 /// header; bodies are framed with Content-Length unless `r.chunked`.
-std::string serialize(const http_response& r, bool keep_alive);
+/// `version_minor` is the *request's* HTTP version: a 1.0 peer cannot parse
+/// chunked framing, so `r.chunked` downgrades to Content-Length for it.
+std::string serialize(const http_response& r, bool keep_alive, int version_minor = 1);
 
 /// Serialize a client request (Content-Length framing, no chunked upload).
 std::string serialize(const std::string& method, const std::string& target,

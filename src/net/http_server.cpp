@@ -255,7 +255,7 @@ void http_server::serve_connection(int fd) {
 
     const bool keep = request.keep_alive() && !stopping_.load() &&
                       ++served < options_.max_keepalive_requests;
-    if (!send_all(fd, serialize(response, keep))) return;
+    if (!send_all(fd, serialize(response, keep, request.version_minor))) return;
     if (!keep) return;
   }
 }

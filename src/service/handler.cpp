@@ -6,6 +6,8 @@
 /// quota 429, all through the uniform error envelope (`net::error_response`
 /// via `http_error`, which the transport also applies to handler throws).
 
+#include <algorithm>
+#include <stdexcept>
 #include <string>
 
 #include "service/service.h"
@@ -38,15 +40,25 @@ double query_number(const net::http_request& req, const std::string& name,
   const auto it = req.query.find(name);
   if (it == req.query.end()) return fallback;
   const std::string& text = it->second;
-  if (text.empty() || text.find_first_not_of("0123456789.") != std::string::npos)
-    throw net::http_error(400, "query parameter '" + name +
-                                   "' must be a non-negative number, got '" +
-                                   text + "'");
+  const net::http_error malformed(400, "query parameter '" + name +
+                                           "' must be a non-negative number, got '" +
+                                           text + "'");
+  // Strict shape first — std::stod would accept a numeric *prefix* ("1.2.3"
+  // parses as 1.2), signs, and hex/inf/nan spellings.
+  if (text.empty() || text.find_first_not_of("0123456789.") != std::string::npos ||
+      std::count(text.begin(), text.end(), '.') > 1)
+    throw malformed;
+  double value = 0.0;
+  std::size_t consumed = 0;
   try {
-    return std::stod(text);
-  } catch (const std::exception&) {
+    value = std::stod(text, &consumed);
+  } catch (const std::invalid_argument&) {  // "." — no digits at all
+    throw malformed;
+  } catch (const std::out_of_range&) {
     throw net::http_error(400, "query parameter '" + name + "' is out of range");
   }
+  if (consumed != text.size()) throw malformed;
+  return value;
 }
 
 net::http_response json_response(int status, const io::json_value& v) {

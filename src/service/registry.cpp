@@ -69,8 +69,20 @@ campaign_registry::campaign_registry(options opts) : options_(std::move(opts)) {
                           latest.insert_or_assign(std::move(id), std::move(r));
                         });
   for (auto& [id, record] : latest) {
-    const std::size_t number =
-        static_cast<std::size_t>(std::stoul(id.substr(1)));
+    // Ids this registry minted are all 'c<digits>'; anything else is a
+    // corrupt or foreign manifest record — name it instead of letting
+    // std::stoul abort the rescan with a context-free invalid_argument.
+    if (id.size() < 2 || id[0] != 'c' ||
+        id.find_first_not_of("0123456789", 1) != std::string::npos)
+      throw io_error("campaign_registry: malformed campaign id '" + id + "' in " +
+                     manifest_path(options_.data_dir));
+    std::size_t number = 0;
+    try {
+      number = static_cast<std::size_t>(std::stoul(id.substr(1)));
+    } catch (const std::exception&) {  // out_of_range: an absurd digit run
+      throw io_error("campaign_registry: campaign id '" + id + "' in " +
+                     manifest_path(options_.data_dir) + " is out of range");
+    }
     next_id_ = std::max(next_id_, number + 1);
     records_.push_back(std::move(record));
   }

@@ -56,6 +56,7 @@ double campaign_service::now() const {
 void campaign_service::start() {
   require(!running_.load(), "campaign_service: already started");
   stopping_.store(false);
+  draining_.store(false);
 
   // Campaigns a previous process left mid-run have no owner anymore; requeue
   // them so this process's runners resume them. The journal makes the resume
@@ -72,7 +73,13 @@ void campaign_service::start() {
            registry_.data_dir(), ")");
 }
 
+void campaign_service::drain() {
+  draining_.store(true);
+  wake_cv_.notify_all();
+}
+
 void campaign_service::stop() {
+  drain();
   if (!running_.exchange(false)) return;
   stopping_.store(true);
   {
@@ -152,6 +159,38 @@ void campaign_service::run_campaign(const campaign_record& record) {
 
   std::string final_state;
   std::string detail;
+  try {
+    run_registered(record, scheduler, final_state, detail);
+  } catch (...) {
+    // The scheduler lives on this stack frame: a throw anywhere after the
+    // registration above (corrupt journal in scheduler.run() or the replay
+    // fold, ...) must unregister it, or stop()/cancel() would dereference a
+    // dangling pointer. The runner's catch handler records the failure.
+    const std::lock_guard<std::mutex> lock(active_mutex_);
+    active_.erase(key);
+    user_cancelled_.erase(key);
+    throw;
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(active_mutex_);
+    active_.erase(key);
+    // A shutdown-cancelled campaign is unfinished business, not an outcome:
+    // requeue it so the next start() resumes from the journal.
+    if (final_state == "cancelled" && stopping_.load() &&
+        !user_cancelled_.count(key))
+      final_state = "queued";
+    user_cancelled_.erase(key);
+    registry_.set_state(record.tenant, record.id, final_state, now(), detail);
+  }
+  log_info("campaign_service: ", key, " -> ", final_state,
+           detail.empty() ? "" : " (" + detail + ")");
+}
+
+void campaign_service::run_registered(const campaign_record& record,
+                                      runtime::scheduler& scheduler,
+                                      std::string& final_state,
+                                      std::string& detail) {
   while (final_state.empty()) {
     const runtime::scheduler_report report = scheduler.run();
     {
@@ -192,20 +231,6 @@ void campaign_service::run_campaign(const campaign_record& record) {
                         return stopping_.load() || scheduler.cancel_requested();
                       });
   }
-
-  {
-    const std::lock_guard<std::mutex> lock(active_mutex_);
-    active_.erase(key);
-    // A shutdown-cancelled campaign is unfinished business, not an outcome:
-    // requeue it so the next start() resumes from the journal.
-    if (final_state == "cancelled" && stopping_.load() &&
-        !user_cancelled_.count(key))
-      final_state = "queued";
-    user_cancelled_.erase(key);
-    registry_.set_state(record.tenant, record.id, final_state, now(), detail);
-  }
-  log_info("campaign_service: ", key, " -> ", final_state,
-           detail.empty() ? "" : " (" + detail + ")");
 }
 
 // ------------------------------------------------------- control plane ----
@@ -269,7 +294,7 @@ event_page campaign_service::events(const std::string& tenant, const std::string
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration<double>(max_wait);
   while (page.lines.empty() && max_wait > 0.0 && !stopping_.load() &&
-         std::chrono::steady_clock::now() < deadline) {
+         !draining_.load() && std::chrono::steady_clock::now() < deadline) {
     const std::optional<campaign_record> current = registry_.find(tenant, id);
     if (!current || current->terminal()) break;
     std::unique_lock<std::mutex> lock(wake_mutex_);
@@ -333,6 +358,11 @@ campaign_record campaign_service::cancel(const std::string& tenant,
       registry_.set_state(tenant, id, "cancelled", now(), "cancelled by request");
   wake_cv_.notify_all();
   return updated;
+}
+
+std::size_t campaign_service::active_runs() const {
+  const std::lock_guard<std::mutex> lock(active_mutex_);
+  return active_.size();
 }
 
 service_metrics campaign_service::metrics() const {

@@ -103,6 +103,12 @@ class campaign_service {
   /// stopped service still answers reads; submits queue for the next start.
   void stop();
 
+  /// Begin shutdown without stopping anything yet: in-flight `events()`
+  /// long-polls return promptly instead of sleeping out their deadline.
+  /// Call before stopping the HTTP transport, whose stop() joins the worker
+  /// threads those long-polls are running on; `stop()` implies it.
+  void drain();
+
   // --- control-plane operations (handler() routes here; tests call direct) --
   campaign_record submit(const std::string& tenant, const runtime::campaign_spec& spec);
   std::vector<campaign_record> list(const std::string& tenant) const;
@@ -114,6 +120,11 @@ class campaign_service {
   io::json_value report_json(const std::string& tenant, const std::string& id) const;
   campaign_record cancel(const std::string& tenant, const std::string& id);
   service_metrics metrics() const;
+
+  /// Schedulers currently registered by runners (the cancel() targets).
+  /// Every registration must be unwound when its campaign settles — a
+  /// nonzero count with no campaign running means a dangling pointer.
+  std::size_t active_runs() const;
 
   /// The full JSON control plane as one transport-agnostic handler.
   net::http_handler handler();
@@ -128,6 +139,12 @@ class campaign_service {
 
   void runner_loop();
   void run_campaign(const campaign_record& record);
+
+  /// The run loop of `run_campaign`, entered with `scheduler` registered in
+  /// `active_` — every exit (including a throw) must unregister it before
+  /// the scheduler's stack frame unwinds.
+  void run_registered(const campaign_record& record, runtime::scheduler& scheduler,
+                      std::string& final_state, std::string& detail);
   double now() const;
 
   service_options options_;
@@ -135,6 +152,7 @@ class campaign_service {
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};  ///< releases events() long-polls early
   std::vector<std::thread> runners_;
   mutable std::mutex wake_mutex_;
   std::condition_variable wake_cv_;  ///< submit/cancel/stop kick idle runners

@@ -239,6 +239,22 @@ TEST(http_response, chunked_framing_is_one_chunk_per_line) {
   EXPECT_EQ(parser.response().body, res.body);
 }
 
+TEST(http_response, chunked_downgrades_to_content_length_for_http_1_0_peers) {
+  http_response res;
+  res.chunked = true;
+  res.body = "{\"a\":1}\n{\"b\":2}\n";
+  // An HTTP/1.0 request cannot parse chunked framing: same body, but framed
+  // with Content-Length.
+  const std::string wire = serialize(res, false, /*version_minor=*/0);
+  EXPECT_EQ(wire.find("Transfer-Encoding"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 16\r\n"), std::string::npos);
+
+  http_response_parser parser;
+  parser.feed(wire.data(), wire.size());
+  ASSERT_TRUE(parser.complete());
+  EXPECT_EQ(parser.response().body, res.body);
+}
+
 TEST(http_response, eof_framed_bodies_complete_on_finish) {
   const std::string wire = "HTTP/1.0 200 OK\r\n\r\npartial";
   http_response_parser parser;

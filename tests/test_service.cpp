@@ -383,6 +383,30 @@ TEST(registry, enforces_quota_and_tenant_validation) {
       [&] { registry.set_state("alice", "c9999", "done", 8.0); }, "c9999");
 }
 
+TEST(registry, rescan_names_a_corrupt_manifest_id_instead_of_aborting_blind) {
+  const fs::path data = fresh_dir("registry_bad_id");
+  {  // a valid manifest first, so the failure is clearly about the bad record
+    service::campaign_registry registry({data.string(), 8});
+    registry.submit("alice", synthetic_campaign(), 1.0);
+  }
+  io::json_value record = io::json_value::object();
+  record["id"] = "zzz9";  // not 'c<digits>': corrupt or foreign
+  record["tenant"] = "alice";
+  record["name"] = "synthetic";
+  record["state"] = "queued";
+  record["dir"] = (data / "alice" / "zzz9").string();
+  record["total_jobs"] = 12;
+  record["submitted_at"] = 2.0;
+  record["updated_at"] = 2.0;
+  std::ofstream(data / "registry.jsonl", std::ios::app) << record.dump(-1) << "\n";
+
+  expect_throw_with<io_error>(
+      [&] { service::campaign_registry reopened({data.string(), 8}); }, "zzz9");
+  expect_throw_with<io_error>(
+      [&] { service::campaign_registry reopened({data.string(), 8}); },
+      "registry.jsonl");
+}
+
 // ---------------------------------------------------------------- service ----
 
 service::service_options fast_options(const fs::path& data,
@@ -510,6 +534,75 @@ TEST(campaign_service, shutdown_requeues_and_a_restart_finishes_the_job) {
   revived.stop();
 }
 
+TEST(campaign_service, a_campaign_that_throws_mid_run_fails_without_dangling_state) {
+  const fs::path data = fresh_dir("service_run_throws");
+  std::atomic<std::size_t> executed{0};
+  service::campaign_service service(fast_options(data, executed));
+
+  // Submit while stopped, then corrupt the journal: a malformed line with a
+  // valid successor makes the replay fold inside scheduler.run() throw —
+  // *after* run_campaign registered the stack-local scheduler in active_.
+  // The unwind must unregister it, or cancel()/stop() below would call into
+  // a dead stack frame (the ASan job proves the absence of that UAF).
+  const service::campaign_record record =
+      service.submit("alice", synthetic_campaign());
+  std::ofstream(runtime::journal_path(record.dir), std::ios::app)
+      << "{broken\n"
+      << R"({"job":0,"name":"j","state":"running","attempt":1})" << "\n";
+
+  service.start();
+  ASSERT_TRUE(wait_until([&] {
+    return service.registry().find("alice", record.id)->state == "failed";
+  })) << "corrupt campaign never failed";
+  EXPECT_EQ(executed.load(), 0u);
+  // The unwind unregistered the scheduler: nothing dangles in active_.
+  EXPECT_EQ(service.active_runs(), 0u);
+
+  // The registration is gone: cancel sees a terminal campaign (409), it does
+  // not reach into a freed scheduler.
+  try {
+    service.cancel("alice", record.id);
+    FAIL() << "expected 409";
+  } catch (const net::http_error& e) {
+    EXPECT_EQ(e.status(), 409);
+  }
+
+  // The runner survived the throw and serves the next campaign.
+  const service::campaign_record healthy =
+      service.submit("alice", synthetic_campaign());
+  ASSERT_TRUE(wait_until([&] {
+    return service.registry().find("alice", healthy.id)->state == "done";
+  })) << "runner did not survive the failed campaign";
+  service.stop();
+}
+
+TEST(campaign_service, drain_releases_event_long_polls_promptly) {
+  const fs::path data = fresh_dir("service_drain");
+  std::atomic<std::size_t> executed{0};
+  service::campaign_service service(fast_options(data, executed));
+  // Never started: the campaign stays queued and non-terminal, so a long
+  // poll would otherwise sleep out its whole deadline.
+  const service::campaign_record record =
+      service.submit("alice", synthetic_campaign());
+
+  std::atomic<bool> returned{false};
+  std::thread poller([&] {
+    service.events("alice", record.id, 0, /*max_wait=*/30.0);
+    returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(returned.load());  // the poll is parked, waiting for events
+
+  const auto drained_at = std::chrono::steady_clock::now();
+  service.drain();
+  poller.join();
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - drained_at)
+          .count();
+  EXPECT_TRUE(returned.load());
+  EXPECT_LT(waited, 5.0) << "drain() did not release the long-poll";
+}
+
 // ----------------------------------------------------------- control plane ----
 
 /// Build a request the way the server's parser would deliver it.
@@ -611,8 +704,18 @@ TEST(control_plane, routes_actions_and_rejects_abuse_with_structured_errors) {
   EXPECT_EQ(answer(handler, make_request("GET", base + "/frobnicate", "", "alice"))
                 .status,
             404);
+  // Query numbers parse strictly: a numeric *prefix* ("1.2.3" is 1.2 to a
+  // bare stod) or a digitless dot must be a clean 400, not a silent accept.
   EXPECT_EQ(answer(handler,
                    make_request("GET", base + "/events?cursor=abc", "", "alice"))
+                .status,
+            400);
+  EXPECT_EQ(answer(handler,
+                   make_request("GET", base + "/events?cursor=1.2.3", "", "alice"))
+                .status,
+            400);
+  EXPECT_EQ(answer(handler,
+                   make_request("GET", base + "/events?wait=.", "", "alice"))
                 .status,
             400);
   EXPECT_EQ(answer(handler,

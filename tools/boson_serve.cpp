@@ -139,7 +139,8 @@ int main(int argc, char** argv) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
 
     log_info("boson_serve: signal ", static_cast<int>(g_signal), ", shutting down");
-    server.stop();   // no new requests; in-flight ones finish
+    service.drain(); // release /events long-polls held by HTTP workers...
+    server.stop();   // ...so joining them is prompt; in-flight requests finish
     service.stop();  // cancel + requeue running campaigns, join runners
     std::printf("boson_serve: clean shutdown\n");
     return 0;
