@@ -28,6 +28,8 @@
 #include "fft/conv2d.h"
 #include "io/json.h"
 #include "modes/slab.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/campaign.h"
 #include "runtime/checkpoint.h"
 #include "runtime/journal.h"
@@ -582,6 +584,56 @@ io::json_value time_runtime() {
     report["checkpoint"] = std::move(j);
     std::printf("checkpoint (20k params): save %.3f ms, load %.3f ms\n", 1e3 * save_s,
                 1e3 * load_s);
+  }
+
+  {  // telemetry overhead: the obs primitives the solver/scheduler hot paths
+     // now carry. Rates use *_per_second keys so bench_compare gates them —
+     // a regression here means instrumentation crept into the hot path.
+    auto& reg = obs::registry::global();
+    obs::counter& c = reg.get_counter("bench.telemetry.counter");
+    obs::histogram& h = reg.get_histogram("bench.telemetry.hist");
+    constexpr std::size_t ops = 2000000;
+    stopwatch sw;
+    for (std::size_t i = 0; i < ops; ++i) c.inc();
+    const double counter_s = sw.seconds();
+    sw.reset();
+    for (std::size_t i = 0; i < ops; ++i)
+      h.observe(1e-5 * static_cast<double>(i & 1023));
+    const double hist_s = sw.seconds();
+
+    // Spans without a sink — the compiled-in, disabled default every solve
+    // pays — and with a live collector, the traced-job case.
+    constexpr std::size_t span_ops = 1000000;
+    sw.reset();
+    for (std::size_t i = 0; i < span_ops; ++i) {
+      obs::span sp("bench.telemetry.span", "bench");
+      benchmark::DoNotOptimize(&sp);
+    }
+    const double span_off_s = sw.seconds();
+    constexpr std::size_t traced_ops = 100000;
+    obs::trace_collector collector;
+    double span_on_s = 0.0;
+    {
+      const obs::scoped_trace_sink sink(&collector);
+      sw.reset();
+      for (std::size_t i = 0; i < traced_ops; ++i)
+        obs::span sp("bench.telemetry.span", "bench");
+      span_on_s = sw.seconds();
+    }
+
+    io::json_value j = io::json_value::object();
+    j["counter_incs_per_second"] = static_cast<double>(ops) / counter_s;
+    j["histogram_observes_per_second"] = static_cast<double>(ops) / hist_s;
+    j["spans_disabled_per_second"] = static_cast<double>(span_ops) / span_off_s;
+    j["spans_enabled_per_second"] = static_cast<double>(traced_ops) / span_on_s;
+    report["telemetry"] = std::move(j);
+    std::printf(
+        "telemetry: counter %.0f M/s, histogram %.0f M/s, span off %.0f M/s, "
+        "span on %.2f M/s (%zu events)\n",
+        static_cast<double>(ops) / counter_s / 1e6,
+        static_cast<double>(ops) / hist_s / 1e6,
+        static_cast<double>(span_ops) / span_off_s / 1e6,
+        static_cast<double>(traced_ops) / span_on_s / 1e6, collector.size());
   }
 
   fs::remove_all(root);

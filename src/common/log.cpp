@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <mutex>
 
 #include "common/env.h"
@@ -26,6 +27,18 @@ std::atomic<log_level>& level_storage() {
   return level;
 }
 
+log_format format_from_env() {
+  return env_string("BOSON_LOG_FORMAT", "text") == "json" ? log_format::json
+                                                          : log_format::text;
+}
+
+std::atomic<log_format>& format_storage() {
+  static std::atomic<log_format> format{format_from_env()};
+  return format;
+}
+
+std::atomic<void (*)(const std::string&)> sink_storage{nullptr};
+
 const char* level_tag(log_level level) {
   switch (level) {
     case log_level::debug: return "DEBUG";
@@ -36,20 +49,120 @@ const char* level_tag(log_level level) {
   }
 }
 
+const char* level_word(log_level level) {
+  switch (level) {
+    case log_level::debug: return "debug";
+    case log_level::info: return "info";
+    case log_level::warn: return "warn";
+    case log_level::err: return "error";
+    default: return "off";
+  }
+}
+
+/// UTC wall-clock with millisecond precision: 2026-08-09T12:34:56.789Z.
+std::string wall_timestamp() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &secs);
+#else
+  gmtime_r(&secs, &tm);
+#endif
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+  return buf;
+}
+
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string render_text(log_level level, const std::string& message,
+                        const log_fields& fields) {
+  std::string line = wall_timestamp() + " [T" + std::to_string(thread_ordinal()) +
+                     "] " + level_tag(level) + " " + message;
+  for (const auto& [k, v] : fields) line += " " + k + "=" + v;
+  return line;
+}
+
+std::string render_json(log_level level, const std::string& message,
+                        const log_fields& fields) {
+  std::string line = "{\"ts\":\"" + wall_timestamp() + "\",\"level\":\"" +
+                     level_word(level) + "\",\"thread\":" +
+                     std::to_string(thread_ordinal()) + ",\"msg\":\"" +
+                     escape_json(message) + "\"";
+  for (const auto& [k, v] : fields)
+    line += ",\"" + escape_json(k) + "\":\"" + escape_json(v) + "\"";
+  line += "}";
+  return line;
+}
+
+void emit(const std::string& line) {
+  if (auto* sink = sink_storage.load(std::memory_order_acquire)) {
+    sink(line);
+    return;
+  }
+  static std::mutex io_mutex;
+  const std::lock_guard<std::mutex> lock(io_mutex);
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
+
 }  // namespace
 
 void set_log_level(log_level level) { level_storage().store(level); }
 
 log_level current_log_level() { return level_storage().load(); }
 
+void set_log_format(log_format format) { format_storage().store(format); }
+
+log_format current_log_format() { return format_storage().load(); }
+
+void set_log_sink(void (*sink)(const std::string& line)) {
+  sink_storage.store(sink, std::memory_order_release);
+}
+
+std::uint32_t thread_ordinal() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
 void log_line(log_level level, const std::string& message) {
+  log_line(level, message, {});
+}
+
+void log_line(log_level level, const std::string& message, const log_fields& fields) {
   if (level < current_log_level()) return;
-  static std::mutex io_mutex;
-  using clock = std::chrono::steady_clock;
-  static const clock::time_point start = clock::now();
-  const double t = std::chrono::duration<double>(clock::now() - start).count();
-  const std::lock_guard<std::mutex> lock(io_mutex);
-  std::fprintf(stderr, "[%9.3f] %s %s\n", t, level_tag(level), message.c_str());
+  emit(current_log_format() == log_format::json
+           ? render_json(level, message, fields)
+           : render_text(level, message, fields));
 }
 
 }  // namespace boson

@@ -1,7 +1,10 @@
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace boson {
 
@@ -14,8 +17,31 @@ enum class log_level { debug = 0, info = 1, warn = 2, err = 3, off = 4 };
 void set_log_level(log_level level);
 log_level current_log_level();
 
-/// Emit a single timestamped line to stderr if `level` is enabled.
+/// Output shape. `text` is the human line
+/// `2026-08-09T12:34:56.789Z [T3] WARN  msg key=value`; `json` renders the
+/// same record as one JSON object per line (machine-parseable service logs).
+/// Defaults to the BOSON_LOG_FORMAT environment variable ("text", "json").
+enum class log_format { text = 0, json = 1 };
+void set_log_format(log_format format);
+log_format current_log_format();
+
+/// Structured `key=value` fields attached to a log record, rendered after
+/// the message (text) or as extra object members (json).
+using log_fields = std::vector<std::pair<std::string, std::string>>;
+
+/// Emit a single timestamped line to the log sink if `level` is enabled.
 void log_line(log_level level, const std::string& message);
+void log_line(log_level level, const std::string& message, const log_fields& fields);
+
+/// Redirect fully rendered log lines (no trailing newline) to `sink`
+/// instead of stderr; nullptr restores stderr. Test hook — not intended
+/// for concurrent re-registration under load.
+void set_log_sink(void (*sink)(const std::string& line));
+
+/// Small dense id for the calling thread (0 for the first thread that
+/// logs/traces, then 1, 2, ... in first-use order). Stable for the thread's
+/// lifetime; used by log timestamps and trace events.
+std::uint32_t thread_ordinal();
 
 namespace detail {
 template <class... Args>

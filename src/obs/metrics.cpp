@@ -1,0 +1,289 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace boson::obs {
+
+namespace {
+
+/// Shortest round-trip decimal of a metric value ("%g" loses precision on
+/// sums; "%.17g" is noisy — %.10g is enough for exposition).
+std::string format_number(double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string escape_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+const char* kind_name(metric_kind kind) {
+  switch (kind) {
+    case metric_kind::counter: return "counter";
+    case metric_kind::gauge: return "gauge";
+    case metric_kind::histogram: return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string render_labels(const label_set& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first + "=\"" + escape_label_value(labels[i].second) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = name.rfind("boson_", 0) == 0 ? "" : "boson_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------ gauge ----
+
+std::uint64_t gauge::pack(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double gauge::unpack(std::uint64_t bits) {
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void gauge::add(double delta) {
+  std::uint64_t expected = bits_.load(std::memory_order_relaxed);
+  while (!bits_.compare_exchange_weak(expected, pack(unpack(expected) + delta),
+                                      std::memory_order_relaxed,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+// -------------------------------------------------------------- histogram ----
+
+std::vector<double> histogram::latency_buckets_seconds() {
+  return {1e-5, 1e-4, 1e-3, 5e-3, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+          1.0,  2.5,  5.0,  10.0, 30.0};
+}
+
+histogram::histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  require(!bounds_.empty(), "histogram: at least one bucket bound required");
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    require(bounds_[i - 1] < bounds_[i],
+            "histogram: bucket bounds must be strictly increasing");
+}
+
+void histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto index = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t expected = sum_bits_.load(std::memory_order_relaxed);
+  double current = 0.0;
+  do {
+    std::memcpy(&current, &expected, sizeof(current));
+    const double next = current + v;
+    std::uint64_t next_bits = 0;
+    std::memcpy(&next_bits, &next, sizeof(next_bits));
+    if (sum_bits_.compare_exchange_weak(expected, next_bits, std::memory_order_relaxed,
+                                        std::memory_order_relaxed))
+      break;
+  } while (true);
+}
+
+histogram::snapshot_t histogram::snapshot() const {
+  snapshot_t s;
+  s.bounds = bounds_;
+  s.counts.reserve(counts_.size());
+  for (const auto& c : counts_) s.counts.push_back(c.load(std::memory_order_relaxed));
+  s.count = count_.load(std::memory_order_relaxed);
+  const std::uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
+  std::memcpy(&s.sum, &bits, sizeof(s.sum));
+  return s;
+}
+
+void histogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+// --------------------------------------------------------------- registry ----
+
+registry& registry::global() {
+  static registry r;
+  return r;
+}
+
+registry::family& registry::family_of(const std::string& name, metric_kind kind) {
+  const auto it = families_.find(name);
+  if (it == families_.end()) {
+    family& f = families_[name];
+    f.kind = kind;
+    return f;
+  }
+  if (it->second.kind != kind)
+    throw bad_argument("metric '" + name + "' is registered as a " +
+                       kind_name(it->second.kind) + ", requested as a " +
+                       kind_name(kind));
+  return it->second;
+}
+
+counter& registry::get_counter(const std::string& name, const label_set& labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  series& s = family_of(name, metric_kind::counter).by_labels[render_labels(labels)];
+  if (!s.c) {
+    s.c = std::make_unique<counter>();
+    s.labels = labels;
+  }
+  return *s.c;
+}
+
+gauge& registry::get_gauge(const std::string& name, const label_set& labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  series& s = family_of(name, metric_kind::gauge).by_labels[render_labels(labels)];
+  if (!s.g) {
+    s.g = std::make_unique<gauge>();
+    s.labels = labels;
+  }
+  return *s.g;
+}
+
+histogram& registry::get_histogram(const std::string& name, const label_set& labels,
+                                   const std::vector<double>& bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  series& s = family_of(name, metric_kind::histogram).by_labels[render_labels(labels)];
+  if (!s.h) {
+    s.h = std::make_unique<histogram>(
+        bounds.empty() ? histogram::latency_buckets_seconds() : bounds);
+    s.labels = labels;
+  }
+  return *s.h;
+}
+
+std::vector<metric_sample> registry::samples() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<metric_sample> out;
+  for (const auto& [name, fam] : families_) {
+    for (const auto& [key, s] : fam.by_labels) {
+      (void)key;
+      metric_sample sample;
+      sample.name = name;
+      sample.labels = s.labels;
+      sample.kind = fam.kind;
+      if (s.c) sample.value = static_cast<double>(s.c->value());
+      if (s.g) sample.value = s.g->value();
+      if (s.h) sample.hist = s.h->snapshot();
+      out.push_back(std::move(sample));
+    }
+  }
+  return out;
+}
+
+std::uint64_t registry::counter_total(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = families_.find(name);
+  if (it == families_.end() || it->second.kind != metric_kind::counter) return 0;
+  std::uint64_t total = 0;
+  for (const auto& [key, s] : it->second.by_labels) {
+    (void)key;
+    if (s.c) total += s.c->value();
+  }
+  return total;
+}
+
+std::string registry::to_prometheus() const {
+  const std::vector<metric_sample> all = samples();
+  std::string out;
+  std::string last_name;
+  for (const metric_sample& s : all) {
+    const std::string name = prometheus_name(s.name);
+    const std::string labels = render_labels(s.labels);
+    if (s.name != last_name) {
+      out += "# TYPE " + name + " " + kind_name(s.kind) + "\n";
+      last_name = s.name;
+    }
+    if (s.kind == metric_kind::histogram) {
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < s.hist.counts.size(); ++i) {
+        cumulative += s.hist.counts[i];
+        const std::string le =
+            i < s.hist.bounds.size() ? format_number(s.hist.bounds[i]) : "+Inf";
+        std::string bucket_labels = labels;
+        if (bucket_labels.empty()) bucket_labels = "{le=\"" + le + "\"}";
+        else bucket_labels.insert(bucket_labels.size() - 1, ",le=\"" + le + "\"");
+        out += name + "_bucket" + bucket_labels + " " + format_number(static_cast<double>(cumulative)) + "\n";
+      }
+      out += name + "_sum" + labels + " " + format_number(s.hist.sum) + "\n";
+      out += name + "_count" + labels + " " +
+             format_number(static_cast<double>(s.hist.count)) + "\n";
+    } else {
+      out += name + labels + " " + format_number(s.value) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string registry::digest() const {
+  std::string out;
+  for (const metric_sample& s : samples()) {
+    if (s.kind == metric_kind::histogram) {
+      if (s.hist.count == 0) continue;
+      out += (out.empty() ? "" : " ") + s.name + render_labels(s.labels) +
+             "=count:" + format_number(static_cast<double>(s.hist.count));
+      continue;
+    }
+    if (s.value == 0.0) continue;
+    out += (out.empty() ? "" : " ") + s.name + render_labels(s.labels) + "=" +
+           format_number(s.value);
+  }
+  return out.empty() ? "(no recorded metrics)" : out;
+}
+
+void registry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, fam] : families_) {
+    (void)name;
+    for (auto& [key, s] : fam.by_labels) {
+      (void)key;
+      if (s.c) s.c->reset();
+      if (s.g) s.g->reset();
+      if (s.h) s.h->reset();
+    }
+  }
+}
+
+}  // namespace boson::obs

@@ -1,0 +1,165 @@
+/// \file metrics.h
+/// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+/// histograms backed by relaxed atomics, cheap enough to live on solver hot
+/// paths. Series are identified by a metric name plus an optional label set
+/// (`{"endpoint","events"}, {"class","2xx"}`); the registry hands out stable
+/// references, so hot paths resolve a series once (function-local static)
+/// and afterwards pay one relaxed atomic op per update.
+///
+/// Exposition: `to_prometheus()` renders the whole registry in the
+/// Prometheus text format (histograms as `_bucket`/`_sum`/`_count` series,
+/// dotted names mapped to `boson_*` underscore names), `samples()` returns a
+/// typed snapshot for JSON rendering, and `digest()` is the one-line
+/// shutdown summary `boson_serve` logs on SIGTERM. The registry is
+/// dependency-free (common only) so every module above `common` can record
+/// into it.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace boson::obs {
+
+/// Label set of one series, rendered in the given order ([{k,v},...]).
+using label_set = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic event count. All operations are relaxed atomics: totals are
+/// exact, ordering against other memory is not implied.
+class counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value (queue depth, cache entries).
+class gauge {
+ public:
+  void set(double v) { bits_.store(pack(v), std::memory_order_relaxed); }
+  void add(double delta);
+  double value() const { return unpack(bits_.load(std::memory_order_relaxed)); }
+  void reset() { set(0.0); }
+
+ private:
+  static std::uint64_t pack(double v);
+  static double unpack(std::uint64_t bits);
+  std::atomic<std::uint64_t> bits_{0};  // 0 packs 0.0
+};
+
+/// Fixed-bucket histogram: `bounds` are the inclusive upper edges of the
+/// finite buckets (strictly increasing); one implicit +Inf bucket catches
+/// the tail. `observe` is one bucket search plus three relaxed atomic ops.
+class histogram {
+ public:
+  explicit histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  struct snapshot_t {
+    std::vector<double> bounds;        ///< finite upper edges
+    std::vector<std::uint64_t> counts; ///< bounds.size()+1 buckets (last: +Inf)
+    std::uint64_t count = 0;           ///< total observations
+    double sum = 0.0;                  ///< sum of observed values
+  };
+  snapshot_t snapshot() const;
+  void reset();
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Default latency buckets in seconds: 10 us .. 30 s, roughly
+  /// logarithmic — fits both solver kernels and HTTP round trips.
+  static std::vector<double> latency_buckets_seconds();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{0};
+};
+
+enum class metric_kind { counter, gauge, histogram };
+
+/// One series of the registry snapshot.
+struct metric_sample {
+  std::string name;
+  label_set labels;
+  metric_kind kind = metric_kind::counter;
+  double value = 0.0;              ///< counter / gauge
+  histogram::snapshot_t hist;      ///< kind == histogram only
+};
+
+/// Thread-safe registry of named metric families. Lookup takes a mutex;
+/// the returned references stay valid (and lock-free to update) for the
+/// registry's lifetime, including across `reset()`.
+class registry {
+ public:
+  registry() = default;
+  registry(const registry&) = delete;
+  registry& operator=(const registry&) = delete;
+
+  /// The process-wide registry every subsystem records into.
+  static registry& global();
+
+  /// Find or create a series. A name registered under one kind cannot be
+  /// re-registered under another (`bad_argument`). The first histogram
+  /// registration of a name fixes its bucket bounds; `bounds` empty means
+  /// `latency_buckets_seconds()`.
+  counter& get_counter(const std::string& name, const label_set& labels = {});
+  gauge& get_gauge(const std::string& name, const label_set& labels = {});
+  histogram& get_histogram(const std::string& name, const label_set& labels = {},
+                           const std::vector<double>& bounds = {});
+
+  /// Typed snapshot of every series, sorted by (name, labels).
+  std::vector<metric_sample> samples() const;
+
+  /// Sum of one counter family across its label sets (0 when absent).
+  std::uint64_t counter_total(const std::string& name) const;
+
+  /// Prometheus text exposition of the whole registry. Dotted metric names
+  /// become `boson_`-prefixed underscore names; histogram series get the
+  /// `_bucket{le=...}` / `_sum` / `_count` expansion.
+  std::string to_prometheus() const;
+
+  /// One-line digest of every non-zero counter and gauge (shutdown logs).
+  std::string digest() const;
+
+  /// Zero every value; series stay registered and references stay valid.
+  void reset();
+
+ private:
+  struct series {
+    std::unique_ptr<counter> c;
+    std::unique_ptr<gauge> g;
+    std::unique_ptr<histogram> h;
+    label_set labels;
+  };
+  struct family {
+    metric_kind kind = metric_kind::counter;
+    std::map<std::string, series> by_labels;  ///< key: rendered label string
+  };
+
+  family& family_of(const std::string& name, metric_kind kind);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, family> families_;
+};
+
+/// `name{k="v",...}` (or just `name`) — the rendered series identity used by
+/// the exposition formats and the registry's internal keys.
+std::string render_labels(const label_set& labels);
+
+/// Prometheus-legal name: non-[a-zA-Z0-9_] mapped to '_', prefixed with
+/// `boson_` unless already so prefixed.
+std::string prometheus_name(const std::string& name);
+
+}  // namespace boson::obs

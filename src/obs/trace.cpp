@@ -1,0 +1,185 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace boson::obs {
+
+namespace {
+
+std::atomic<trace_collector*> global_collector{nullptr};
+std::atomic<std::uint64_t> next_span_id{1};
+
+thread_local trace_collector* thread_collector = nullptr;
+thread_local std::uint64_t current_parent = 0;
+
+const std::chrono::steady_clock::time_point process_start =
+    std::chrono::steady_clock::now();
+
+trace_collector* active_sink() {
+  if (thread_collector != nullptr) return thread_collector;
+  return global_collector.load(std::memory_order_acquire);
+}
+
+/// JSON string escaping for the two exporters (control chars, quote,
+/// backslash).
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string render_args(const trace_event& e) {
+  std::string out = "{\"span_id\":" + std::to_string(e.id) +
+                    ",\"parent_id\":" + std::to_string(e.parent);
+  for (const auto& [k, v] : e.args)
+    out += ",\"" + escape_json(k) + "\":\"" + escape_json(v) + "\"";
+  out += "}";
+  return out;
+}
+
+std::string render_event(const trace_event& e) {
+  return "{\"name\":\"" + escape_json(e.name) + "\",\"cat\":\"" +
+         escape_json(e.category.empty() ? "boson" : e.category) +
+         "\",\"ph\":\"X\",\"ts\":" + std::to_string(e.start_us) +
+         ",\"dur\":" + std::to_string(e.duration_us) +
+         ",\"pid\":1,\"tid\":" + std::to_string(e.tid) +
+         ",\"args\":" + render_args(e) + "}";
+}
+
+void write_text(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw io_error("cannot open trace file for writing: " + path);
+  out << text;
+  if (!out) throw io_error("failed writing trace file: " + path);
+}
+
+}  // namespace
+
+std::int64_t trace_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - process_start)
+      .count();
+}
+
+// --------------------------------------------------------- trace_collector ----
+
+void trace_collector::record(trace_event event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<trace_event> trace_collector::events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::size_t trace_collector::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void trace_collector::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+std::string trace_collector::to_chrome_json() const {
+  const std::vector<trace_event> all = events();
+  std::string out = "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\n" + render_event(all[i]);
+  }
+  out += all.empty() ? "]" : "\n]";
+  out += ",\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+std::string trace_collector::to_ndjson() const {
+  const std::vector<trace_event> all = events();
+  std::string out;
+  for (const trace_event& e : all) out += render_event(e) + "\n";
+  return out;
+}
+
+void trace_collector::write_chrome_json(const std::string& path) const {
+  write_text(path, to_chrome_json());
+}
+
+void trace_collector::write_ndjson(const std::string& path) const {
+  write_text(path, to_ndjson());
+}
+
+// ------------------------------------------------------------------- sinks ----
+
+void set_global_trace(trace_collector* collector) {
+  global_collector.store(collector, std::memory_order_release);
+}
+
+trace_collector* global_trace() {
+  return global_collector.load(std::memory_order_acquire);
+}
+
+bool tracing_active() { return active_sink() != nullptr; }
+
+scoped_trace_sink::scoped_trace_sink(trace_collector* collector)
+    : previous_(thread_collector), previous_parent_(current_parent) {
+  thread_collector = collector;
+  current_parent = 0;
+}
+
+scoped_trace_sink::~scoped_trace_sink() {
+  thread_collector = previous_;
+  current_parent = previous_parent_;
+}
+
+// -------------------------------------------------------------------- span ----
+
+span::span(std::string name, std::string category) {
+  sink_ = active_sink();
+  if (sink_ == nullptr) return;
+  event_.name = std::move(name);
+  event_.category = std::move(category);
+  event_.id = next_span_id.fetch_add(1, std::memory_order_relaxed);
+  event_.parent = current_parent;
+  event_.tid = static_cast<std::uint32_t>(thread_ordinal());
+  event_.start_us = trace_now_us();
+  current_parent = event_.id;
+}
+
+span::~span() {
+  if (sink_ == nullptr) return;
+  event_.duration_us = trace_now_us() - event_.start_us;
+  current_parent = event_.parent;
+  sink_->record(std::move(event_));
+}
+
+void span::arg(const std::string& key, std::string value) {
+  if (sink_ == nullptr) return;
+  event_.args.emplace_back(key, std::move(value));
+}
+
+}  // namespace boson::obs

@@ -1,0 +1,116 @@
+/// \file trace.h
+/// Span-based tracing: an RAII `span` measures one named region, records its
+/// parent span (per-thread linkage), and lands in whichever
+/// `trace_collector` is active for the recording thread. Collectors are
+/// thread-safe buffers with two export formats — Chrome `trace_event` JSON
+/// (load the file in chrome://tracing or Perfetto) and NDJSON (one event per
+/// line, greppable).
+///
+/// Sink selection: a thread-local collector (installed by
+/// `scoped_trace_sink`, e.g. the scheduler's per-job trace buffer) takes
+/// precedence over the process-global collector (`set_global_trace`, e.g.
+/// `boson_cli --trace <file>`). With neither installed a span is two loads
+/// and no allocation — cheap enough to leave compiled into solver paths.
+///
+/// Spans created on a *different* thread than the one that installed a
+/// scoped sink (a `parallel_for` fan-out inside a traced job) fall through
+/// to the global collector; per-job traces therefore cover the job's own
+/// thread, which is where the scheduler runs the whole session.
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace boson::obs {
+
+/// One completed span. Times are microseconds on the process-wide steady
+/// timebase (`trace_now_us`); `tid` is `boson::thread_ordinal()`.
+struct trace_event {
+  std::string name;
+  std::string category;
+  std::uint64_t id = 0;      ///< unique per process, never 0
+  std::uint64_t parent = 0;  ///< enclosing span on the same thread; 0 = root
+  std::int64_t start_us = 0;
+  std::int64_t duration_us = 0;
+  std::uint32_t tid = 0;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Microseconds since process start (steady clock) — the span timebase.
+std::int64_t trace_now_us();
+
+/// Thread-safe span buffer with Chrome/NDJSON export.
+class trace_collector {
+ public:
+  void record(trace_event event);
+
+  std::vector<trace_event> events() const;
+  std::size_t size() const;
+  void clear();
+
+  /// Chrome trace_event JSON: {"traceEvents":[{"ph":"X",...},...]}. Span
+  /// ids/parents ride in each event's "args" so the linkage survives the
+  /// format.
+  std::string to_chrome_json() const;
+
+  /// One JSON object per line: name, cat, id, parent, ts_us, dur_us, tid,
+  /// args. Every line parses standalone.
+  std::string to_ndjson() const;
+
+  /// Write an export to `path` (throws `io_error` on failure).
+  void write_chrome_json(const std::string& path) const;
+  void write_ndjson(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<trace_event> events_;
+};
+
+/// Install / read the process-global collector (nullptr disables). The
+/// caller keeps ownership; uninstall before destroying the collector.
+void set_global_trace(trace_collector* collector);
+trace_collector* global_trace();
+
+/// True when a span created on this thread right now would be recorded.
+bool tracing_active();
+
+/// Install a thread-local collector for a scope (the per-job trace buffer):
+/// spans on this thread go to `collector` until destruction, and parent
+/// linkage restarts at a fresh root. Nestable; restores the previous sink.
+class scoped_trace_sink {
+ public:
+  explicit scoped_trace_sink(trace_collector* collector);
+  ~scoped_trace_sink();
+  scoped_trace_sink(const scoped_trace_sink&) = delete;
+  scoped_trace_sink& operator=(const scoped_trace_sink&) = delete;
+
+ private:
+  trace_collector* previous_;
+  std::uint64_t previous_parent_;
+};
+
+/// RAII span: measures construction-to-destruction, parented under the
+/// enclosing span of the same thread. No-op (two loads) when no collector
+/// is active at construction.
+class span {
+ public:
+  explicit span(std::string name, std::string category = "");
+  ~span();
+  span(const span&) = delete;
+  span& operator=(const span&) = delete;
+
+  /// Attach a key/value to the span (ignored when the span is inactive).
+  void arg(const std::string& key, std::string value);
+
+  bool active() const { return sink_ != nullptr; }
+
+ private:
+  trace_collector* sink_ = nullptr;
+  trace_event event_;
+};
+
+}  // namespace boson::obs

@@ -10,9 +10,12 @@
 #include <thread>
 #include <utility>
 
+#include "common/env.h"
 #include "common/log.h"
 #include "common/timer.h"
 #include "core/methods.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/checkpoint.h"
 #include "runtime/journal.h"
 
@@ -21,6 +24,31 @@ namespace boson::runtime {
 namespace {
 
 namespace fs = std::filesystem;
+
+/// Scheduler counters and gauges in the process-wide obs registry; resolved
+/// once, relaxed-atomic to update.
+struct sched_metrics_block {
+  obs::gauge& queue_depth;
+  obs::counter& completed;
+  obs::counter& failed;
+  obs::counter& cancelled;
+  obs::counter& claimed;
+  obs::counter& stolen;
+  obs::counter& lost;
+};
+
+sched_metrics_block& sched_metrics() {
+  auto& reg = obs::registry::global();
+  static sched_metrics_block block{
+      reg.get_gauge("runtime.scheduler.queue_depth"),
+      reg.get_counter("runtime.scheduler.jobs_completed"),
+      reg.get_counter("runtime.scheduler.jobs_failed"),
+      reg.get_counter("runtime.scheduler.jobs_cancelled"),
+      reg.get_counter("runtime.scheduler.leases_claimed"),
+      reg.get_counter("runtime.scheduler.leases_stolen"),
+      reg.get_counter("runtime.scheduler.leases_lost")};
+  return block;
+}
 
 /// Observer each attempt runs under: forwards to the worker's inner observer
 /// and, at every iteration/stage boundary,
@@ -128,6 +156,7 @@ scheduler_report scheduler::run() {
   // still stops it).
   cancel_.store(false);
   const scheduler_settings settings = effective_settings();
+  const bool tracing = options_.trace || env_int("BOSON_TRACE", 0) != 0;
   fs::create_directories(fs::path(options_.campaign_dir) / "jobs");
 
   const std::vector<campaign_job> all_jobs = spec_.expand();
@@ -195,13 +224,21 @@ scheduler_report scheduler::run() {
     for (std::size_t try_index = 0; try_index <= settings.max_retries; ++try_index) {
       if (try_index > 0) {
         // The failed record released the lease; win it back for the retry.
-        std::optional<job_lease> again = manager.claim(job.index, job.name);
+        std::optional<job_lease> again;
+        {
+          obs::span lease_sp("job.lease", "runtime");
+          if (lease_sp.active()) lease_sp.arg("job", job.name);
+          again = manager.claim(job.index, job.name);
+        }
         if (!again) {
+          sched_metrics().lost.inc();
           const std::lock_guard<std::mutex> lock(report_mutex);
           ++report.lost;  // another worker took (or finished) the retry
           return;
         }
         lease = *again;
+        sched_metrics().claimed.inc();
+        if (lease.stolen) sched_metrics().stolen.inc();
         const std::lock_guard<std::mutex> lock(report_mutex);
         ++report.claimed;
         if (lease.stolen) ++report.stolen;
@@ -213,6 +250,9 @@ scheduler_report scheduler::run() {
       if (settings.checkpoint_every > 0) {
         control.checkpoint_every = settings.checkpoint_every;
         control.on_checkpoint = [&](const core::run_checkpoint& ck) {
+          obs::span ck_sp("job.checkpoint", "runtime");
+          if (ck_sp.active())
+            ck_sp.arg("iteration", std::to_string(ck.next_iteration));
           save_checkpoint(dir, job.name, ck);
           journal_event(job, job_state::checkpointed, attempt,
                         "iteration " + std::to_string(ck.next_iteration) + "/" +
@@ -272,14 +312,23 @@ scheduler_report scheduler::run() {
 
       const stopwatch job_sw;
       try {
-        const api::experiment_result result =
-            options_.executor ? options_.executor(job, control, &guard)
-                              : execute_with_session(job, control, &guard);
+        api::experiment_result result;
+        {
+          obs::span run_sp("job.run", "runtime");
+          if (run_sp.active()) {
+            run_sp.arg("job", job.name);
+            run_sp.arg("attempt", std::to_string(attempt));
+            run_sp.arg("worker", manager.worker());
+          }
+          result = options_.executor ? options_.executor(job, control, &guard)
+                                     : execute_with_session(job, control, &guard);
+        }
         // Commit protocol: prove the lease is still ours, then row first,
         // then the journal — "completed" implies stored, and a worker that
         // lost its lease mid-run forfeits instead of double-reporting (the
         // stealer's bit-identical resumed result is the one that lands).
         if (!manager.still_owner(lease)) {
+          sched_metrics().lost.inc();
           const std::lock_guard<std::mutex> lock(report_mutex);
           ++report.lost;
           return;
@@ -287,11 +336,16 @@ scheduler_report scheduler::run() {
         if (faults != nullptr)
           faults->hit(fault_point::before_result, job.index, job.name, attempt);
         const job_result_row row = make_row(job, result, attempt, job_sw.seconds());
-        store.append(row);
-        journal_event(job, job_state::completed, attempt, "", row.seconds, &lease);
+        {
+          obs::span commit_sp("job.commit", "runtime");
+          if (commit_sp.active()) commit_sp.arg("job", job.name);
+          store.append(row);
+          journal_event(job, job_state::completed, attempt, "", row.seconds, &lease);
+        }
         std::error_code ec;
         fs::remove(snapshot, ec);
         fs::remove(fs::path(dir) / "checkpoint.pgm", ec);
+        sched_metrics().completed.inc();
         const std::lock_guard<std::mutex> lock(report_mutex);
         ++report.completed;
         report.rows.push_back(row);
@@ -301,6 +355,7 @@ scheduler_report scheduler::run() {
         // job up; the checkpoint stays for them (or a later resume).
         journal_event(job, job_state::cancelled, attempt, e.what(), job_sw.seconds(),
                       &lease);
+        sched_metrics().cancelled.inc();
         const std::lock_guard<std::mutex> lock(report_mutex);
         ++report.cancelled;
         return;  // cancellation is not a failure: no retry
@@ -308,6 +363,7 @@ scheduler_report scheduler::run() {
         // The job is someone else's now — nothing to journal (our lease
         // fields would resolve as void anyway).
         log_warn("scheduler: ", e.what(), "; abandoning the attempt");
+        sched_metrics().lost.inc();
         const std::lock_guard<std::mutex> lock(report_mutex);
         ++report.lost;
         return;
@@ -332,6 +388,7 @@ scheduler_report scheduler::run() {
         journal_event(job, job_state::failed, attempt, e.what(), job_sw.seconds(),
                       &lease);
         if (try_index == settings.max_retries) {
+          sched_metrics().failed.inc();
           const std::lock_guard<std::mutex> lock(report_mutex);
           ++report.failed;
           report.errors.push_back(job.name + ": " + e.what());
@@ -351,9 +408,25 @@ scheduler_report scheduler::run() {
     while (!cancel_.load()) {
       const std::size_t i = next.fetch_add(1);
       if (i >= pending.size()) break;
+      sched_metrics().queue_depth.set(
+          static_cast<double>(pending.size() - std::min(i + 1, pending.size())));
       const campaign_job& job = *pending[i];
       try {
-        std::optional<job_lease> lease = manager.claim(job.index, job.name);
+        // Per-job trace buffer: spans recorded on this thread while the job
+        // runs (lease, run, checkpoints, commit, and the sim spans beneath
+        // them) land in a `trace.json` artifact next to summary.json.
+        std::unique_ptr<obs::trace_collector> job_trace;
+        std::unique_ptr<obs::scoped_trace_sink> trace_sink;
+        if (tracing) {
+          job_trace = std::make_unique<obs::trace_collector>();
+          trace_sink = std::make_unique<obs::scoped_trace_sink>(job_trace.get());
+        }
+        std::optional<job_lease> lease;
+        {
+          obs::span lease_sp("job.lease", "runtime");
+          if (lease_sp.active()) lease_sp.arg("job", job.name);
+          lease = manager.claim(job.index, job.name);
+        }
         if (!lease) {
           // Done, live-leased elsewhere (including by a sibling thread of
           // this worker), or a lost claim race. Never wait on another
@@ -364,6 +437,8 @@ scheduler_report scheduler::run() {
           else ++report.left_leased;
           continue;
         }
+        sched_metrics().claimed.inc();
+        if (lease->stolen) sched_metrics().stolen.inc();
         {
           const std::lock_guard<std::mutex> lock(report_mutex);
           ++report.claimed;
@@ -375,6 +450,12 @@ scheduler_report scheduler::run() {
         if (faults != nullptr)
           faults->hit(fault_point::after_lease, job.index, job.name, lease->attempt);
         run_leased_job(job, *lease, inner);
+        if (job_trace != nullptr && job_trace->size() > 0) {
+          trace_sink.reset();  // stop recording before the export
+          const std::string dir = job_directory(options_.campaign_dir, job.name);
+          fs::create_directories(dir);
+          job_trace->write_chrome_json((fs::path(dir) / "trace.json").string());
+        }
       } catch (const std::exception& e) {
         // Journal/store IO died: stop the campaign rather than run jobs
         // whose outcomes cannot be made durable.
@@ -390,6 +471,7 @@ scheduler_report scheduler::run() {
   workers.reserve(worker_count);
   for (std::size_t w = 0; w < worker_count; ++w) workers.emplace_back(worker_main, w);
   for (std::thread& t : workers) t.join();
+  sched_metrics().queue_depth.set(0.0);
 
   report.wall_seconds = sw.seconds();
   log_info("scheduler[", spec_.name, " ", manager.worker(), "]: ",

@@ -87,6 +87,11 @@ struct scheduler_options {
 
   bool write_artifacts = true;
 
+  /// Capture a span trace per job attempt and write it as a Chrome
+  /// `trace.json` artifact next to the job's summary.json. Also enabled
+  /// process-wide by the BOSON_TRACE environment variable.
+  bool trace = false;
+
   /// Shared progress receiver; must be thread-safe (see `api::observer`).
   /// nullptr: each worker logs through a worker-prefixed `log_observer`.
   api::observer* watcher = nullptr;

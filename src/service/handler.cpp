@@ -7,9 +7,11 @@
 /// via `http_error`, which the transport also applies to handler throws).
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.h"
 #include "service/service.h"
 #include "sim/backend.h"
 #include "sim/cache.h"
@@ -17,6 +19,44 @@
 namespace boson::service {
 
 namespace {
+
+/// Low-cardinality endpoint label of a request path — route shapes, never
+/// raw paths, so hostile URLs cannot mint unbounded metric series.
+std::string endpoint_label(const std::string& path) {
+  if (path == "/healthz") return "healthz";
+  if (path == "/v1/metrics") return "metrics";
+  if (path == "/v1/campaigns") return "campaigns";
+  const std::string prefix = "/v1/campaigns/";
+  if (path.rfind(prefix, 0) == 0) {
+    const std::string rest = path.substr(prefix.size());
+    const std::size_t slash = rest.find('/');
+    if (slash == std::string::npos) return "campaign";
+    const std::string action = rest.substr(slash + 1);
+    if (action == "jobs" || action == "events" || action == "report" ||
+        action == "cancel")
+      return "campaign." + action;
+    return "campaign.unknown";
+  }
+  return "unknown";
+}
+
+const char* status_class(int status) {
+  if (status >= 500) return "5xx";
+  if (status >= 400) return "4xx";
+  if (status >= 300) return "3xx";
+  return "2xx";
+}
+
+/// One request into the obs registry: a per-endpoint × status-class counter
+/// and a per-endpoint latency histogram.
+void record_request(const std::string& endpoint, int status, double seconds) {
+  auto& reg = obs::registry::global();
+  reg.get_counter("http.requests_total",
+                  {{"endpoint", endpoint}, {"class", status_class(status)}})
+      .inc();
+  reg.get_histogram("http.request_seconds", {{"endpoint", endpoint}})
+      .observe(seconds);
+}
 
 /// Tenant selection: the X-Boson-Tenant header, defaulting to "default".
 std::string tenant_of(const net::http_request& req) {
@@ -94,7 +134,7 @@ io::json_value metrics_json(const service_metrics& m) {
   jobs["live_leases"] = m.live_leases;
   jobs["completed"] = m.jobs_completed;
   jobs["run_seconds"] = m.run_seconds;
-  jobs["jobs_per_second"] = m.jobs_per_second;
+  jobs["jobs_per_second"] = m.jobs_per_second();
 
   v["requests"] = m.requests;
 
@@ -122,96 +162,152 @@ io::json_value metrics_json(const service_metrics& m) {
 }  // namespace
 
 net::http_handler campaign_service::handler() {
+  // The instrumented wrapper: route the request, then record its endpoint,
+  // status class, and latency — also when the route throws, using the same
+  // exception -> status mapping as the transport (http_server), so 4xx abuse
+  // traffic is distinguishable from served load.
   return [this](const net::http_request& req) -> net::http_response {
-    requests_.fetch_add(1);
-
-    if (req.path == "/healthz") {
-      require_method(req, "GET");
-      io::json_value v = io::json_value::object();
-      v["status"] = "ok";
-      return json_response(200, v);
+    const auto started = std::chrono::steady_clock::now();
+    const std::string endpoint = endpoint_label(req.path);
+    const auto record = [&](int status) {
+      record_request(endpoint, status,
+                     std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - started)
+                         .count());
+    };
+    try {
+      net::http_response res = route(req);
+      record(res.status);
+      return res;
+    } catch (const net::http_error& e) {
+      record(e.status());
+      throw;
+    } catch (const bad_argument&) {
+      record(400);
+      throw;
+    } catch (...) {
+      record(500);
+      throw;
     }
-    if (req.path == "/v1/metrics") {
-      require_method(req, "GET");
-      return json_response(200, metrics_json(metrics()));
+  };
+}
+
+net::http_response campaign_service::route(const net::http_request& req) {
+  if (req.path == "/healthz") {
+    require_method(req, "GET");
+    io::json_value v = io::json_value::object();
+    v["status"] = "ok";
+    return json_response(200, v);
+  }
+  if (req.path == "/v1/metrics") {
+    require_method(req, "GET");
+    const auto format = req.query.find("format");
+    if (format != req.query.end() && format->second == "prometheus") {
+      // Publish the registry-external service counters as gauges at scrape
+      // time, then render the whole registry — sim/runtime counters, the
+      // request histograms, and these service-level series in one page.
+      // Touch the sim families first so the migrated counters are on the
+      // page even before any simulation has run in this process.
+      (void)sim::engine_cache::global().stats();
+      (void)sim::reuse_statistics();
+      const service_metrics m = metrics();
+      auto& reg = obs::registry::global();
+      reg.get_gauge("service.campaigns_queued").set(static_cast<double>(m.campaigns_queued));
+      reg.get_gauge("service.campaigns_running").set(static_cast<double>(m.campaigns_running));
+      reg.get_gauge("service.campaigns_done").set(static_cast<double>(m.campaigns_done));
+      reg.get_gauge("service.campaigns_failed").set(static_cast<double>(m.campaigns_failed));
+      reg.get_gauge("service.campaigns_cancelled").set(static_cast<double>(m.campaigns_cancelled));
+      reg.get_gauge("service.live_leases").set(static_cast<double>(m.live_leases));
+      reg.get_gauge("service.jobs_completed").set(static_cast<double>(m.jobs_completed));
+      reg.get_gauge("service.run_seconds").set(m.run_seconds);
+      reg.get_gauge("service.jobs_per_second").set(m.jobs_per_second());
+
+      net::http_response res;
+      res.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      res.body = reg.to_prometheus();
+      return res;
     }
+    if (format != req.query.end() && format->second != "json")
+      throw net::http_error(400, "unknown metrics format '" + format->second +
+                                     "' (expected json or prometheus)");
+    return json_response(200, metrics_json(metrics()));
+  }
 
-    if (req.path == "/v1/campaigns") {
-      const std::string tenant = tenant_of(req);
-      if (req.method == "POST") {
-        try {
-          const campaign_record record = submit(tenant, parse_spec(req));
-          return json_response(201, record.to_json());
-        } catch (const quota_error& e) {
-          throw net::http_error(429, e.what());
-        }
+  if (req.path == "/v1/campaigns") {
+    const std::string tenant = tenant_of(req);
+    if (req.method == "POST") {
+      try {
+        const campaign_record record = submit(tenant, parse_spec(req));
+        return json_response(201, record.to_json());
+      } catch (const quota_error& e) {
+        throw net::http_error(429, e.what());
       }
-      require_method(req, "GET");
-      io::json_value arr = io::json_value::array();
-      for (const campaign_record& r : list(tenant)) arr.push_back(r.to_json());
-      io::json_value v = io::json_value::object();
-      v["campaigns"] = std::move(arr);
-      return json_response(200, v);
     }
+    require_method(req, "GET");
+    io::json_value arr = io::json_value::array();
+    for (const campaign_record& r : list(tenant)) arr.push_back(r.to_json());
+    io::json_value v = io::json_value::object();
+    v["campaigns"] = std::move(arr);
+    return json_response(200, v);
+  }
 
-    const std::string prefix = "/v1/campaigns/";
-    if (req.path.rfind(prefix, 0) == 0) {
-      const std::string tenant = tenant_of(req);
-      const std::string rest = req.path.substr(prefix.size());
-      const std::size_t slash = rest.find('/');
-      const std::string id = rest.substr(0, slash);
-      const std::string action =
-          slash == std::string::npos ? "" : rest.substr(slash + 1);
-      if (id.empty()) throw net::http_error(404, "missing campaign id");
+  const std::string prefix = "/v1/campaigns/";
+  if (req.path.rfind(prefix, 0) == 0) {
+    const std::string tenant = tenant_of(req);
+    const std::string rest = req.path.substr(prefix.size());
+    const std::size_t slash = rest.find('/');
+    const std::string id = rest.substr(0, slash);
+    const std::string action =
+        slash == std::string::npos ? "" : rest.substr(slash + 1);
+    if (id.empty()) throw net::http_error(404, "missing campaign id");
 
-      if (action.empty()) {
-        require_method(req, "GET");
-        return json_response(200, status(tenant, id, false).to_json(false));
-      }
-      if (action == "jobs") {
-        require_method(req, "GET");
-        return json_response(200, status(tenant, id, true).to_json(true));
-      }
-      if (action == "events") {
-        require_method(req, "GET");
-        const std::streamoff cursor =
-            static_cast<std::streamoff>(query_number(req, "cursor", 0.0));
-        // Long-poll bound: clients pass wait=<s> (capped well under every
-        // read timeout in the stack) and re-arm with the returned cursor.
-        const double wait = std::min(query_number(req, "wait", 0.0), 30.0);
-        const event_page page = events(tenant, id, cursor, wait);
+    if (action.empty()) {
+      require_method(req, "GET");
+      return json_response(200, status(tenant, id, false).to_json(false));
+    }
+    if (action == "jobs") {
+      require_method(req, "GET");
+      return json_response(200, status(tenant, id, true).to_json(true));
+    }
+    if (action == "events") {
+      require_method(req, "GET");
+      const std::streamoff cursor =
+          static_cast<std::streamoff>(query_number(req, "cursor", 0.0));
+      // Long-poll bound: clients pass wait=<s> (capped well under every
+      // read timeout in the stack) and re-arm with the returned cursor.
+      const double wait = std::min(query_number(req, "wait", 0.0), 30.0);
+      const event_page page = events(tenant, id, cursor, wait);
 
+      net::http_response res;
+      res.content_type = "application/x-ndjson";
+      res.chunked = true;  // one chunk per journal record
+      for (const std::string& line : page.lines) res.body += line + "\n";
+      res.headers.emplace_back("X-Boson-Cursor",
+                               std::to_string(page.next_cursor));
+      return res;
+    }
+    if (action == "report") {
+      require_method(req, "GET");
+      const auto format = req.query.find("format");
+      if (format != req.query.end() && format->second == "text") {
         net::http_response res;
-        res.content_type = "application/x-ndjson";
-        res.chunked = true;  // one chunk per journal record
-        for (const std::string& line : page.lines) res.body += line + "\n";
-        res.headers.emplace_back("X-Boson-Cursor",
-                                 std::to_string(page.next_cursor));
+        res.content_type = "text/plain; charset=utf-8";
+        res.body = report_text(tenant, id);
         return res;
       }
-      if (action == "report") {
-        require_method(req, "GET");
-        const auto format = req.query.find("format");
-        if (format != req.query.end() && format->second == "text") {
-          net::http_response res;
-          res.content_type = "text/plain; charset=utf-8";
-          res.body = report_text(tenant, id);
-          return res;
-        }
-        if (format != req.query.end() && format->second != "json")
-          throw net::http_error(400, "unknown report format '" + format->second +
-                                         "' (expected json or text)");
-        return json_response(200, report_json(tenant, id));
-      }
-      if (action == "cancel") {
-        require_method(req, "POST");
-        return json_response(200, cancel(tenant, id).to_json());
-      }
-      throw net::http_error(404, "unknown campaign action '" + action + "'");
+      if (format != req.query.end() && format->second != "json")
+        throw net::http_error(400, "unknown report format '" + format->second +
+                                       "' (expected json or text)");
+      return json_response(200, report_json(tenant, id));
     }
+    if (action == "cancel") {
+      require_method(req, "POST");
+      return json_response(200, cancel(tenant, id).to_json());
+    }
+    throw net::http_error(404, "unknown campaign action '" + action + "'");
+  }
 
-    throw net::http_error(404, "no route for '" + req.path + "'");
-  };
+  throw net::http_error(404, "no route for '" + req.path + "'");
 }
 
 }  // namespace boson::service

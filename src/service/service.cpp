@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/log.h"
+#include "obs/metrics.h"
 #include "runtime/journal.h"
 #include "runtime/lease.h"
 #include "runtime/result_store.h"
@@ -388,10 +389,10 @@ service_metrics campaign_service::metrics() const {
     m.jobs_completed = jobs_completed_;
     m.run_seconds = run_seconds_;
   }
-  m.jobs_per_second = m.run_seconds > 0.0
-                          ? static_cast<double>(m.jobs_completed) / m.run_seconds
-                          : 0.0;
-  m.requests = requests_.load();
+  // Control-plane request total: the sum over the per-endpoint ×
+  // status-class counters the handler records into the obs registry.
+  m.requests = static_cast<std::size_t>(
+      obs::registry::global().counter_total("http.requests_total"));
   return m;
 }
 

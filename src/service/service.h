@@ -83,8 +83,14 @@ struct service_metrics {
   std::size_t live_leases = 0;        ///< live-leased jobs across running campaigns
   std::size_t jobs_completed = 0;     ///< by in-process runners, service lifetime
   double run_seconds = 0.0;           ///< scheduler wall time behind those jobs
-  double jobs_per_second = 0.0;       ///< jobs_completed / run_seconds
   std::size_t requests = 0;           ///< control-plane requests handled
+
+  /// Derived at read time from the counters above, so a snapshot can never
+  /// carry a stale precomputed rate.
+  double jobs_per_second() const {
+    return run_seconds > 0.0 ? static_cast<double>(jobs_completed) / run_seconds
+                             : 0.0;
+  }
 };
 
 class campaign_service {
@@ -126,7 +132,10 @@ class campaign_service {
   /// nonzero count with no campaign running means a dangling pointer.
   std::size_t active_runs() const;
 
-  /// The full JSON control plane as one transport-agnostic handler.
+  /// The full JSON control plane as one transport-agnostic handler. The
+  /// handler wraps `route` with request telemetry: per-endpoint ×
+  /// status-class counters and per-endpoint latency histograms in the
+  /// process-wide obs registry.
   net::http_handler handler();
 
   campaign_registry& registry() { return registry_; }
@@ -136,6 +145,10 @@ class campaign_service {
   /// Resolve (tenant, id) to its record or throw the proper http_error
   /// (404 for unknown tenant/id).
   campaign_record resolve(const std::string& tenant, const std::string& id) const;
+
+  /// Dispatch one request to the matching control-plane operation (the
+  /// uninstrumented core of `handler()`).
+  net::http_response route(const net::http_request& req);
 
   void runner_loop();
   void run_campaign(const campaign_record& record);
@@ -170,7 +183,6 @@ class campaign_service {
   mutable std::mutex metrics_mutex_;
   std::size_t jobs_completed_ = 0;
   double run_seconds_ = 0.0;
-  std::atomic<std::size_t> requests_{0};
 };
 
 }  // namespace boson::service

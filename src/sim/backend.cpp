@@ -8,6 +8,8 @@
 #include "common/env.h"
 #include "common/error.h"
 #include "fdfd/solver.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "linalg/vec.h"
 #include "sim/engine.h"
 #include "sparse/banded.h"
@@ -20,53 +22,63 @@ bool operator_reuse_enabled() { return env_int("BOSON_SIM_REUSE", 1) != 0; }
 
 namespace {
 
+/// The reuse counters live in the process-wide obs registry (so they appear
+/// in /v1/metrics and the Prometheus exposition); series lookup happens once
+/// and the hot-path cost is one relaxed atomic add.
 struct reuse_counter_block {
-  std::atomic<std::size_t> prepares_avoided{0};
-  std::atomic<std::size_t> refinement_solves{0};
-  std::atomic<std::size_t> refinement_iterations{0};
-  std::atomic<std::size_t> fallbacks{0};
-  std::atomic<std::size_t> recycle_guesses{0};
-  std::atomic<std::size_t> solution_reuses{0};
+  obs::counter& prepares_avoided;
+  obs::counter& refinement_solves;
+  obs::counter& refinement_iterations;
+  obs::counter& fallbacks;
+  obs::counter& recycle_guesses;
+  obs::counter& solution_reuses;
 };
 
 reuse_counter_block& counters() {
-  static reuse_counter_block block;
+  auto& reg = obs::registry::global();
+  static reuse_counter_block block{
+      reg.get_counter("sim.reuse.prepares_avoided"),
+      reg.get_counter("sim.reuse.refinement_solves"),
+      reg.get_counter("sim.reuse.refinement_iterations"),
+      reg.get_counter("sim.reuse.fallbacks"),
+      reg.get_counter("sim.reuse.recycle_guesses"),
+      reg.get_counter("sim.reuse.solution_reuses")};
   return block;
 }
 
 }  // namespace
 
 namespace reuse_counter {
-void prepares_avoided(std::size_t n) { counters().prepares_avoided += n; }
+void prepares_avoided(std::size_t n) { counters().prepares_avoided.inc(n); }
 void refinement(std::size_t solves, std::size_t iterations) {
-  counters().refinement_solves += solves;
-  counters().refinement_iterations += iterations;
+  counters().refinement_solves.inc(solves);
+  counters().refinement_iterations.inc(iterations);
 }
-void fallback(std::size_t n) { counters().fallbacks += n; }
-void recycle_guess(std::size_t n) { counters().recycle_guesses += n; }
-void solution_reuse(std::size_t n) { counters().solution_reuses += n; }
+void fallback(std::size_t n) { counters().fallbacks.inc(n); }
+void recycle_guess(std::size_t n) { counters().recycle_guesses.inc(n); }
+void solution_reuse(std::size_t n) { counters().solution_reuses.inc(n); }
 }  // namespace reuse_counter
 
 reuse_stats reuse_statistics() {
   const reuse_counter_block& c = counters();
   reuse_stats s;
-  s.prepares_avoided = c.prepares_avoided.load();
-  s.refinement_solves = c.refinement_solves.load();
-  s.refinement_iterations = c.refinement_iterations.load();
-  s.fallbacks = c.fallbacks.load();
-  s.recycle_guesses = c.recycle_guesses.load();
-  s.solution_reuses = c.solution_reuses.load();
+  s.prepares_avoided = c.prepares_avoided.value();
+  s.refinement_solves = c.refinement_solves.value();
+  s.refinement_iterations = c.refinement_iterations.value();
+  s.fallbacks = c.fallbacks.value();
+  s.recycle_guesses = c.recycle_guesses.value();
+  s.solution_reuses = c.solution_reuses.value();
   return s;
 }
 
 void reset_reuse_statistics() {
   reuse_counter_block& c = counters();
-  c.prepares_avoided = 0;
-  c.refinement_solves = 0;
-  c.refinement_iterations = 0;
-  c.fallbacks = 0;
-  c.recycle_guesses = 0;
-  c.solution_reuses = 0;
+  c.prepares_avoided.reset();
+  c.refinement_solves.reset();
+  c.refinement_iterations.reset();
+  c.fallbacks.reset();
+  c.recycle_guesses.reset();
+  c.solution_reuses.reset();
 }
 
 const char* to_string(backend_kind kind) {
@@ -101,6 +113,7 @@ namespace {
 class banded_backend final : public linear_backend {
  public:
   explicit banded_backend(const fdfd::fdfd_solver& solver) : solver_(solver) {
+    const obs::span sp("sim.factorize", "sim");
     (void)solver_.factorization();  // factor eagerly so solves are thread-safe
   }
 

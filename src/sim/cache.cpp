@@ -7,10 +7,31 @@
 
 #include "common/env.h"
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace boson::sim {
 
 namespace {
+
+/// Process-wide mirrors of the per-instance cache statistics, so cache
+/// behaviour shows up in /v1/metrics and the Prometheus exposition without
+/// a handle on the cache instance.
+struct cache_counter_block {
+  obs::counter& hits;
+  obs::counter& misses;
+  obs::counter& evictions;
+  obs::counter& reuse_hits;
+};
+
+cache_counter_block& cache_counters() {
+  auto& reg = obs::registry::global();
+  static cache_counter_block block{reg.get_counter("sim.engine_cache.hits"),
+                                   reg.get_counter("sim.engine_cache.misses"),
+                                   reg.get_counter("sim.engine_cache.evictions"),
+                                   reg.get_counter("sim.engine_cache.reuse_hits")};
+  return block;
+}
 
 /// FNV-1a over raw bytes; the digest accumulates every field that determines
 /// the prepared operator.
@@ -89,6 +110,7 @@ bool same_operator_family(const simulation_engine& eng, const grid2d& grid,
 
 engine_cache::engine_cache(std::size_t capacity) : capacity_(capacity) {
   require(capacity >= 1, "engine_cache: capacity must be at least 1");
+  cache_counters();  // register the family even before the first acquire()
 }
 
 bool operator_cache_enabled() { return env_int("BOSON_SIM_CACHE", 4) != 0; }
@@ -140,10 +162,12 @@ std::shared_ptr<const simulation_engine> engine_cache::acquire(
     const auto it = index_.find(digest);
     if (it != index_.end() && matches(*it->second, grid, pml, k0, eps, settings)) {
       ++stats_.hits;
+      cache_counters().hits.inc();
       lru_.splice(lru_.begin(), lru_, it->second);  // promote to most-recent
       return it->second->engine;
     }
     ++stats_.misses;
+    cache_counters().misses.inc();
     // A miss may still be close to a cached preparation: the nearby-operator
     // path only needs the nominal factorization, not an exact eps match.
     if (settings.backend == backend_kind::banded && settings.reuse &&
@@ -154,15 +178,23 @@ std::shared_ptr<const simulation_engine> engine_cache::acquire(
   // Build outside the lock: concurrent misses on the same key may duplicate
   // the preparation, but never block each other behind it.
   std::shared_ptr<const simulation_engine> engine;
-  if (nominal != nullptr) {
-    engine = std::make_shared<const simulation_engine>(std::move(nominal), eps);
-    reuse_counter::prepares_avoided();
-  } else {
-    engine = std::make_shared<const simulation_engine>(grid, pml, k0, eps, settings);
+  {
+    obs::span sp("sim.prepare", "sim");
+    if (nominal != nullptr) {
+      if (sp.active()) sp.arg("mode", "nearby_reuse");
+      engine = std::make_shared<const simulation_engine>(std::move(nominal), eps);
+      reuse_counter::prepares_avoided();
+    } else {
+      if (sp.active()) sp.arg("mode", "full");
+      engine = std::make_shared<const simulation_engine>(grid, pml, k0, eps, settings);
+    }
   }
 
   const std::lock_guard<std::mutex> lock(mutex_);
-  if (engine->is_reuse()) ++stats_.reuse_hits;
+  if (engine->is_reuse()) {
+    ++stats_.reuse_hits;
+    cache_counters().reuse_hits.inc();
+  }
   const auto it = index_.find(digest);
   if (it != index_.end()) {
     if (matches(*it->second, grid, pml, k0, eps, settings)) {
@@ -174,6 +206,7 @@ std::shared_ptr<const simulation_engine> engine_cache::acquire(
     lru_.erase(it->second);
     index_.erase(it);
     ++stats_.evictions;
+    cache_counters().evictions.inc();
   }
   lru_.push_front(entry{digest, engine});
   index_[digest] = lru_.begin();
@@ -181,6 +214,7 @@ std::shared_ptr<const simulation_engine> engine_cache::acquire(
     index_.erase(lru_.back().digest);
     lru_.pop_back();
     ++stats_.evictions;
+    cache_counters().evictions.inc();
   }
   return engine;
 }

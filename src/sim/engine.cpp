@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "common/error.h"
+#include "obs/trace.h"
 #include "sim/workspace.h"
 
 namespace boson::sim {
@@ -57,7 +58,15 @@ std::vector<array2d<cplx>> simulation_engine::solve_batch(std::vector<cvec> rhs)
     }
   }
 
-  std::vector<cvec> xs = backend_->solve(rhs);
+  std::vector<cvec> xs;
+  {
+    obs::span sp("sim.solve", "sim");
+    if (sp.active()) {
+      sp.arg("backend", backend_->name());
+      sp.arg("batch", std::to_string(rhs.size()));
+    }
+    xs = backend_->solve(rhs);
+  }
 
   std::vector<array2d<cplx>> fields;
   fields.reserve(xs.size());

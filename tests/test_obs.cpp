@@ -1,0 +1,352 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "io/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace boson {
+namespace {
+
+// -------------------------------------------------------------- counters ----
+
+TEST(obs_counter, increments_and_resets) {
+  obs::counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(obs_counter, concurrent_increments_are_exact) {
+  obs::registry reg;
+  obs::counter& c = reg.get_counter("test.hammer");
+  constexpr std::size_t threads = 8;
+  constexpr std::size_t per_thread = 20000;
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < threads; ++t)
+    pool.emplace_back([&c] {
+      for (std::size_t i = 0; i < per_thread; ++i) c.inc();
+    });
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(c.value(), threads * per_thread);
+}
+
+TEST(obs_gauge, set_and_add) {
+  obs::gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+// ------------------------------------------------------------- histogram ----
+
+TEST(obs_histogram, buckets_values_cumulatively) {
+  obs::histogram h({0.1, 1.0, 10.0});
+  h.observe(0.05);   // <= 0.1
+  h.observe(0.1);    // <= 0.1 (inclusive upper edge)
+  h.observe(0.5);    // <= 1.0
+  h.observe(100.0);  // +Inf
+  const obs::histogram::snapshot_t s = h.snapshot();
+  ASSERT_EQ(s.counts.size(), 4u);
+  EXPECT_EQ(s.counts[0], 2u);
+  EXPECT_EQ(s.counts[1], 1u);
+  EXPECT_EQ(s.counts[2], 0u);
+  EXPECT_EQ(s.counts[3], 1u);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_NEAR(s.sum, 100.65, 1e-9);
+}
+
+TEST(obs_histogram, rejects_bad_bounds) {
+  EXPECT_THROW(obs::histogram({}), bad_argument);
+  EXPECT_THROW(obs::histogram({1.0, 1.0}), bad_argument);
+  EXPECT_THROW(obs::histogram({2.0, 1.0}), bad_argument);
+}
+
+TEST(obs_histogram, concurrent_observations_have_exact_totals) {
+  obs::registry reg;
+  obs::histogram& h = reg.get_histogram("test.lat", {}, {0.5});
+  constexpr std::size_t threads = 8;
+  constexpr std::size_t per_thread = 10000;
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < threads; ++t)
+    pool.emplace_back([&h, t] {
+      // Half the threads land below the bound, half above.
+      const double v = t % 2 == 0 ? 0.25 : 1.0;
+      for (std::size_t i = 0; i < per_thread; ++i) h.observe(v);
+    });
+  for (std::thread& t : pool) t.join();
+  const obs::histogram::snapshot_t s = h.snapshot();
+  EXPECT_EQ(s.count, threads * per_thread);
+  EXPECT_EQ(s.counts[0], threads / 2 * per_thread);
+  EXPECT_EQ(s.counts[1], threads / 2 * per_thread);
+  EXPECT_NEAR(s.sum, (0.25 + 1.0) * (threads / 2 * per_thread), 1e-6);
+}
+
+// -------------------------------------------------------------- registry ----
+
+TEST(obs_registry, series_are_stable_and_kind_checked) {
+  obs::registry reg;
+  obs::counter& a = reg.get_counter("x.count");
+  obs::counter& b = reg.get_counter("x.count");
+  EXPECT_EQ(&a, &b);  // same series, stable reference
+  EXPECT_THROW(reg.get_gauge("x.count"), bad_argument);
+  EXPECT_THROW(reg.get_histogram("x.count"), bad_argument);
+}
+
+TEST(obs_registry, counter_total_sums_label_sets) {
+  obs::registry reg;
+  reg.get_counter("req", {{"class", "2xx"}}).inc(3);
+  reg.get_counter("req", {{"class", "4xx"}}).inc(2);
+  EXPECT_EQ(reg.counter_total("req"), 5u);
+  EXPECT_EQ(reg.counter_total("absent"), 0u);
+}
+
+TEST(obs_registry, reset_zeroes_but_keeps_series) {
+  obs::registry reg;
+  obs::counter& c = reg.get_counter("z");
+  c.inc(7);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(&reg.get_counter("z"), &c);
+}
+
+TEST(obs_registry, prometheus_golden_output) {
+  obs::registry reg;
+  reg.get_counter("http.requests_total", {{"endpoint", "healthz"}, {"class", "2xx"}})
+      .inc(3);
+  reg.get_gauge("queue.depth").set(4.0);
+  obs::histogram& h = reg.get_histogram("req.seconds", {}, {0.1, 1.0});
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(2.0);
+
+  const std::string expected =
+      "# TYPE boson_http_requests_total counter\n"
+      "boson_http_requests_total{endpoint=\"healthz\",class=\"2xx\"} 3\n"
+      "# TYPE boson_queue_depth gauge\n"
+      "boson_queue_depth 4\n"
+      "# TYPE boson_req_seconds histogram\n"
+      "boson_req_seconds_bucket{le=\"0.1\"} 1\n"
+      "boson_req_seconds_bucket{le=\"1\"} 2\n"
+      "boson_req_seconds_bucket{le=\"+Inf\"} 3\n"
+      "boson_req_seconds_sum 2.55\n"
+      "boson_req_seconds_count 3\n";
+  EXPECT_EQ(reg.to_prometheus(), expected);
+}
+
+TEST(obs_registry, prometheus_escapes_label_values) {
+  obs::registry reg;
+  reg.get_counter("esc", {{"k", "a\"b\\c\nd"}}).inc();
+  EXPECT_EQ(reg.to_prometheus(),
+            "# TYPE boson_esc counter\n"
+            "boson_esc{k=\"a\\\"b\\\\c\\nd\"} 1\n");
+}
+
+TEST(obs_registry, digest_lists_nonzero_series) {
+  obs::registry reg;
+  EXPECT_EQ(reg.digest(), "(no recorded metrics)");
+  reg.get_counter("a").inc(2);
+  reg.get_counter("b");  // zero: omitted
+  reg.get_gauge("g").set(1.5);
+  EXPECT_EQ(reg.digest(), "a=2 g=1.5");
+}
+
+TEST(obs_registry, global_is_a_singleton) {
+  EXPECT_EQ(&obs::registry::global(), &obs::registry::global());
+}
+
+// ----------------------------------------------------------------- spans ----
+
+TEST(obs_span, inactive_without_a_sink) {
+  ASSERT_EQ(obs::global_trace(), nullptr);
+  EXPECT_FALSE(obs::tracing_active());
+  obs::span sp("noop");
+  EXPECT_FALSE(sp.active());
+}
+
+TEST(obs_span, records_parent_linkage_and_durations) {
+  obs::trace_collector collector;
+  {
+    const obs::scoped_trace_sink sink(&collector);
+    EXPECT_TRUE(obs::tracing_active());
+    obs::span outer("outer", "test");
+    { obs::span inner("inner", "test"); }
+    { obs::span sibling("sibling", "test"); }
+  }
+  EXPECT_FALSE(obs::tracing_active());
+
+  const std::vector<obs::trace_event> events = collector.events();
+  ASSERT_EQ(events.size(), 3u);  // completion order: inner, sibling, outer
+  const obs::trace_event& inner = events[0];
+  const obs::trace_event& sibling = events[1];
+  const obs::trace_event& outer = events[2];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.parent, 0u);
+  EXPECT_EQ(inner.parent, outer.id);
+  EXPECT_EQ(sibling.parent, outer.id);
+  EXPECT_GE(inner.start_us, outer.start_us);
+  EXPECT_GE(outer.duration_us, inner.duration_us);
+}
+
+TEST(obs_span, scoped_sink_overrides_global_and_restores) {
+  obs::trace_collector global_buf;
+  obs::trace_collector local_buf;
+  obs::set_global_trace(&global_buf);
+  {
+    const obs::scoped_trace_sink sink(&local_buf);
+    obs::span sp("goes-local");
+  }
+  { obs::span sp("goes-global"); }
+  obs::set_global_trace(nullptr);
+
+  ASSERT_EQ(local_buf.size(), 1u);
+  ASSERT_EQ(global_buf.size(), 1u);
+  EXPECT_EQ(local_buf.events()[0].name, "goes-local");
+  EXPECT_EQ(global_buf.events()[0].name, "goes-global");
+}
+
+TEST(obs_trace, chrome_json_is_well_formed) {
+  obs::trace_collector collector;
+  {
+    const obs::scoped_trace_sink sink(&collector);
+    obs::span sp("solve \"x\"", "sim");
+    sp.arg("batch", "4");
+  }
+  const io::json_value doc = io::json_value::parse(collector.to_chrome_json());
+  const std::vector<io::json_value>& events = doc.at("traceEvents").elements();
+  ASSERT_EQ(events.size(), 1u);
+  const io::json_value& e = events[0];
+  EXPECT_EQ(e.at("name").as_string(), "solve \"x\"");
+  EXPECT_EQ(e.at("cat").as_string(), "sim");
+  EXPECT_EQ(e.at("ph").as_string(), "X");
+  EXPECT_GE(e.at("ts").as_number(), 0.0);
+  EXPECT_GE(e.at("dur").as_number(), 0.0);
+  EXPECT_EQ(e.at("args").at("batch").as_string(), "4");
+  EXPECT_GT(e.at("args").at("span_id").as_number(), 0.0);
+}
+
+TEST(obs_trace, ndjson_lines_parse_standalone) {
+  obs::trace_collector collector;
+  {
+    const obs::scoped_trace_sink sink(&collector);
+    obs::span a("a");
+    obs::span b("b");
+  }
+  const std::string ndjson = collector.to_ndjson();
+  std::size_t lines = 0;
+  std::size_t start = 0;
+  while (start < ndjson.size()) {
+    const std::size_t end = ndjson.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    const io::json_value line = io::json_value::parse(ndjson.substr(start, end - start));
+    EXPECT_TRUE(line.at("name").is_string());
+    ++lines;
+    start = end + 1;
+  }
+  EXPECT_EQ(lines, 2u);
+}
+
+TEST(obs_trace, concurrent_spans_from_many_threads) {
+  obs::trace_collector collector;
+  obs::set_global_trace(&collector);
+  constexpr std::size_t threads = 4;
+  constexpr std::size_t per_thread = 500;
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < threads; ++t)
+    pool.emplace_back([] {
+      for (std::size_t i = 0; i < per_thread; ++i) obs::span sp("t");
+    });
+  for (std::thread& t : pool) t.join();
+  obs::set_global_trace(nullptr);
+  EXPECT_EQ(collector.size(), threads * per_thread);
+}
+
+// --------------------------------------------------------- structured log ----
+
+std::vector<std::string>& captured_lines() {
+  static std::vector<std::string> lines;
+  return lines;
+}
+
+void capture_sink(const std::string& line) { captured_lines().push_back(line); }
+
+struct log_capture {
+  log_capture() {
+    captured_lines().clear();
+    previous_level = current_log_level();
+    previous_format = current_log_format();
+    set_log_level(log_level::info);
+    set_log_sink(&capture_sink);
+  }
+  ~log_capture() {
+    set_log_sink(nullptr);
+    set_log_format(previous_format);
+    set_log_level(previous_level);
+  }
+  log_level previous_level;
+  log_format previous_format;
+};
+
+TEST(obs_log, text_lines_carry_ms_timestamp_and_thread_id) {
+  log_capture capture;
+  set_log_format(log_format::text);
+  log_line(log_level::warn, "hello", {{"key", "value"}});
+  ASSERT_EQ(captured_lines().size(), 1u);
+  const std::string& line = captured_lines()[0];
+  // 2026-08-09T12:34:56.789Z [T0] WARN  hello key=value
+  EXPECT_EQ(line[4], '-');
+  EXPECT_EQ(line[10], 'T');
+  EXPECT_EQ(line[19], '.');
+  EXPECT_EQ(line[23], 'Z');
+  EXPECT_NE(line.find(" [T"), std::string::npos);
+  EXPECT_NE(line.find("WARN  hello key=value"), std::string::npos);
+}
+
+TEST(obs_log, json_format_round_trips_through_strict_parser) {
+  log_capture capture;
+  set_log_format(log_format::json);
+  log_line(log_level::info, "solve \"done\"\n",
+           {{"job", "bend/density/s1"}, {"seconds", "1.25"}});
+  ASSERT_EQ(captured_lines().size(), 1u);
+  const io::json_value v = io::json_value::parse(captured_lines()[0]);
+  EXPECT_EQ(v.at("level").as_string(), "info");
+  EXPECT_EQ(v.at("msg").as_string(), "solve \"done\"\n");
+  EXPECT_EQ(v.at("job").as_string(), "bend/density/s1");
+  EXPECT_EQ(v.at("seconds").as_string(), "1.25");
+  EXPECT_GE(v.at("thread").as_number(), 0.0);
+  const std::string ts = v.at("ts").as_string();
+  EXPECT_EQ(ts.size(), 24u);
+  EXPECT_EQ(ts.back(), 'Z');
+}
+
+TEST(obs_log, suppressed_levels_skip_the_sink) {
+  log_capture capture;
+  set_log_level(log_level::err);
+  log_line(log_level::info, "hidden");
+  EXPECT_TRUE(captured_lines().empty());
+  log_line(log_level::err, "visible");
+  EXPECT_EQ(captured_lines().size(), 1u);
+}
+
+TEST(obs_log, thread_ordinals_are_small_and_distinct) {
+  const std::uint32_t mine = thread_ordinal();
+  EXPECT_EQ(mine, thread_ordinal());  // stable within a thread
+  std::uint32_t other = mine;
+  std::thread([&other] { other = thread_ordinal(); }).join();
+  EXPECT_NE(other, mine);
+}
+
+}  // namespace
+}  // namespace boson

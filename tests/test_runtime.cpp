@@ -803,6 +803,43 @@ TEST(scheduler, runs_every_job_and_journals_the_lifecycle) {
   EXPECT_EQ(runtime::result_store::load(dir.string()).size(), 12u);
 }
 
+TEST(scheduler, tracing_emits_a_chrome_trace_artifact_per_job) {
+  const fs::path dir = fresh_dir("boson_runtime_sched_trace");
+  std::atomic<std::size_t> executed{0};
+
+  runtime::scheduler_options options;
+  options.campaign_dir = dir.string();
+  options.executor = counting_executor(executed);
+  options.trace = true;
+  const runtime::scheduler_report report =
+      runtime::scheduler(synthetic_campaign(), options).run();
+  ASSERT_EQ(report.completed, 12u);
+
+  // Every job directory gained a trace.json that Chrome's trace viewer can
+  // load: a traceEvents array of complete ("X") events carrying the span
+  // lifecycle (lease -> run -> commit) with microsecond timestamps.
+  std::size_t traces = 0;
+  for (const auto& entry : fs::directory_iterator(dir / "jobs")) {
+    const fs::path trace_path = entry.path() / "trace.json";
+    ASSERT_TRUE(fs::exists(trace_path)) << trace_path;
+    ++traces;
+
+    const io::json_value doc = io::json_value::parse_file(trace_path.string());
+    const auto& events = doc.at("traceEvents").elements();
+    ASSERT_FALSE(events.empty());
+    std::set<std::string> names;
+    for (const auto& event : events) {
+      EXPECT_EQ(event.at("ph").as_string(), "X");
+      EXPECT_GE(event.at("dur").as_number(), 0.0);
+      names.insert(event.at("name").as_string());
+    }
+    EXPECT_EQ(names.count("job.lease"), 1u);
+    EXPECT_EQ(names.count("job.run"), 1u);
+    EXPECT_EQ(names.count("job.commit"), 1u);
+  }
+  EXPECT_EQ(traces, 12u);
+}
+
 TEST(scheduler, rerunning_a_finished_campaign_executes_nothing) {
   const fs::path dir = fresh_dir("boson_runtime_sched_rerun");
   std::atomic<std::size_t> executed{0};

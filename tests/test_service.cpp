@@ -463,7 +463,7 @@ TEST(campaign_service, runs_a_submitted_campaign_to_done) {
   const service::service_metrics metrics = service.metrics();
   EXPECT_EQ(metrics.campaigns_done, 1u);
   EXPECT_EQ(metrics.jobs_completed, 12u);
-  EXPECT_GT(metrics.jobs_per_second, 0.0);
+  EXPECT_GT(metrics.jobs_per_second(), 0.0);
 
   service.stop();
 }
@@ -745,6 +745,50 @@ TEST(control_plane, routes_actions_and_rejects_abuse_with_structured_errors) {
   // Every error above came back as the uniform envelope.
   const net::http_response not_found = answer(handler, make_request("GET", "/nope"));
   EXPECT_NE(not_found.body.find("{\"error\":{\"status\":404"), std::string::npos);
+}
+
+TEST(control_plane, prometheus_exposition_serves_request_series) {
+  const fs::path data = fresh_dir("control_plane_prometheus");
+  std::atomic<std::size_t> executed{0};
+  service::campaign_service service(fast_options(data, executed));
+  const net::http_handler handler = service.handler();
+
+  // Traffic across endpoints and status classes, including 4xx abuse.
+  EXPECT_EQ(answer(handler, make_request("GET", "/healthz")).status, 200);
+  EXPECT_EQ(answer(handler, make_request("GET", "/nope")).status, 404);
+  EXPECT_EQ(answer(handler, make_request("GET", "/v1/metrics?format=xml")).status,
+            400);
+
+  const net::http_response res =
+      answer(handler, make_request("GET", "/v1/metrics?format=prometheus"));
+  ASSERT_EQ(res.status, 200);
+  EXPECT_NE(res.content_type.find("text/plain"), std::string::npos);
+
+  // Per-endpoint x status-class counters and the latency histogram series.
+  EXPECT_NE(res.body.find("# TYPE boson_http_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(res.body.find(
+                "boson_http_requests_total{endpoint=\"healthz\",class=\"2xx\"}"),
+            std::string::npos);
+  EXPECT_NE(
+      res.body.find("boson_http_requests_total{endpoint=\"unknown\",class=\"4xx\"}"),
+      std::string::npos);
+  EXPECT_NE(res.body.find("# TYPE boson_http_request_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(res.body.find("boson_http_request_seconds_bucket{endpoint=\"healthz\","),
+            std::string::npos);
+
+  // The migrated sim counters and the service gauges ride the same page.
+  EXPECT_NE(res.body.find("boson_sim_engine_cache_hits"), std::string::npos);
+  EXPECT_NE(res.body.find("boson_sim_reuse_prepares_avoided"), std::string::npos);
+  EXPECT_NE(res.body.find("# TYPE boson_service_campaigns_running gauge"),
+            std::string::npos);
+
+  // The JSON total agrees with the labeled counters (>= the four requests
+  // routed above; other tests in this process may add more).
+  const io::json_value metrics = io::json_value::parse(
+      answer(handler, make_request("GET", "/v1/metrics")).body);
+  EXPECT_GE(metrics.at("requests").as_number(), 4.0);
 }
 
 TEST(control_plane, eight_concurrent_tenants_submit_and_watch_over_loopback) {

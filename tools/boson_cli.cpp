@@ -49,6 +49,7 @@
 #include "core/methods.h"
 #include "io/table.h"
 #include "net/http_client.h"
+#include "obs/trace.h"
 #include "runtime/campaign.h"
 #include "runtime/journal.h"
 #include "runtime/lease.h"
@@ -66,13 +67,15 @@ int usage(std::FILE* out) {
                "\n"
                "usage:\n"
                "  boson_cli run <spec.json> [--out <dir>] [--no-artifacts]\n"
+               "                         [--trace <trace.json>]\n"
                "  boson_cli validate <spec.json>\n"
                "  boson_cli list devices|methods|objectives [--json]\n"
                "  boson_cli describe method <name>\n"
                "  boson_cli campaign run <campaign.json> [--out <dir>] [--worker <id>]\n"
                "                         [--workers N] [--lease-ttl <s>] [--no-artifacts]\n"
+               "                         [--trace]\n"
                "  boson_cli campaign resume <dir> [--worker <id>] [--workers N]\n"
-               "                         [--lease-ttl <s>]\n"
+               "                         [--lease-ttl <s>] [--trace]\n"
                "  boson_cli campaign status <dir> [--json]\n"
                "  boson_cli campaign report <dir>\n"
                "  boson_cli campaign submit <campaign.json> --server <url> [--tenant <t>]\n"
@@ -105,7 +108,10 @@ int usage(std::FILE* out) {
                "          --shard i/N still filters the visible jobs (deprecated);\n"
                "          --fault point[:n] SIGKILLs at a named kill point\n"
                "          (after_lease, mid_run, after_checkpoint, before_result)\n"
-               "          for fault-injection tests\n");
+               "          for fault-injection tests\n"
+               "tracing   'run --trace <file>' writes one Chrome trace_event JSON\n"
+               "          for the whole run; 'campaign ... --trace' (or BOSON_TRACE=1)\n"
+               "          writes a per-job trace.json next to each summary.json\n");
   return out == stdout ? 0 : 2;
 }
 
@@ -509,6 +515,8 @@ int cmd_campaign(const std::vector<std::string>& args) {
       options.workers = static_cast<std::size_t>(std::stoul(args[++i]));
     } else if (args[i] == "--no-artifacts") {
       options.write_artifacts = false;
+    } else if (args[i] == "--trace") {
+      options.trace = true;
     } else if (!args[i].empty() && args[i][0] == '-') {
       std::fprintf(stderr, "boson_cli: unknown option '%s'\n", args[i].c_str());
       return 2;
@@ -595,6 +603,7 @@ int main(int argc, char** argv) {
     }
     if (command == "run") {
       std::string spec_path;
+      std::string trace_path;
       api::session_options options;
       for (std::size_t i = 1; i < args.size(); ++i) {
         if (args[i] == "--out") {
@@ -602,6 +611,9 @@ int main(int argc, char** argv) {
           options.output_dir = args[++i];
         } else if (args[i] == "--no-artifacts") {
           options.write_artifacts = false;
+        } else if (args[i] == "--trace") {
+          if (i + 1 >= args.size()) return usage(stderr);
+          trace_path = args[++i];
         } else if (!args[i].empty() && args[i][0] == '-') {
           std::fprintf(stderr, "boson_cli: unknown option '%s'\n", args[i].c_str());
           return 2;
@@ -612,7 +624,18 @@ int main(int argc, char** argv) {
         }
       }
       if (spec_path.empty()) return usage(stderr);
-      return cmd_run(spec_path, options);
+      if (trace_path.empty()) return cmd_run(spec_path, options);
+
+      // Whole-run tracing: every span of the process (prepare, factorize,
+      // solve, ...) lands in one Chrome trace_event file.
+      obs::trace_collector collector;
+      obs::set_global_trace(&collector);
+      const int rc = cmd_run(spec_path, options);
+      obs::set_global_trace(nullptr);
+      collector.write_chrome_json(trace_path);
+      std::fprintf(stderr, "boson_cli: wrote %zu span(s) to %s\n",
+                   collector.size(), trace_path.c_str());
+      return rc;
     }
     std::fprintf(stderr, "boson_cli: unknown command '%s'\n", command.c_str());
     return usage(stderr);

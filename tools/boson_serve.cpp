@@ -28,6 +28,7 @@
 #include "common/env.h"
 #include "common/log.h"
 #include "net/http_server.h"
+#include "obs/metrics.h"
 #include "service/service.h"
 
 namespace {
@@ -142,6 +143,8 @@ int main(int argc, char** argv) {
     service.drain(); // release /events long-polls held by HTTP workers...
     server.stop();   // ...so joining them is prompt; in-flight requests finish
     service.stop();  // cancel + requeue running campaigns, join runners
+    log_info("boson_serve: metrics digest: ",
+             obs::registry::global().digest());
     std::printf("boson_serve: clean shutdown\n");
     return 0;
   } catch (const std::exception& e) {
