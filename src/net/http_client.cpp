@@ -123,6 +123,12 @@ http_response http_client::post(
   return request("POST", path, body, headers);
 }
 
+http_response http_client::del(
+    const std::string& path,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  return request("DELETE", path, "", headers);
+}
+
 http_response http_client::request(
     const std::string& method, const std::string& path, const std::string& body,
     std::vector<std::pair<std::string, std::string>> headers) {

@@ -47,6 +47,8 @@ class http_client {
                     const std::vector<std::pair<std::string, std::string>>& headers = {});
   http_response post(const std::string& path, const std::string& body,
                      const std::vector<std::pair<std::string, std::string>>& headers = {});
+  http_response del(const std::string& path,
+                    const std::vector<std::pair<std::string, std::string>>& headers = {});
 
   const std::string& host() const { return parts_.host; }
   std::uint16_t port() const { return parts_.port; }

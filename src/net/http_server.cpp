@@ -16,11 +16,11 @@ namespace boson::net {
 
 namespace {
 
-void set_read_timeout(int fd, double seconds) {
+void set_socket_timeout(int fd, int option, double seconds) {
   timeval tv{};
   tv.tv_sec = static_cast<time_t>(seconds);
   tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof tv);
 }
 
 }  // namespace
@@ -31,6 +31,8 @@ http_server::http_server(http_server_options options, http_handler handler)
   options_.threads = std::max<std::size_t>(1, options_.threads);
   options_.max_queue = std::max<std::size_t>(1, options_.max_queue);
   require(options_.read_timeout > 0.0, "http_server: read timeout must be positive");
+  require(options_.write_timeout >= 0.0,
+          "http_server: write timeout must not be negative");
 }
 
 http_server::~http_server() { stop(); }
@@ -189,7 +191,9 @@ bool http_server::send_all(int fd, const std::string& bytes) {
 }
 
 void http_server::serve_connection(int fd) {
-  set_read_timeout(fd, options_.read_timeout);
+  set_socket_timeout(fd, SO_RCVTIMEO, options_.read_timeout);
+  if (options_.write_timeout > 0.0)
+    set_socket_timeout(fd, SO_SNDTIMEO, options_.write_timeout);
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 

@@ -41,6 +41,10 @@ struct http_server_options {
   std::size_t max_queue = 64;      ///< accepted-but-unserved connection cap
   int backlog = 64;                ///< listen(2) backlog
   double read_timeout = 10.0;      ///< seconds a single socket read may block
+  /// Seconds a single socket send may block before the connection is
+  /// dropped (backpressure: a consumer that stops reading its event stream
+  /// cannot pin a worker thread). 0 disables the bound (legacy behavior).
+  double write_timeout = 0.0;
   std::size_t max_keepalive_requests = 1000;  ///< requests per connection
   http_limits limits;
 };

@@ -1,9 +1,17 @@
 #include "runtime/journal.h"
 
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
+#include <set>
 #include <utility>
 
+#include "common/env.h"
 #include "common/error.h"
+#include "runtime/lease.h"
+#include "store/segment_log.h"
+
+namespace fs = std::filesystem;
 
 namespace boson::runtime {
 
@@ -68,12 +76,99 @@ journal_entry journal_entry::from_json(const io::json_value& v) {
   return e;
 }
 
-journal::journal(std::string path) : out_(std::move(path), "journal") {}
+journal_options journal_options::with_env_defaults() const {
+  journal_options o = *this;
+  auto from_env = [](const char* name) {
+    const long v = env_int(name, 0);
+    return v > 0 ? static_cast<std::size_t>(v) : std::size_t{0};
+  };
+  if (o.segment_bytes == 0) o.segment_bytes = from_env("BOSON_JOURNAL_SEGMENT_BYTES");
+  if (o.segment_records == 0)
+    o.segment_records = from_env("BOSON_JOURNAL_SEGMENT_RECORDS");
+  if (o.compact_segments == 0)
+    o.compact_segments = from_env("BOSON_JOURNAL_COMPACT_SEGMENTS");
+  return o;
+}
 
-void journal::append(const journal_entry& entry) { out_.append(entry.to_json()); }
+void journal::open_legacy(const std::string& file) {
+  out_ = std::make_unique<jsonl_appender>(file, "journal");
+  path_ = out_->path();
+}
+
+void journal::open_store(const std::string& dir, const journal_options& opts) {
+  store::log_options lo;
+  lo.segment_bytes = opts.segment_bytes;
+  lo.segment_records = opts.segment_records;
+  lo.compact_segments = opts.compact_segments;
+  store_ = std::make_unique<store::segment_log>(dir, lo, "journal");
+  path_ = dir;
+}
+
+journal::journal(std::string path) {
+  if (store::segment_log::is_store_dir(path))
+    open_store(path, journal_options{}.with_env_defaults());
+  else
+    open_legacy(path);
+}
+
+journal::journal(const std::string& campaign_dir, const journal_options& opts) {
+  const journal_options eff = opts.with_env_defaults();
+  const std::string seg_dir = (fs::path(campaign_dir) / "journal").string();
+  const std::string legacy = (fs::path(campaign_dir) / "journal.jsonl").string();
+  std::error_code ec;
+  if (store::segment_log::is_store_dir(seg_dir)) {
+    open_store(seg_dir, eff);  // existing segmented campaign
+  } else if (fs::exists(legacy, ec) && fs::file_size(legacy, ec) > 0) {
+    open_legacy(legacy);  // existing legacy campaign keeps its layout
+  } else if (eff.segmented()) {
+    open_store(seg_dir, eff);
+  } else {
+    open_legacy(legacy);
+  }
+}
+
+journal::~journal() = default;
+
+void journal::append(const journal_entry& entry) {
+  if (store_) {
+    store_->append(entry.to_json().dump(-1));
+    // Opportunistic compaction: cheap threshold probe every 64th append so
+    // long-running appenders bound their own history even when no scheduler
+    // pass (maybe_compact) is running in this process.
+    if (((appends_.fetch_add(1) + 1) & 63) == 0) maybe_compact();
+  } else {
+    out_->append(entry.to_json());
+  }
+}
+
+std::size_t journal::maybe_compact() {
+  if (!store_ || !store_->should_compact()) return 0;
+  return compact();
+}
+
+std::size_t journal::compact() {
+  if (!store_) return 0;
+  return store_->compact(&journal::compaction_fold);
+}
 
 std::vector<journal_entry> journal::replay(const std::string& path) {
   std::vector<journal_entry> entries;
+  if (store::segment_log::is_store_dir(path)) {
+    const std::vector<std::string> lines = store::segment_log::read_all(path, "journal");
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      try {
+        entries.push_back(journal_entry::from_json(io::json_value::parse(lines[i])));
+      } catch (const error& e) {
+        // Same deferred-failure contract as replay_jsonl: a malformed final
+        // line is a racing writer's in-flight record, corruption with a
+        // successor is fatal.
+        if (i + 1 == lines.size()) break;
+        throw io_error("journal: '" + path + "' line " + std::to_string(i + 1) +
+                       ": " + e.what());
+      }
+    }
+    return entries;
+  }
   replay_jsonl(path, "journal", [&entries](const io::json_value& record) {
     entries.push_back(journal_entry::from_json(record));
   });
@@ -83,6 +178,31 @@ std::vector<journal_entry> journal::replay(const std::string& path) {
 std::vector<journal_entry> journal::since(const std::string& path,
                                           journal_cursor& cursor) {
   std::vector<journal_entry> entries;
+  if (store::segment_log::is_store_dir(path)) {
+    const store::read_batch batch = store::segment_log::read_since_dir(
+        path, "journal", static_cast<std::uint64_t>(cursor.offset));
+    // Per-line cursors let the deferred-failure contract carry over: a
+    // malformed line only becomes fatal once a successor proves the store
+    // kept going; as the batch tail it stays ahead of the cursor for the
+    // next poll (segment appends are line-atomic, so this never resolves to
+    // a half-record the way a racing legacy flush can — but the uniform
+    // contract keeps the two layouts interchangeable for callers).
+    std::string pending_error;
+    for (std::size_t i = 0; i < batch.lines.size(); ++i) {
+      if (!pending_error.empty()) throw io_error(pending_error);
+      try {
+        entries.push_back(
+            journal_entry::from_json(io::json_value::parse(batch.lines[i])));
+      } catch (const error& e) {
+        pending_error = "journal: '" + path + "' line " +
+                        std::to_string(cursor.line + 1) + ": " + e.what();
+        continue;  // cursor stays before the suspect line
+      }
+      cursor.offset = static_cast<std::streamoff>(batch.cursors[i]);
+      cursor.line += 1;
+    }
+    return entries;
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) return entries;  // no journal yet
   in.seekg(cursor.offset);
@@ -115,6 +235,128 @@ std::vector<journal_entry> journal::since(const std::string& path,
     cursor.line = line_number;
   }
   return entries;
+}
+
+std::vector<std::string> journal::raw_since(const std::string& path,
+                                            std::uint64_t& cursor,
+                                            std::size_t max_lines) {
+  if (store::segment_log::is_store_dir(path)) {
+    store::read_batch batch =
+        store::segment_log::read_since_dir(path, "journal", cursor, max_lines);
+    cursor = batch.end_cursor;
+    return std::move(batch.lines);
+  }
+  std::vector<std::string> lines;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return lines;
+  in.seekg(static_cast<std::streamoff>(cursor));
+  std::string line;
+  while (std::getline(in, line)) {
+    if (in.eof()) break;  // torn tail / racing writer: leave for next poll
+    cursor += static_cast<std::uint64_t>(line.size()) + 1;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    lines.push_back(line);
+    if (max_lines != 0 && lines.size() >= max_lines) break;
+  }
+  return lines;
+}
+
+namespace {
+
+bool same_view(const lease_view& a, const lease_view& b) {
+  return a.state == b.state && a.worker == b.worker && a.lease_id == b.lease_id &&
+         a.deadline == b.deadline && a.attempts == b.attempts;
+}
+
+}  // namespace
+
+std::vector<std::string> journal::compaction_fold(
+    const std::vector<std::string>& lines) {
+  std::vector<journal_entry> entries;
+  entries.reserve(lines.size());
+  for (const std::string& line : lines) {
+    try {
+      entries.push_back(journal_entry::from_json(io::json_value::parse(line)));
+    } catch (...) {
+      return lines;  // unparseable history: degrade to a pure segment merge
+    }
+  }
+
+  lease_table full;
+  for (const journal_entry& e : entries) full.apply(e);
+
+  std::map<std::size_t, std::vector<std::size_t>> by_job;
+  for (std::size_t i = 0; i < entries.size(); ++i)
+    by_job[entries[i].job_index].push_back(i);
+
+  std::vector<char> keep(entries.size(), 0);
+  for (const auto& [job, idxs] : by_job) {
+    const lease_view ref = full.view(job);
+
+    // Walk this job's records once, tracking which record created the
+    // current live lease, which one last set its deadline, and which one
+    // last released a lease back to pending.
+    constexpr std::size_t npos = static_cast<std::size_t>(-1);
+    std::size_t claim_idx = npos, deadline_idx = npos, release_idx = npos;
+    std::size_t completed_idx = npos, max_attempt_idx = npos;
+    lease_table walk;
+    for (const std::size_t i : idxs) {
+      const lease_view before = walk.view(job);
+      walk.apply(entries[i]);
+      const lease_view after = walk.view(job);
+      if (after.state == lease_view::phase::leased) {
+        if (before.state != lease_view::phase::leased ||
+            before.worker != after.worker || before.lease_id != after.lease_id) {
+          claim_idx = deadline_idx = i;
+        } else if (after.deadline != before.deadline) {
+          deadline_idx = i;
+        }
+      } else if (after.state == lease_view::phase::pending &&
+                 before.state == lease_view::phase::leased) {
+        release_idx = i;
+      }
+      if (completed_idx == npos && entries[i].state == job_state::completed)
+        completed_idx = i;
+      if (max_attempt_idx == npos && ref.attempts != 0 &&
+          entries[i].attempt == ref.attempts)
+        max_attempt_idx = i;
+    }
+
+    std::set<std::size_t> chosen;
+    chosen.insert(idxs.back());  // preserves journal::latest_states
+    if (max_attempt_idx != npos) chosen.insert(max_attempt_idx);
+    if (ref.state == lease_view::phase::done) {
+      if (completed_idx != npos) chosen.insert(completed_idx);
+    } else if (ref.state == lease_view::phase::leased) {
+      if (claim_idx != npos) chosen.insert(claim_idx);
+      if (deadline_idx != npos) chosen.insert(deadline_idx);
+    } else if (release_idx != npos) {
+      chosen.insert(release_idx);
+    }
+
+    // Self-verify: the kept subsequence must fold to the same lease view,
+    // and re-applying it onto the final state must change nothing (a poller
+    // whose cursor fell inside a compacted segment gets the snapshot
+    // re-delivered into its already-folded table).
+    lease_table kept_fold;
+    for (const std::size_t i : chosen) kept_fold.apply(entries[i]);
+    bool ok = same_view(kept_fold.view(job), ref);
+    if (ok) {
+      lease_table redelivered = full;
+      for (const std::size_t i : chosen) redelivered.apply(entries[i]);
+      ok = same_view(redelivered.view(job), ref);
+    }
+    if (ok) {
+      for (const std::size_t i : chosen) keep[i] = 1;
+    } else {
+      for (const std::size_t i : idxs) keep[i] = 1;  // fallback: keep history
+    }
+  }
+
+  std::vector<std::string> kept;
+  for (std::size_t i = 0; i < lines.size(); ++i)
+    if (keep[i]) kept.push_back(lines[i]);
+  return kept;
 }
 
 std::map<std::size_t, journal_entry> journal::latest_states(

@@ -1,10 +1,10 @@
 /// \file journal.h
 /// Append-only durability log of a campaign: every job state transition
 /// (leased, running, checkpointed, completed, failed, cancelled, ...) is one
-/// JSON line in `journal.jsonl`. Appends are mutex-serialized within a
-/// process and line-buffered into a single O_APPEND write, so concurrent
-/// worker processes sharing one campaign directory interleave whole lines
-/// only. Replay reconstructs the latest state per job — the scheduler's
+/// JSON line. Appends are mutex-serialized within a process and
+/// line-buffered into a single O_APPEND write, so concurrent worker
+/// processes sharing one campaign directory interleave whole lines only.
+/// Replay reconstructs the latest state per job — the scheduler's
 /// crash-recovery source of truth — and tolerates a torn (crash-truncated)
 /// final line.
 ///
@@ -14,17 +14,32 @@
 /// worker's jobs by appending `lease_expired` + a fresh claim. Because every
 /// appender shares one file, replay order is a total order and resolves
 /// every claim race deterministically (see `lease.h`).
+///
+/// Two on-disk layouts, one API:
+///  - legacy: a single ever-growing `journal.jsonl` (the default);
+///  - segmented: a `journal/` store directory (`store::segment_log`) with
+///    rotation, compaction, and GC, for campaigns whose histories outgrow a
+///    single file. Chosen at campaign creation via `journal_options`
+///    (or the BOSON_JOURNAL_* environment variables) and auto-detected
+///    thereafter: `journal_path` and the `journal(path)` constructor attach
+///    to whichever layout exists.
 
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "io/json.h"
 #include "runtime/jsonl.h"
+
+namespace boson::store {
+class segment_log;
+}
 
 namespace boson::runtime {
 
@@ -66,29 +81,77 @@ struct journal_entry {
   static journal_entry from_json(const io::json_value& v);
 };
 
-/// Resumable position in a journal file: how many bytes (and lines, for
-/// error messages) have been consumed so far. Pollers — the event stream,
-/// the lease manager — keep one per journal and fold only what appended
-/// since, so poll cost tracks journal *growth* instead of journal size. The
-/// byte offset is also the control plane's wire cursor (`?cursor=N`): it is
-/// stable across processes because every appender shares one O_APPEND file.
+/// Resumable position in a journal: how much has been consumed so far.
+/// Pollers — the event stream, the lease manager — keep one per journal and
+/// fold only what appended since, so poll cost tracks journal *growth*
+/// instead of journal size. The offset is also the control plane's wire
+/// cursor (`?cursor=N`): in the legacy layout it is a byte offset into the
+/// shared O_APPEND file (< 2^33); in the segmented layout it is a
+/// `store::segment_log` cursor (seq+offset encoded above 2^33), so the two
+/// ranges never collide and a cursor is self-describing. Segmented cursors
+/// survive rotation and compaction: a cursor into a compacted-away segment
+/// resumes at the covering snapshot (at-least-once re-delivery — safe for
+/// the latest-wins / lease-fold consumers, see `compaction_fold`).
 struct journal_cursor {
-  std::streamoff offset = 0;  ///< bytes already consumed
+  std::streamoff offset = 0;  ///< bytes (legacy) or encoded cursor (segmented)
   std::size_t line = 0;       ///< complete lines already consumed
 };
 
-/// Append-only JSONL writer + replayer.
+/// Segmented-layout knobs for a *new* campaign journal. All zero (the
+/// default) keeps the legacy single-file layout; any nonzero value creates
+/// a `journal/` store directory instead. Existing campaigns auto-detect and
+/// keep their layout regardless of these options.
+struct journal_options {
+  std::size_t segment_bytes = 0;    ///< rotate the active segment at >= bytes
+  std::size_t segment_records = 0;  ///< rotate at >= records
+  std::size_t compact_segments = 0; ///< compact once sealed segments reach this
+
+  /// Copy with zero-valued fields filled from BOSON_JOURNAL_SEGMENT_BYTES,
+  /// BOSON_JOURNAL_SEGMENT_RECORDS, and BOSON_JOURNAL_COMPACT_SEGMENTS.
+  journal_options with_env_defaults() const;
+
+  bool segmented() const {
+    return segment_bytes != 0 || segment_records != 0 || compact_segments != 0;
+  }
+};
+
+/// Append-only JSONL writer + replayer over either layout.
 class journal {
  public:
-  /// Opens `path` for appending (creating it if needed), healing any
-  /// crash-torn trailing fragment first (see `jsonl_appender`).
+  /// Attach to an existing journal at `path`: a store directory opens in
+  /// segmented mode, anything else opens (creating if needed) the legacy
+  /// single file, healing any crash-torn trailing fragment first (see
+  /// `jsonl_appender`). `journal_path` produces the right `path` value.
   explicit journal(std::string path);
 
+  /// Layout-deciding constructor for a campaign directory: attaches to
+  /// whichever layout already exists; for a fresh campaign creates the
+  /// segmented store when `opts` (after environment defaults) asks for it,
+  /// the legacy file otherwise.
+  journal(const std::string& campaign_dir, const journal_options& opts);
+
+  ~journal();
+
   /// Append one record; thread-safe, flushed before returning so a crash
-  /// after `append` never loses the record.
+  /// after `append` never loses the record. In segmented mode this also
+  /// rotates the active segment past its thresholds and opportunistically
+  /// compacts (every 64th append) once enough sealed segments accumulate.
   void append(const journal_entry& entry);
 
-  const std::string& path() const { return out_.path(); }
+  /// Legacy: the journal file. Segmented: the store directory.
+  const std::string& path() const { return path_; }
+
+  /// True when this journal writes the segmented store layout.
+  bool segmented() const { return store_ != nullptr; }
+
+  /// Segmented mode: compact now if the sealed-segment threshold is
+  /// reached. Returns the number of records folded away (0 otherwise or in
+  /// legacy mode). The scheduler calls this once per scheduling pass.
+  std::size_t maybe_compact();
+
+  /// Segmented mode: compact unconditionally (still a no-op with fewer than
+  /// two sealed segments). Returns the number of records folded away.
+  std::size_t compact();
 
   /// Parse every complete line of a journal file, in order. A torn trailing
   /// line (the single-line tail a crash mid-write can leave) is ignored; a
@@ -106,6 +169,16 @@ class journal {
   static std::vector<journal_entry> since(const std::string& path,
                                           journal_cursor& cursor);
 
+  /// Raw-line incremental read for consumers that forward journal lines
+  /// verbatim (the control plane's NDJSON event stream): complete non-blank
+  /// lines after `cursor`, advancing it, without parsing. `max_lines` 0 = no
+  /// cap — the event stream passes its page size so one slow consumer never
+  /// buffers an unbounded backlog. Works on both layouts; a missing journal
+  /// returns no lines and leaves the cursor untouched.
+  static std::vector<std::string> raw_since(const std::string& path,
+                                            std::uint64_t& cursor,
+                                            std::size_t max_lines = 0);
+
   /// Reduce a replayed history to the latest entry per job index. Note that
   /// with lease coordination the *latest* record can be a losing claim or a
   /// heartbeat; scheduling decisions go through `lease_table::resolve`
@@ -113,8 +186,28 @@ class journal {
   static std::map<std::size_t, journal_entry> latest_states(
       const std::vector<journal_entry>& entries);
 
+  /// The journal's compaction fold (see `store::compaction_fold`): keeps,
+  /// per job, the records that reproduce every consumer's fold state —
+  /// the latest record (`latest_states`), the live lease's claim +
+  /// deadline-setting heartbeat, the completing/releasing transition, and
+  /// the max-attempt record (`lease_table`). The result is *self-verified*:
+  /// for each job the kept subsequence is re-folded and must (a) resolve to
+  /// the identical lease view and (b) be idempotent when re-applied onto
+  /// the final state — because a poller whose cursor fell inside a
+  /// compacted segment gets the snapshot re-delivered. Any job failing
+  /// verification keeps its full history; an unparseable history is
+  /// returned unchanged (compaction degrades to a pure segment merge).
+  static std::vector<std::string> compaction_fold(
+      const std::vector<std::string>& lines);
+
  private:
-  jsonl_appender out_;
+  void open_legacy(const std::string& file);
+  void open_store(const std::string& dir, const journal_options& opts);
+
+  std::string path_;
+  std::unique_ptr<jsonl_appender> out_;          ///< legacy layout
+  std::unique_ptr<store::segment_log> store_;    ///< segmented layout
+  std::atomic<std::size_t> appends_{0};          ///< compaction-check pacing
 };
 
 }  // namespace boson::runtime

@@ -105,6 +105,14 @@ struct scheduler_options {
 
   /// Deterministic kill points (tests / `--fault`); nullptr: none.
   fault_injector* faults = nullptr;
+
+  /// Segmented-journal layout for *new* campaigns (see `journal_options`):
+  /// all zero keeps the legacy single `journal.jsonl`; any nonzero value
+  /// creates a rotating/compacting `journal/` store directory instead.
+  /// Existing campaigns keep whichever layout they were created with.
+  std::size_t segment_bytes = 0;
+  std::size_t segment_records = 0;
+  std::size_t compact_segments = 0;
 };
 
 /// What one `scheduler::run` call did to the jobs it considered.

@@ -58,14 +58,15 @@ void record_request(const std::string& endpoint, int status, double seconds) {
       .observe(seconds);
 }
 
-/// Tenant selection: the X-Boson-Tenant header, defaulting to "default".
-std::string tenant_of(const net::http_request& req) {
-  const std::string* header = req.header("X-Boson-Tenant");
-  const std::string tenant = header ? *header : "default";
-  if (!valid_tenant(tenant))
-    throw net::http_error(400, "invalid tenant '" + tenant +
-                                   "' (lowercase [a-z0-9_-], at most 32 chars)");
-  return tenant;
+/// Constant-time string equality: the comparison cost depends only on the
+/// *presented* token's length, never on how many leading bytes match a real
+/// token — a timing probe learns nothing about stored secrets.
+bool constant_time_equal(const std::string& a, const std::string& b) {
+  unsigned char diff = static_cast<unsigned char>((a.size() ^ b.size()) != 0);
+  const std::size_t bn = b.empty() ? 1 : b.size();
+  for (std::size_t i = 0; i < a.size(); ++i)
+    diff |= static_cast<unsigned char>(a[i] ^ (b.empty() ? 0 : b[i % bn]));
+  return diff == 0;
 }
 
 void require_method(const net::http_request& req, const std::string& method) {
@@ -161,6 +162,42 @@ io::json_value metrics_json(const service_metrics& m) {
 
 }  // namespace
 
+std::string campaign_service::authenticate(const net::http_request& req) const {
+  const std::string* header = req.header("X-Boson-Tenant");
+  const auto validated = [](const std::string& tenant) {
+    if (!valid_tenant(tenant))
+      throw net::http_error(400, "invalid tenant '" + tenant +
+                                     "' (lowercase [a-z0-9_-], at most 32 chars)");
+    return tenant;
+  };
+  if (tenant_tokens_.empty())  // legacy header auth (no tenants.json)
+    return validated(header != nullptr ? *header : "default");
+
+  const std::string* auth = req.header("Authorization");
+  if (auth == nullptr)
+    throw net::http_error(401, "missing Authorization header (Bearer token required)");
+  std::string token;
+  if (auth->size() > 7) {
+    const std::string scheme = auth->substr(0, 7);
+    if (scheme == "Bearer " || scheme == "bearer ") token = auth->substr(7);
+  }
+  while (!token.empty() && token.front() == ' ') token.erase(token.begin());
+  while (!token.empty() && token.back() == ' ') token.pop_back();
+  if (token.empty())
+    throw net::http_error(401, "malformed Authorization header (expected 'Bearer <token>')");
+
+  // Check every tenant's token (no early exit): the presented token's
+  // identity is decided by content, and rejection cost is uniform.
+  std::string resolved;
+  for (const auto& [tenant, expected] : tenant_tokens_)
+    if (constant_time_equal(token, expected)) resolved = tenant;
+  if (resolved.empty()) throw net::http_error(401, "invalid bearer token");
+  if (header != nullptr && *header != resolved)
+    throw net::http_error(401,
+                          "X-Boson-Tenant does not match the bearer token's tenant");
+  return validated(resolved);
+}
+
 net::http_handler campaign_service::handler() {
   // The instrumented wrapper: route the request, then record its endpoint,
   // status class, and latency — also when the route throws, using the same
@@ -234,7 +271,7 @@ net::http_response campaign_service::route(const net::http_request& req) {
   }
 
   if (req.path == "/v1/campaigns") {
-    const std::string tenant = tenant_of(req);
+    const std::string tenant = authenticate(req);
     if (req.method == "POST") {
       try {
         const campaign_record record = submit(tenant, parse_spec(req));
@@ -253,7 +290,7 @@ net::http_response campaign_service::route(const net::http_request& req) {
 
   const std::string prefix = "/v1/campaigns/";
   if (req.path.rfind(prefix, 0) == 0) {
-    const std::string tenant = tenant_of(req);
+    const std::string tenant = authenticate(req);
     const std::string rest = req.path.substr(prefix.size());
     const std::size_t slash = rest.find('/');
     const std::string id = rest.substr(0, slash);
@@ -262,7 +299,11 @@ net::http_response campaign_service::route(const net::http_request& req) {
     if (id.empty()) throw net::http_error(404, "missing campaign id");
 
     if (action.empty()) {
-      require_method(req, "GET");
+      if (req.method == "DELETE")
+        return json_response(200, remove(tenant, id).to_json());
+      if (req.method != "GET")
+        throw net::http_error(405, req.method +
+                                       " is not supported here (use GET or DELETE)");
       return json_response(200, status(tenant, id, false).to_json(false));
     }
     if (action == "jobs") {

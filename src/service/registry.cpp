@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <system_error>
 
+#include "common/log.h"
+#include "runtime/jsonl.h"
 #include "runtime/scheduler.h"
+#include "store/segment_log.h"
 
 namespace boson::service {
 
@@ -48,8 +52,50 @@ bool valid_tenant(const std::string& tenant) {
 
 namespace {
 
-std::string manifest_path(const std::string& data_dir) {
+std::string legacy_manifest_path(const std::string& data_dir) {
   return (std::filesystem::path(data_dir) / "registry.jsonl").string();
+}
+
+std::string ledger_dir(const std::string& data_dir) {
+  return (std::filesystem::path(data_dir) / "registry").string();
+}
+
+/// Ids this registry minted are all 'c<digits>'; anything else is a corrupt
+/// or foreign ledger record — name it instead of letting std::stoul abort
+/// the fold with a context-free invalid_argument.
+std::size_t id_number(const std::string& id, const std::string& where) {
+  if (id.size() < 2 || id[0] != 'c' ||
+      id.find_first_not_of("0123456789", 1) != std::string::npos)
+    throw io_error("campaign_registry: malformed campaign id '" + id + "' in " +
+                   where);
+  try {
+    return static_cast<std::size_t>(std::stoul(id.substr(1)));
+  } catch (const std::exception&) {  // out_of_range: an absurd digit run
+    throw io_error("campaign_registry: campaign id '" + id + "' in " + where +
+                   " is out of range");
+  }
+}
+
+/// The ledger's compaction fold: the latest record per id, in original
+/// order. Tombstones survive the fold — a compacted ledger must still prove
+/// which ids were minted (id monotonicity) and which campaigns were deleted.
+std::vector<std::string> registry_fold(const std::vector<std::string>& lines) {
+  std::map<std::string, std::size_t> last;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    try {
+      last[io::json_value::parse(lines[i]).at("id").as_string()] = i;
+    } catch (...) {
+      return lines;  // unparseable history: degrade to a pure segment merge
+    }
+  }
+  std::vector<std::size_t> keep;
+  keep.reserve(last.size());
+  for (const auto& [id, i] : last) keep.push_back(i);
+  std::sort(keep.begin(), keep.end());
+  std::vector<std::string> kept;
+  kept.reserve(keep.size());
+  for (const std::size_t i : keep) kept.push_back(lines[i]);
+  return kept;
 }
 
 }  // namespace
@@ -59,45 +105,76 @@ campaign_registry::campaign_registry(options opts) : options_(std::move(opts)) {
   require(options_.tenant_quota >= 1, "campaign_registry: tenant quota must be >= 1");
   std::filesystem::create_directories(options_.data_dir);
 
-  // Rescan: fold the manifest to the latest record per id, then restore
-  // submit order. Ids are monotone, so the next id is max + 1.
-  std::map<std::string, campaign_record> latest;
-  runtime::replay_jsonl(manifest_path(options_.data_dir), "campaign_registry",
-                        [&latest](const io::json_value& record) {
-                          campaign_record r = campaign_record::from_json(record);
-                          std::string id = r.id;
-                          latest.insert_or_assign(std::move(id), std::move(r));
-                        });
-  for (auto& [id, record] : latest) {
-    // Ids this registry minted are all 'c<digits>'; anything else is a
-    // corrupt or foreign manifest record — name it instead of letting
-    // std::stoul abort the rescan with a context-free invalid_argument.
-    if (id.size() < 2 || id[0] != 'c' ||
-        id.find_first_not_of("0123456789", 1) != std::string::npos)
-      throw io_error("campaign_registry: malformed campaign id '" + id + "' in " +
-                     manifest_path(options_.data_dir));
-    std::size_t number = 0;
-    try {
-      number = static_cast<std::size_t>(std::stoul(id.substr(1)));
-    } catch (const std::exception&) {  // out_of_range: an absurd digit run
-      throw io_error("campaign_registry: campaign id '" + id + "' in " +
-                     manifest_path(options_.data_dir) + " is out of range");
-    }
-    next_id_ = std::max(next_id_, number + 1);
-    records_.push_back(std::move(record));
-  }
-  std::sort(records_.begin(), records_.end(),
-            [](const campaign_record& a, const campaign_record& b) {
-              // Zero-padded ids compare lexicographically until they outgrow
-              // the pad width; length-first keeps c10000 after c9999.
-              return a.id.size() != b.id.size() ? a.id.size() < b.id.size()
-                                                : a.id < b.id;
-            });
+  // Modest rotation keeps the ledger's replay cost proportional to live
+  // campaigns (every state flip is one more line until the fold runs).
+  store::log_options lo;
+  lo.segment_bytes = 256 * 1024;
+  lo.segment_records = 1024;
+  lo.compact_segments = 4;
+  log_ = std::make_unique<store::segment_log>(ledger_dir(options_.data_dir), lo,
+                                              "registry");
 
-  // Open the appender last: heal-on-open must not race the rescan read.
-  manifest_ =
-      std::make_unique<runtime::jsonl_appender>(manifest_path(options_.data_dir),
-                                                "campaign_registry");
+  // One-shot migration of a pre-store data root: fold the legacy file's
+  // complete records into the ledger, then move it aside. Idempotent — a
+  // crash mid-migration re-appends the same latest-wins records, and a
+  // concurrent migrating process just loses the rename race.
+  const std::string legacy = legacy_manifest_path(options_.data_dir);
+  std::error_code ec;
+  if (std::filesystem::exists(legacy, ec) && std::filesystem::file_size(legacy, ec) > 0) {
+    log_->with_exclusive([&] {
+      // Replay first, append after: replay_jsonl's torn-tail contract
+      // swallows a callback throw on the final line, and a corrupt id must
+      // fail the migration loudly (blaming the legacy file) wherever it
+      // sits — never silently enter the ledger.
+      std::vector<io::json_value> legacy_records;
+      runtime::replay_jsonl(legacy, "campaign_registry",
+                            [&](const io::json_value& record) {
+                              legacy_records.push_back(record);
+                            });
+      std::size_t migrated = 0;
+      for (const io::json_value& record : legacy_records) {
+        id_number(record.at("id").as_string(), legacy);
+        log_->append(record.dump(-1));
+        ++migrated;
+      }
+      std::filesystem::rename(legacy, legacy + ".migrated", ec);
+      log_info("campaign_registry: migrated ", migrated, " records from ", legacy);
+    });
+  }
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  sync_locked();
+}
+
+campaign_registry::~campaign_registry() = default;
+
+void campaign_registry::sync_locked() const {
+  const store::read_batch batch = log_->read_since(cursor_);
+  const std::string where = ledger_dir(options_.data_dir);
+  for (std::size_t i = 0; i < batch.lines.size(); ++i) {
+    campaign_record r;
+    try {
+      r = campaign_record::from_json(io::json_value::parse(batch.lines[i]));
+    } catch (const error& e) {
+      throw io_error("campaign_registry: malformed ledger record in " + where +
+                     ": " + e.what());
+    }
+    next_id_ = std::max(next_id_, id_number(r.id, where) + 1);
+    const auto it = index_.find(r.id);
+    if (it != index_.end()) {
+      records_[it->second] = std::move(r);
+    } else {
+      index_.emplace(r.id, records_.size());
+      records_.push_back(std::move(r));
+    }
+    cursor_ = batch.cursors[i];
+  }
+  cursor_ = batch.end_cursor;
+}
+
+void campaign_registry::append_locked(const campaign_record& record) const {
+  log_->append(record.to_json().dump(-1));
+  if (log_->should_compact()) log_->compact(&registry_fold);
 }
 
 campaign_record campaign_registry::submit(const std::string& tenant,
@@ -107,71 +184,81 @@ campaign_record campaign_registry::submit(const std::string& tenant,
                                     "' (lowercase [a-z0-9_-], at most 32 chars)");
 
   const std::lock_guard<std::mutex> lock(mutex_);
-  std::size_t active = 0;
-  for (const campaign_record& r : records_)
-    if (r.tenant == tenant && !r.terminal()) ++active;
-  if (active >= options_.tenant_quota)
-    throw quota_error("campaign_registry: tenant '" + tenant + "' is at its quota of " +
-                      std::to_string(options_.tenant_quota) +
-                      " queued/running campaigns");
-
   campaign_record record;
-  char id[16];
-  std::snprintf(id, sizeof id, "c%04zu", next_id_++);
-  record.id = id;
-  record.tenant = tenant;
-  record.name = spec.name;
-  record.state = "queued";
-  record.dir = (std::filesystem::path(options_.data_dir) / tenant / record.id).string();
-  record.total_jobs = spec.job_count();
-  record.submitted_at = now;
-  record.updated_at = now;
+  // The whole submit — sync, quota check, id mint, append — is one
+  // exclusive-lock section, so concurrent submitters in *other processes*
+  // serialize here too: ids never collide and quotas hold fleet-wide.
+  log_->with_exclusive([&] {
+    sync_locked();
+    std::size_t active = 0;
+    for (const campaign_record& r : records_)
+      if (r.tenant == tenant && r.state != "deleted" && !r.terminal()) ++active;
+    if (active >= options_.tenant_quota)
+      throw quota_error("campaign_registry: tenant '" + tenant +
+                        "' is at its quota of " + std::to_string(options_.tenant_quota) +
+                        " queued/running campaigns");
 
-  std::filesystem::create_directories(record.dir);
-  spec.to_json().write_file(runtime::campaign_spec_path(record.dir));
-  manifest_->append(record.to_json());
-  records_.push_back(record);
+    char id[16];
+    std::snprintf(id, sizeof id, "c%04zu", next_id_++);
+    record.id = id;
+    record.tenant = tenant;
+    record.name = spec.name;
+    record.state = "queued";
+    record.dir =
+        (std::filesystem::path(options_.data_dir) / tenant / record.id).string();
+    record.total_jobs = spec.job_count();
+    record.submitted_at = now;
+    record.updated_at = now;
+
+    std::filesystem::create_directories(record.dir);
+    spec.to_json().write_file(runtime::campaign_spec_path(record.dir));
+    append_locked(record);
+    index_.emplace(record.id, records_.size());
+    records_.push_back(record);
+  });
   return record;
-}
-
-campaign_record* campaign_registry::find_locked(const std::string& tenant,
-                                                const std::string& id) {
-  for (campaign_record& r : records_)
-    if (r.tenant == tenant && r.id == id) return &r;
-  return nullptr;
 }
 
 const campaign_record* campaign_registry::find_locked(const std::string& tenant,
                                                       const std::string& id) const {
-  for (const campaign_record& r : records_)
-    if (r.tenant == tenant && r.id == id) return &r;
-  return nullptr;
+  const auto it = index_.find(id);
+  if (it == index_.end()) return nullptr;
+  const campaign_record& r = records_[it->second];
+  if (r.tenant != tenant || r.state == "deleted") return nullptr;
+  return &r;
 }
 
 std::optional<campaign_record> campaign_registry::find(const std::string& tenant,
                                                        const std::string& id) const {
   const std::lock_guard<std::mutex> lock(mutex_);
+  sync_locked();
   const campaign_record* r = find_locked(tenant, id);
   return r ? std::optional<campaign_record>(*r) : std::nullopt;
 }
 
 std::vector<campaign_record> campaign_registry::list(const std::string& tenant) const {
   const std::lock_guard<std::mutex> lock(mutex_);
+  sync_locked();
   std::vector<campaign_record> out;
   for (const campaign_record& r : records_)
-    if (r.tenant == tenant) out.push_back(r);
+    if (r.tenant == tenant && r.state != "deleted") out.push_back(r);
   return out;
 }
 
 std::vector<campaign_record> campaign_registry::all() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  return records_;
+  sync_locked();
+  std::vector<campaign_record> out;
+  for (const campaign_record& r : records_)
+    if (r.state != "deleted") out.push_back(r);
+  return out;
 }
 
 bool campaign_registry::known_tenant(const std::string& tenant) const {
   const std::lock_guard<std::mutex> lock(mutex_);
+  sync_locked();
   for (const campaign_record& r : records_)
-    if (r.tenant == tenant) return true;
+    if (r.tenant == tenant && r.state != "deleted") return true;
   return false;
 }
 
@@ -180,26 +267,71 @@ campaign_record campaign_registry::set_state(const std::string& tenant,
                                              const std::string& state, double now,
                                              const std::string& detail) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  campaign_record* r = find_locked(tenant, id);
-  require(r != nullptr,
-          "campaign_registry: no campaign '" + id + "' for tenant '" + tenant + "'");
-  r->state = state;
-  r->updated_at = now;
-  r->detail = detail;
-  manifest_->append(r->to_json());
-  return *r;
+  campaign_record out;
+  log_->with_exclusive([&] {
+    sync_locked();
+    const campaign_record* r = find_locked(tenant, id);
+    require(r != nullptr,
+            "campaign_registry: no campaign '" + id + "' for tenant '" + tenant + "'");
+    campaign_record& slot = records_[index_.at(id)];
+    slot.state = state;
+    slot.updated_at = now;
+    slot.detail = detail;
+    append_locked(slot);
+    out = slot;
+  });
+  return out;
+}
+
+std::optional<campaign_record> campaign_registry::try_claim(const std::string& tenant,
+                                                            const std::string& id,
+                                                            double now) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::optional<campaign_record> out;
+  log_->with_exclusive([&] {
+    sync_locked();
+    const campaign_record* r = find_locked(tenant, id);
+    if (r == nullptr || r->state != "queued") return;
+    campaign_record& slot = records_[index_.at(id)];
+    slot.state = "running";
+    slot.updated_at = now;
+    slot.detail.clear();
+    append_locked(slot);
+    out = slot;
+  });
+  return out;
+}
+
+campaign_record campaign_registry::remove(const std::string& tenant,
+                                          const std::string& id, double now) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  campaign_record out;
+  log_->with_exclusive([&] {
+    sync_locked();
+    const campaign_record* r = find_locked(tenant, id);
+    require(r != nullptr,
+            "campaign_registry: no campaign '" + id + "' for tenant '" + tenant + "'");
+    campaign_record& slot = records_[index_.at(id)];
+    slot.state = "deleted";
+    slot.updated_at = now;
+    append_locked(slot);
+    out = slot;
+  });
+  return out;
 }
 
 std::size_t campaign_registry::active_count(const std::string& tenant) const {
   const std::lock_guard<std::mutex> lock(mutex_);
+  sync_locked();
   std::size_t active = 0;
   for (const campaign_record& r : records_)
-    if (r.tenant == tenant && !r.terminal()) ++active;
+    if (r.tenant == tenant && r.state != "deleted" && !r.terminal()) ++active;
   return active;
 }
 
 std::optional<campaign_record> campaign_registry::oldest_queued() const {
   const std::lock_guard<std::mutex> lock(mutex_);
+  sync_locked();
   for (const campaign_record& r : records_)  // records_ is id (submit) order
     if (r.state == "queued") return r;
   return std::nullopt;

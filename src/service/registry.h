@@ -1,16 +1,23 @@
 /// \file registry.h
 /// The service's durable campaign ledger: every submitted campaign gets an
 /// id, a per-tenant directory under one data root, and a lifecycle state
-/// (queued → running → done/failed/cancelled). State changes append to
-/// `registry.jsonl` — the same heal-on-open, latest-record-wins JSONL
-/// contract as the journal — so a restarted service rescans the manifest and
-/// finds every campaign exactly where it left it. Tenants are directories:
-/// quota and listing are per tenant, and two tenants can submit campaigns
-/// with the same name without colliding.
+/// (queued → running → done/failed/cancelled → deleted). State changes
+/// append latest-record-wins lines to a `registry/` segment store
+/// (`store::segment_log`) in the data root, so a restarted service rescans
+/// the ledger and finds every campaign exactly where it left it — and
+/// because every mutation runs under the store's cross-process exclusive
+/// lock, *several service processes can share one data root*: ids stay
+/// unique, quotas are enforced against the union of submits, and a
+/// queued→running claim is atomic across the fleet. A legacy
+/// `registry.jsonl` from an older data root is migrated into the store on
+/// first open. Tenants are directories: quota and listing are per tenant,
+/// and two tenants can submit campaigns with the same name without
+/// colliding.
 
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -21,7 +28,10 @@
 #include "common/error.h"
 #include "io/json.h"
 #include "runtime/campaign.h"
-#include "runtime/jsonl.h"
+
+namespace boson::store {
+class segment_log;
+}
 
 namespace boson::service {
 
@@ -64,9 +74,11 @@ class campaign_registry {
     std::size_t tenant_quota = 8;  ///< max queued+running campaigns per tenant
   };
 
-  /// Creates `data_dir` if needed and rescans `registry.jsonl` (latest
-  /// record per id wins), so restarts resume the ledger.
+  /// Creates `data_dir` if needed, opens (creating/migrating if needed) the
+  /// `registry/` segment store, and folds it (latest record per id wins), so
+  /// restarts resume the ledger.
   explicit campaign_registry(options opts);
+  ~campaign_registry();
 
   /// Register a campaign: assign the next id, create the tenant/id campaign
   /// directory, persist the canonical campaign.json inside it, and append
@@ -89,11 +101,25 @@ class campaign_registry {
   /// True when the tenant submitted at least one campaign.
   bool known_tenant(const std::string& tenant) const;
 
-  /// Move a campaign to `state` (appending the manifest record). Returns the
+  /// Move a campaign to `state` (appending the ledger record). Returns the
   /// updated record; throws `bad_argument` when the campaign is unknown.
   campaign_record set_state(const std::string& tenant, const std::string& id,
                             const std::string& state, double now,
                             const std::string& detail = "");
+
+  /// Atomic cross-process queued→running flip: under the store's exclusive
+  /// lock, re-sync and claim the campaign only if it is still "queued".
+  /// Returns the running record on success, nullopt when another process
+  /// (or a cancel) got there first.
+  std::optional<campaign_record> try_claim(const std::string& tenant,
+                                           const std::string& id, double now);
+
+  /// Retention: journal a "deleted" tombstone for the campaign. The record
+  /// disappears from every query (its id is never reused — the tombstone
+  /// keeps id accounting monotone); the caller owns removing the campaign
+  /// directory. Throws `bad_argument` when the campaign is unknown.
+  campaign_record remove(const std::string& tenant, const std::string& id,
+                         double now);
 
   /// queued+running campaigns of `tenant` (the quota gauge).
   std::size_t active_count(const std::string& tenant) const;
@@ -105,15 +131,23 @@ class campaign_registry {
   std::size_t tenant_quota() const { return options_.tenant_quota; }
 
  private:
-  campaign_record* find_locked(const std::string& tenant, const std::string& id);
+  /// Fold ledger lines appended (by any process) since the last sync into
+  /// `records_`. Called with `mutex_` held before every read and, under the
+  /// store's exclusive lock, before every mutation.
+  void sync_locked() const;
+  void append_locked(const campaign_record& record) const;
   const campaign_record* find_locked(const std::string& tenant,
                                      const std::string& id) const;
 
   mutable std::mutex mutex_;
   options options_;
-  std::vector<campaign_record> records_;  ///< submit order (id order)
-  std::size_t next_id_ = 1;
-  std::unique_ptr<runtime::jsonl_appender> manifest_;
+  // The fold state is a cache over the shared ledger, refreshed by
+  // const readers — hence mutable.
+  mutable std::vector<campaign_record> records_;        ///< submit (id) order
+  mutable std::map<std::string, std::size_t> index_;    ///< id -> records_ slot
+  mutable std::size_t next_id_ = 1;
+  mutable std::uint64_t cursor_ = 0;  ///< ledger position folded so far
+  mutable std::unique_ptr<store::segment_log> log_;
 };
 
 }  // namespace boson::service

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
-#include <fstream>
+#include <filesystem>
+#include <system_error>
 #include <utility>
 
 #include "common/log.h"
@@ -20,25 +21,6 @@ std::string key_of(const std::string& tenant, const std::string& id) {
   return tenant + "/" + id;
 }
 
-/// Read complete raw journal lines appended after `cursor` and advance it.
-/// Raw passthrough (the event stream re-serializes nothing), same torn-tail
-/// rule as `journal::since`: a line without its newline stays for next poll.
-std::vector<std::string> raw_lines_since(const std::string& path,
-                                         std::streamoff& cursor) {
-  std::vector<std::string> lines;
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return lines;
-  in.seekg(cursor);
-  std::string line;
-  while (std::getline(in, line)) {
-    if (in.eof()) break;
-    cursor += static_cast<std::streamoff>(line.size()) + 1;
-    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-    lines.push_back(line);
-  }
-  return lines;
-}
-
 }  // namespace
 
 campaign_service::campaign_service(service_options options)
@@ -46,6 +28,25 @@ campaign_service::campaign_service(service_options options)
       registry_({options_.data_dir, options_.tenant_quota}) {
   options_.runners = std::max<std::size_t>(1, options_.runners);
   require(options_.poll_interval > 0.0, "campaign_service: poll interval must be positive");
+
+  // Bearer-token auth is on when a tenants.json sits in the data root:
+  // a flat {"tenant": "token"} object.
+  const std::string tokens_path =
+      (std::filesystem::path(options_.data_dir) / "tenants.json").string();
+  std::error_code ec;
+  if (std::filesystem::exists(tokens_path, ec)) {
+    const io::json_value doc = io::json_value::parse_file(tokens_path);
+    for (const auto& [tenant, token] : doc.members()) {
+      require(valid_tenant(tenant),
+              "campaign_service: invalid tenant '" + tenant + "' in " + tokens_path);
+      require(!token.as_string().empty(),
+              "campaign_service: empty token for tenant '" + tenant + "' in " +
+                  tokens_path);
+      tenant_tokens_[tenant] = token.as_string();
+    }
+    log_info("campaign_service: bearer-token auth enabled (", tenant_tokens_.size(),
+             " tenants)");
+  }
 }
 
 campaign_service::~campaign_service() { stop(); }
@@ -142,17 +143,21 @@ void campaign_service::run_campaign(const campaign_record& record) {
   so.write_artifacts = options_.write_artifacts;
   so.executor = options_.executor;
   so.clock = options_.clock;
+  so.segment_bytes = options_.segment_bytes;
+  so.segment_records = options_.segment_records;
+  so.compact_segments = options_.compact_segments;
   runtime::scheduler scheduler(spec, std::move(so));
 
   {
     // Claim-to-running flip and cancel() share active_mutex_, so a cancel
     // that lands between them either sees "queued" (and wins: we bail here)
-    // or finds the scheduler registered (and cancels it cooperatively).
+    // or finds the scheduler registered (and cancels it cooperatively). The
+    // flip itself is try_claim — atomic under the registry store's exclusive
+    // lock, so of several service processes sharing one data root exactly
+    // one wins each queued campaign.
     const std::lock_guard<std::mutex> lock(active_mutex_);
-    const std::optional<campaign_record> current =
-        registry_.find(record.tenant, record.id);
-    if (!current || current->state != "queued") return;  // cancelled while claimed
-    registry_.set_state(record.tenant, record.id, "running", now());
+    if (!registry_.try_claim(record.tenant, record.id, now()))
+      return;  // cancelled while claimed, or another process's runner won
     active_[key] = &scheduler;
   }
   log_info("campaign_service: running ", key, " ('", spec.name, "', ",
@@ -286,8 +291,8 @@ event_page campaign_service::events(const std::string& tenant, const std::string
   const std::string path = runtime::journal_path(record.dir);
 
   event_page page;
-  page.next_cursor = cursor;
-  page.lines = raw_lines_since(path, page.next_cursor);
+  std::uint64_t at = static_cast<std::uint64_t>(cursor);
+  page.lines = runtime::journal::raw_since(path, at, options_.event_page_lines);
 
   // Long-poll: wait (in poll_interval beats) for the journal to grow rather
   // than making clients hammer the endpoint. Terminal campaigns return
@@ -301,8 +306,9 @@ event_page campaign_service::events(const std::string& tenant, const std::string
     std::unique_lock<std::mutex> lock(wake_mutex_);
     wake_cv_.wait_for(lock, std::chrono::duration<double>(options_.poll_interval));
     lock.unlock();
-    page.lines = raw_lines_since(path, page.next_cursor);
+    page.lines = runtime::journal::raw_since(path, at, options_.event_page_lines);
   }
+  page.next_cursor = static_cast<std::streamoff>(at);
   return page;
 }
 
@@ -359,6 +365,36 @@ campaign_record campaign_service::cancel(const std::string& tenant,
       registry_.set_state(tenant, id, "cancelled", now(), "cancelled by request");
   wake_cv_.notify_all();
   return updated;
+}
+
+campaign_record campaign_service::remove(const std::string& tenant,
+                                         const std::string& id) {
+  resolve(tenant, id);  // 404 mapping
+  const std::string key = key_of(tenant, id);
+
+  campaign_record tombstone;
+  {
+    // Under active_mutex_ a runner cannot flip the campaign to running
+    // between our terminal check and the tombstone append.
+    const std::lock_guard<std::mutex> lock(active_mutex_);
+    const std::optional<campaign_record> current = registry_.find(tenant, id);
+    if (!current) throw net::http_error(404, "campaign '" + id + "' disappeared");
+    if (!current->terminal() || active_.count(key) || claimed_.count(key))
+      throw net::http_error(409, "campaign '" + id + "' is " + current->state +
+                                     "; cancel it (and let it settle) before deleting");
+    tombstone = registry_.remove(tenant, id, now());
+  }
+
+  // The tombstone is durable; reclaim the disk. A failure here (NFS
+  // silliness, permissions) leaves an orphan directory, not a ghost
+  // campaign — the registry already forgot it.
+  std::error_code ec;
+  std::filesystem::remove_all(tombstone.dir, ec);
+  if (ec)
+    log_warn("campaign_service: could not remove '", tombstone.dir,
+             "': ", ec.message());
+  log_info("campaign_service: deleted ", key);
+  return tombstone;
 }
 
 std::size_t campaign_service::active_runs() const {

@@ -20,11 +20,16 @@
 ///                                      (chunked NDJSON long-poll, ?wait=S)
 ///   GET  /v1/campaigns/{id}/report     result tables (?format=json|text)
 ///   POST /v1/campaigns/{id}/cancel     cooperative cancellation
+///   DELETE /v1/campaigns/{id}          retention: delete a terminal campaign
 ///   GET  /healthz                      liveness
 ///   GET  /v1/metrics                   queue/lease/throughput/cache gauges
 ///
-/// Tenancy rides on the X-Boson-Tenant header (default "default"): it picks
-/// the registry namespace, the artifact subtree, and the quota bucket.
+/// Tenancy: with a `tenants.json` token file in the data root, requests
+/// authenticate with `Authorization: Bearer <token>` and the token *is* the
+/// tenant identity (the legacy X-Boson-Tenant header, if also present, must
+/// agree). Without a token file the legacy bare header (default "default")
+/// picks the tenant. Either way the tenant selects the registry namespace,
+/// the artifact subtree, and the quota bucket.
 
 #pragma once
 
@@ -60,6 +65,18 @@ struct service_options {
   /// Seconds a runner sleeps between scheduler passes while external workers
   /// hold live leases, and the floor of the events long-poll granularity.
   double poll_interval = 0.2;
+
+  /// Segmented-journal layout for campaigns this service creates (see
+  /// `runtime::journal_options`): all zero keeps the legacy single-file
+  /// journal; any nonzero value gives new campaigns a rotating/compacting
+  /// `journal/` store directory.
+  std::size_t segment_bytes = 0;
+  std::size_t segment_records = 0;
+  std::size_t compact_segments = 0;
+
+  /// Max journal lines one events() poll returns (backpressure: a slow
+  /// consumer pages through history instead of buffering it all at once).
+  std::size_t event_page_lines = 512;
 
   /// Test hooks, forwarded to every scheduler this service constructs.
   runtime::job_executor executor;
@@ -125,6 +142,12 @@ class campaign_service {
   std::string report_text(const std::string& tenant, const std::string& id) const;
   io::json_value report_json(const std::string& tenant, const std::string& id) const;
   campaign_record cancel(const std::string& tenant, const std::string& id);
+
+  /// Retention: delete a campaign — journal a registry tombstone and remove
+  /// its directory (spec, journal, results, artifacts). Refuses non-terminal
+  /// campaigns (409): cancel first, then delete.
+  campaign_record remove(const std::string& tenant, const std::string& id);
+
   service_metrics metrics() const;
 
   /// Schedulers currently registered by runners (the cancel() targets).
@@ -146,6 +169,13 @@ class campaign_service {
   /// (404 for unknown tenant/id).
   campaign_record resolve(const std::string& tenant, const std::string& id) const;
 
+  /// The request's tenant identity. With bearer tokens configured
+  /// (`tenants.json` in the data root): resolve `Authorization: Bearer` by
+  /// constant-time comparison against every tenant's token, throwing 401 on
+  /// a missing/unknown token (and on an X-Boson-Tenant header that
+  /// disagrees). Without tokens: the legacy X-Boson-Tenant header.
+  std::string authenticate(const net::http_request& req) const;
+
   /// Dispatch one request to the matching control-plane operation (the
   /// uninstrumented core of `handler()`).
   net::http_response route(const net::http_request& req);
@@ -162,6 +192,9 @@ class campaign_service {
 
   service_options options_;
   campaign_registry registry_;
+  /// tenant -> bearer token, from `<data_dir>/tenants.json` (empty: legacy
+  /// header auth). Loaded once at construction.
+  std::map<std::string, std::string> tenant_tokens_;
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};

@@ -9,11 +9,14 @@
 // service machinery, never a simulation.
 
 #include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -700,7 +703,10 @@ TEST(control_plane, routes_actions_and_rejects_abuse_with_structured_errors) {
                 .size(),
             12u);
   EXPECT_EQ(answer(handler, make_request("GET", base, "", "bob")).status, 404);
-  EXPECT_EQ(answer(handler, make_request("DELETE", base, "", "alice")).status, 405);
+  // DELETE is a real method now, but only for terminal campaigns: a queued
+  // one answers 409, and other verbs are still 405.
+  EXPECT_EQ(answer(handler, make_request("DELETE", base, "", "alice")).status, 409);
+  EXPECT_EQ(answer(handler, make_request("PUT", base, "", "alice")).status, 405);
   EXPECT_EQ(answer(handler, make_request("GET", base + "/frobnicate", "", "alice"))
                 .status,
             404);
@@ -837,6 +843,187 @@ TEST(control_plane, eight_concurrent_tenants_submit_and_watch_over_loopback) {
 
   server.stop();
   service.stop();
+}
+
+// ------------------------------------------- auth, retention, store layout ---
+
+net::http_request with_header(net::http_request req, const std::string& name,
+                              const std::string& value) {
+  req.headers.emplace_back(name, value);
+  return req;
+}
+
+TEST(control_plane, bearer_tokens_gate_the_campaign_routes) {
+  const fs::path data = fresh_dir("control_plane_auth");
+  std::ofstream(data / "tenants.json")
+      << R"({"alice": "secret-a", "bob": "secret-b"})";
+  std::atomic<std::size_t> executed{0};
+  service::campaign_service service(fast_options(data, executed));  // not started
+  const net::http_handler handler = service.handler();
+
+  const std::string body = synthetic_campaign().to_json().dump(-1);
+  const auto submit = [&](const net::http_request& req) {
+    return answer(handler, req).status;
+  };
+
+  // No credentials / the legacy header alone / garbage — all 401. The
+  // tenant header cannot stand in for the token once tokens exist.
+  EXPECT_EQ(submit(make_request("POST", "/v1/campaigns", body)), 401);
+  EXPECT_EQ(submit(make_request("POST", "/v1/campaigns", body, "alice")), 401);
+  EXPECT_EQ(submit(with_header(make_request("POST", "/v1/campaigns", body),
+                               "Authorization", "Token secret-a")),
+            401);
+  EXPECT_EQ(submit(with_header(make_request("POST", "/v1/campaigns", body),
+                               "Authorization", "Bearer wrong")),
+            401);
+
+  // The right token resolves the tenant without any header.
+  const net::http_response created =
+      answer(handler, with_header(make_request("POST", "/v1/campaigns", body),
+                                  "Authorization", "Bearer secret-a"));
+  ASSERT_EQ(created.status, 201);
+  const std::string id = io::json_value::parse(created.body).at("id").as_string();
+
+  // Tenancy still isolates: bob's token cannot see alice's campaign, and a
+  // tenant header that contradicts the token is a 401, not a crossover.
+  EXPECT_EQ(submit(with_header(make_request("GET", "/v1/campaigns/" + id),
+                               "Authorization", "Bearer secret-b")),
+            404);
+  EXPECT_EQ(submit(with_header(make_request("GET", "/v1/campaigns/" + id, "", "bob"),
+                               "Authorization", "Bearer secret-a")),
+            401);
+  EXPECT_EQ(submit(with_header(make_request("GET", "/v1/campaigns/" + id, "", "alice"),
+                               "Authorization", "Bearer secret-a")),
+            200);
+
+  // Unauthenticated infrastructure routes stay open.
+  EXPECT_EQ(answer(handler, make_request("GET", "/healthz")).status, 200);
+}
+
+TEST(campaign_service, delete_removes_a_terminal_campaign_durably) {
+  const fs::path data = fresh_dir("service_delete");
+  std::atomic<std::size_t> executed{0};
+  std::string id;
+  {
+    service::campaign_service service(fast_options(data, executed));
+    service.start();
+    const service::campaign_record record =
+        service.submit("alice", synthetic_campaign());
+    id = record.id;
+    ASSERT_TRUE(wait_until([&] {
+      return service.registry().find("alice", id)->state == "done";
+    })) << "campaign never finished";
+    const net::http_handler handler = service.handler();
+
+    EXPECT_EQ(answer(handler, make_request("DELETE", "/v1/campaigns/nope", "",
+                                           "alice"))
+                  .status,
+              404);
+    const net::http_response deleted = answer(
+        handler, make_request("DELETE", "/v1/campaigns/" + id, "", "alice"));
+    EXPECT_EQ(deleted.status, 200);
+    EXPECT_EQ(io::json_value::parse(deleted.body).at("state").as_string(),
+              "deleted");
+
+    // Gone from every read path, and from disk.
+    EXPECT_EQ(
+        answer(handler, make_request("GET", "/v1/campaigns/" + id, "", "alice"))
+            .status,
+        404);
+    EXPECT_TRUE(service.list("alice").empty());
+    EXPECT_FALSE(fs::exists(data / "alice" / id));
+    service.stop();
+  }
+
+  // The tombstone survives a restart: the campaign stays gone and its id is
+  // never reissued.
+  service::campaign_service restarted(fast_options(data, executed));
+  EXPECT_TRUE(restarted.list("alice").empty());
+  const service::campaign_record next =
+      restarted.submit("alice", synthetic_campaign());
+  EXPECT_EQ(next.id, "c0002");
+}
+
+TEST(campaign_service, segmented_journal_campaign_completes_and_pages_events) {
+  const fs::path data = fresh_dir("service_segmented");
+  std::atomic<std::size_t> executed{0};
+  service::service_options options = fast_options(data, executed);
+  options.segment_records = 8;   // force several rotations across 12 jobs
+  options.compact_segments = 2;  // and at least one compaction opportunity
+  options.event_page_lines = 5;  // exercise the page cap
+  service::campaign_service service(options);
+  service.start();
+
+  const service::campaign_record record =
+      service.submit("alice", synthetic_campaign());
+  ASSERT_TRUE(wait_until([&] {
+    return service.registry().find("alice", record.id)->state == "done";
+  })) << "campaign never finished";
+  EXPECT_EQ(executed.load(), 12u);
+
+  // The journal landed as a store directory.
+  EXPECT_TRUE(fs::is_directory(data / "alice" / record.id / "journal"));
+
+  // Event pages respect the cap and the cursor walks the chain without
+  // gaps or duplicates.
+  std::vector<std::string> lines;
+  std::streamoff cursor = 0;
+  while (true) {
+    const service::event_page page = service.events("alice", record.id, cursor, 0.0);
+    EXPECT_LE(page.lines.size(), 5u);
+    if (page.lines.empty()) break;
+    for (const std::string& line : page.lines) lines.push_back(line);
+    cursor = page.next_cursor;
+  }
+  EXPECT_GE(lines.size(), 12u);
+  std::size_t completed = 0;
+  for (const std::string& line : lines) {
+    const io::json_value v = io::json_value::parse(line);
+    if (v.at("state").as_string() == "completed") ++completed;
+  }
+  EXPECT_EQ(completed, 12u);
+  service.stop();
+}
+
+/// Fork a child running `fn`; the child never returns into gtest.
+template <class Fn>
+pid_t fork_child(Fn&& fn) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    fn();
+    std::_Exit(0);
+  }
+  return pid;
+}
+
+TEST(registry, concurrent_submitters_in_separate_processes_mint_unique_ids) {
+  const fs::path data = fresh_dir("registry_race");
+  constexpr int kChildren = 4;
+  constexpr int kEach = 3;
+
+  std::vector<pid_t> pids;
+  for (int c = 0; c < kChildren; ++c) {
+    pids.push_back(fork_child([&] {
+      service::campaign_registry registry({data.string(), 64});
+      for (int i = 0; i < kEach; ++i)
+        registry.submit("alice", synthetic_campaign(), 1.0);
+    }));
+  }
+  for (const pid_t pid : pids) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "a submitting child did not exit cleanly";
+  }
+
+  // Every submit across every process got its own id and its own record —
+  // the exclusive-lock section serialized the mints on the shared ledger.
+  service::campaign_registry registry({data.string(), 64});
+  const auto records = registry.list("alice");
+  ASSERT_EQ(records.size(), static_cast<std::size_t>(kChildren * kEach));
+  std::set<std::string> ids;
+  for (const auto& r : records) ids.insert(r.id);
+  EXPECT_EQ(ids.size(), records.size());
 }
 
 }  // namespace

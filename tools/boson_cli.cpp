@@ -32,6 +32,7 @@
 // stderr; result tables go to stdout. BOSON_BENCH_SCALE, BOSON_THREADS,
 // BOSON_BACKEND and BOSON_SIM_CACHE apply as everywhere else.
 
+#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <filesystem>
@@ -39,6 +40,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/registry.h"
@@ -79,8 +81,9 @@ int usage(std::FILE* out) {
                "  boson_cli campaign status <dir> [--json]\n"
                "  boson_cli campaign report <dir>\n"
                "  boson_cli campaign submit <campaign.json> --server <url> [--tenant <t>]\n"
-               "  boson_cli campaign status|watch|report|cancel <id> --server <url>\n"
-               "                         [--tenant <t>] [--json]\n"
+               "                         [--token <token>]\n"
+               "  boson_cli campaign status|watch|report|cancel|delete <id> --server <url>\n"
+               "                         [--tenant <t>] [--token <token>] [--json]\n"
                "\n"
                "run       execute one spec (JSON object) or a batch (JSON array);\n"
                "          artifacts land in --out (default: boson_out)\n"
@@ -103,8 +106,11 @@ int usage(std::FILE* out) {
                "          with --server <url>, campaigns run on a boson_serve\n"
                "          daemon instead (docs/SERVICE.md): submit posts the spec,\n"
                "          watch streams journal events to completion, status/\n"
-               "          report/cancel hit the matching endpoints; --tenant\n"
-               "          selects the namespace (default: \"default\")\n"
+               "          report/cancel hit the matching endpoints; delete removes\n"
+               "          a terminal campaign (registry tombstone + artifacts);\n"
+               "          --tenant selects the namespace (default: \"default\");\n"
+               "          --token (or BOSON_TOKEN) sends Authorization: Bearer,\n"
+               "          required when the server has a tenants.json\n"
                "          --shard i/N still filters the visible jobs (deprecated);\n"
                "          --fault point[:n] SIGKILLs at a named kill point\n"
                "          (after_lease, mid_run, after_checkpoint, before_result)\n"
@@ -350,13 +356,23 @@ bool remote_ok(const net::http_response& res) {
   return false;
 }
 
-std::vector<std::pair<std::string, std::string>> tenant_headers(const std::string& tenant) {
-  std::vector<std::pair<std::string, std::string>> headers;
-  if (!tenant.empty()) headers.emplace_back("X-Boson-Tenant", tenant);
-  return headers;
-}
+/// Credentials for remote mode: --tenant names the namespace, --token (or
+/// BOSON_TOKEN) authenticates it when the server has a tenants.json. The
+/// token travels as `Authorization: Bearer <token>`; the tenant header
+/// stays as a cross-check (the server 401s on a mismatch).
+struct remote_auth {
+  std::string tenant;
+  std::string token;
 
-int cmd_remote_submit(const std::string& server, const std::string& tenant,
+  std::vector<std::pair<std::string, std::string>> headers() const {
+    std::vector<std::pair<std::string, std::string>> h;
+    if (!tenant.empty()) h.emplace_back("X-Boson-Tenant", tenant);
+    if (!token.empty()) h.emplace_back("Authorization", "Bearer " + token);
+    return h;
+  }
+};
+
+int cmd_remote_submit(const std::string& server, const remote_auth& auth,
                       const std::string& spec_path) {
   std::ifstream in(spec_path, std::ios::binary);
   if (!in) {
@@ -367,7 +383,7 @@ int cmd_remote_submit(const std::string& server, const std::string& tenant,
                          std::istreambuf_iterator<char>());
   net::http_client client(server);
   const net::http_response res =
-      client.post("/v1/campaigns", body, tenant_headers(tenant));
+      client.post("/v1/campaigns", body, auth.headers());
   if (!remote_ok(res)) return 1;
   const io::json_value record = io::json_value::parse(res.body);
   std::printf("%s\n", record.dump(2).c_str());
@@ -376,11 +392,11 @@ int cmd_remote_submit(const std::string& server, const std::string& tenant,
   return 0;
 }
 
-int cmd_remote_status(const std::string& server, const std::string& tenant,
+int cmd_remote_status(const std::string& server, const remote_auth& auth,
                       const std::string& id, bool as_json) {
   net::http_client client(server);
   const net::http_response res =
-      client.get("/v1/campaigns/" + id + "/jobs", tenant_headers(tenant));
+      client.get("/v1/campaigns/" + id + "/jobs", auth.headers());
   if (!remote_ok(res)) return 1;
   if (as_json) {
     std::fputs(res.body.c_str(), stdout);
@@ -400,22 +416,47 @@ int cmd_remote_status(const std::string& server, const std::string& tenant,
   return 0;
 }
 
-int cmd_remote_watch(const std::string& server, const std::string& tenant,
+int cmd_remote_watch(const std::string& server, const remote_auth& auth,
                      const std::string& id) {
   net::http_client client(server);
-  const auto headers = tenant_headers(tenant);
+  const auto headers = auth.headers();
   std::string cursor = "0";
+  int transport_failures = 0;
+
+  // One GET with bounded retry on transport errors: the server's write
+  // timeout drops consumers that stop reading, and our cursor makes the
+  // reconnect gap-free (X-Boson-Cursor only advances past delivered
+  // lines, so re-asking from `cursor` re-delivers nothing and skips
+  // nothing). HTTP-level errors (404, 401, ...) are not retried.
+  const auto fetch = [&](const std::string& path) -> std::optional<net::http_response> {
+    while (true) {
+      try {
+        net::http_response res = client.get(path, headers);
+        transport_failures = 0;
+        return res;
+      } catch (const std::exception& e) {
+        if (++transport_failures > 5) {
+          std::fprintf(stderr, "boson_cli: giving up after repeated transport errors: %s\n",
+                       e.what());
+          return std::nullopt;
+        }
+        std::fprintf(stderr, "boson_cli: transport error (%s); retrying from cursor %s\n",
+                     e.what(), cursor.c_str());
+        std::this_thread::sleep_for(std::chrono::milliseconds(200 * transport_failures));
+      }
+    }
+  };
 
   // Long-poll the journal stream; after each page, check the lifecycle
   // state. On a terminal state, drain one final page (records appended
   // between our last read and the state flip) before returning.
   const auto fetch_events = [&](const std::string& wait) -> std::optional<bool> {
-    const net::http_response res = client.get(
-        "/v1/campaigns/" + id + "/events?cursor=" + cursor + "&wait=" + wait, headers);
-    if (!remote_ok(res)) return std::nullopt;
-    if (const std::string* next = res.header("X-Boson-Cursor")) cursor = *next;
-    if (!res.body.empty()) {
-      std::fputs(res.body.c_str(), stdout);
+    const auto res = fetch("/v1/campaigns/" + id + "/events?cursor=" + cursor +
+                           "&wait=" + wait);
+    if (!res || !remote_ok(*res)) return std::nullopt;
+    if (const std::string* next = res->header("X-Boson-Cursor")) cursor = *next;
+    if (!res->body.empty()) {
+      std::fputs(res->body.c_str(), stdout);
       std::fflush(stdout);
     }
     return true;
@@ -423,11 +464,10 @@ int cmd_remote_watch(const std::string& server, const std::string& tenant,
 
   while (true) {
     if (!fetch_events("20")) return 1;
-    const net::http_response status =
-        client.get("/v1/campaigns/" + id, headers);
-    if (!remote_ok(status)) return 1;
+    const auto status = fetch("/v1/campaigns/" + id);
+    if (!status || !remote_ok(*status)) return 1;
     const std::string state =
-        io::json_value::parse(status.body).at("state").as_string();
+        io::json_value::parse(status->body).at("state").as_string();
     if (state == "done" || state == "failed" || state == "cancelled") {
       if (!fetch_events("0")) return 1;
       std::fprintf(stderr, "boson_cli: campaign %s %s\n", id.c_str(), state.c_str());
@@ -436,25 +476,37 @@ int cmd_remote_watch(const std::string& server, const std::string& tenant,
   }
 }
 
-int cmd_remote_report(const std::string& server, const std::string& tenant,
+int cmd_remote_report(const std::string& server, const remote_auth& auth,
                       const std::string& id, bool as_json) {
   net::http_client client(server);
   const std::string path =
       "/v1/campaigns/" + id + "/report" + (as_json ? "?format=json" : "?format=text");
-  const net::http_response res = client.get(path, tenant_headers(tenant));
+  const net::http_response res = client.get(path, auth.headers());
   if (!remote_ok(res)) return 1;
   std::fputs(res.body.c_str(), stdout);
   return 0;
 }
 
-int cmd_remote_cancel(const std::string& server, const std::string& tenant,
+int cmd_remote_cancel(const std::string& server, const remote_auth& auth,
                       const std::string& id) {
   net::http_client client(server);
   const net::http_response res =
-      client.post("/v1/campaigns/" + id + "/cancel", "", tenant_headers(tenant));
+      client.post("/v1/campaigns/" + id + "/cancel", "", auth.headers());
   if (!remote_ok(res)) return 1;
   std::fputs(res.body.c_str(), stdout);
   std::printf("\n");
+  return 0;
+}
+
+int cmd_remote_delete(const std::string& server, const remote_auth& auth,
+                      const std::string& id) {
+  net::http_client client(server);
+  const net::http_response res =
+      client.del("/v1/campaigns/" + id, auth.headers());
+  if (!remote_ok(res)) return 1;
+  std::fputs(res.body.c_str(), stdout);
+  std::printf("\n");
+  std::fprintf(stderr, "boson_cli: campaign %s deleted\n", id.c_str());
   return 0;
 }
 
@@ -464,7 +516,8 @@ int cmd_campaign(const std::vector<std::string>& args) {
   const bool known_local = action == "run" || action == "resume" ||
                            action == "status" || action == "report";
   const bool known_remote = action == "submit" || action == "watch" ||
-                            action == "cancel" || known_local;
+                            action == "cancel" || action == "delete" ||
+                            known_local;
   if (!known_remote) {
     std::fprintf(stderr, "boson_cli: unknown campaign action '%s'\n", action.c_str());
     return usage(stderr);
@@ -472,7 +525,8 @@ int cmd_campaign(const std::vector<std::string>& args) {
 
   std::string target;
   std::string server;
-  std::string tenant;
+  remote_auth auth;
+  auth.token = env_string("BOSON_TOKEN", "");
   bool as_json = false;
   runtime::scheduler_options options;
   // Lives past run(): fault actions fire from inside scheduler worker
@@ -490,7 +544,10 @@ int cmd_campaign(const std::vector<std::string>& args) {
       server = args[++i];
     } else if (args[i] == "--tenant") {
       if (i + 1 >= args.size()) return usage(stderr);
-      tenant = args[++i];
+      auth.tenant = args[++i];
+    } else if (args[i] == "--token") {
+      if (i + 1 >= args.size()) return usage(stderr);
+      auth.token = args[++i];
     } else if (args[i] == "--json") {
       as_json = true;
     } else if (args[i] == "--shard") {
@@ -530,11 +587,12 @@ int cmd_campaign(const std::vector<std::string>& args) {
 
   if (!server.empty()) {
     // Remote mode: the target is a spec file (submit) or a campaign id.
-    if (action == "submit") return cmd_remote_submit(server, tenant, target);
-    if (action == "status") return cmd_remote_status(server, tenant, target, as_json);
-    if (action == "watch") return cmd_remote_watch(server, tenant, target);
-    if (action == "report") return cmd_remote_report(server, tenant, target, as_json);
-    if (action == "cancel") return cmd_remote_cancel(server, tenant, target);
+    if (action == "submit") return cmd_remote_submit(server, auth, target);
+    if (action == "status") return cmd_remote_status(server, auth, target, as_json);
+    if (action == "watch") return cmd_remote_watch(server, auth, target);
+    if (action == "report") return cmd_remote_report(server, auth, target, as_json);
+    if (action == "cancel") return cmd_remote_cancel(server, auth, target);
+    if (action == "delete") return cmd_remote_delete(server, auth, target);
     std::fprintf(stderr,
                  "boson_cli: campaign %s is local-only (did you mean 'campaign "
                  "submit --server'?)\n",
@@ -545,7 +603,7 @@ int cmd_campaign(const std::vector<std::string>& args) {
     std::fprintf(stderr, "boson_cli: campaign %s needs --server <url>\n", action.c_str());
     return 2;
   }
-  if (!tenant.empty()) {
+  if (!auth.tenant.empty()) {
     std::fprintf(stderr, "boson_cli: --tenant only applies with --server\n");
     return 2;
   }

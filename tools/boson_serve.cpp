@@ -4,8 +4,9 @@
 //
 //   boson_serve [--data <dir>] [--host <ip>] [--port <n>] [--port-file <path>]
 //               [--threads N] [--runners N] [--quota N] [--workers N]
-//               [--lease-ttl <s>] [--read-timeout <s>] [--max-body-kb N]
-//               [--no-artifacts]
+//               [--lease-ttl <s>] [--read-timeout <s>] [--write-timeout <s>]
+//               [--max-body-kb N] [--no-artifacts] [--segment-bytes N]
+//               [--segment-records N] [--compact-every N]
 //
 // The process serves until SIGINT/SIGTERM, then shuts down cleanly: the
 // listener closes, in-flight requests finish, running campaigns are
@@ -45,7 +46,10 @@ int usage(std::FILE* out) {
                "  boson_serve [--data <dir>] [--host <ip>] [--port <n>]\n"
                "              [--port-file <path>] [--threads N] [--runners N]\n"
                "              [--quota N] [--workers N] [--lease-ttl <s>]\n"
-               "              [--read-timeout <s>] [--max-body-kb N] [--no-artifacts]\n"
+               "              [--read-timeout <s>] [--write-timeout <s>]\n"
+               "              [--max-body-kb N] [--no-artifacts]\n"
+               "              [--segment-bytes N] [--segment-records N]\n"
+               "              [--compact-every N]\n"
                "\n"
                "--data         data root: per-tenant campaign directories + registry\n"
                "               (default: boson_service)\n"
@@ -58,8 +62,19 @@ int usage(std::FILE* out) {
                "--lease-ttl    lease TTL override in seconds (default: spec's)\n"
                "--read-timeout seconds one socket read may block (default 35;\n"
                "               keep above the events long-poll cap of 30)\n"
+               "--write-timeout seconds one socket send may block before the\n"
+               "               connection drops (default 10; 0 disables) — slow\n"
+               "               event-stream consumers resume from X-Boson-Cursor\n"
                "--max-body-kb  request body ceiling in KiB (default 8192)\n"
-               "--no-artifacts skip per-job artifact files (journal/results only)\n");
+               "--no-artifacts skip per-job artifact files (journal/results only)\n"
+               "--segment-bytes   segmented journal: rotate at N bytes (0: legacy\n"
+               "                  single-file journal — the default)\n"
+               "--segment-records segmented journal: rotate at N records\n"
+               "--compact-every   segmented journal: compact once N sealed\n"
+               "                  segments accumulate\n"
+               "\n"
+               "With a tenants.json ({\"tenant\": \"token\"}) in the data root,\n"
+               "requests must carry Authorization: Bearer <token>.\n");
   return out == stdout ? 0 : 2;
 }
 
@@ -73,6 +88,7 @@ int main(int argc, char** argv) {
   service::service_options service_options;
   net::http_server_options server_options;
   server_options.read_timeout = 35.0;  // events long-poll waits up to 30 s
+  server_options.write_timeout = 10.0; // drop consumers that stop reading
   std::string port_file;
 
   const std::vector<std::string> args(argv + 1, argv + argc);
@@ -102,6 +118,14 @@ int main(int argc, char** argv) {
       else if (args[i] == "--lease-ttl") service_options.lease_ttl = std::stod(value());
       else if (args[i] == "--read-timeout")
         server_options.read_timeout = std::stod(value());
+      else if (args[i] == "--write-timeout")
+        server_options.write_timeout = std::stod(value());
+      else if (args[i] == "--segment-bytes")
+        service_options.segment_bytes = static_cast<std::size_t>(std::stoul(value()));
+      else if (args[i] == "--segment-records")
+        service_options.segment_records = static_cast<std::size_t>(std::stoul(value()));
+      else if (args[i] == "--compact-every")
+        service_options.compact_segments = static_cast<std::size_t>(std::stoul(value()));
       else if (args[i] == "--max-body-kb")
         server_options.limits.max_body_bytes = std::stoul(value()) * 1024;
       else if (args[i] == "--no-artifacts") service_options.write_artifacts = false;
